@@ -1,0 +1,53 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These are not figures from the paper; they quantify the trade-offs the paper
+discusses in prose: splice-write disabled by default, the delayed-sync
+consistency trade-off of the writeback cache, and the missing kernel-side
+xattr cache that causes the small-write overhead.
+"""
+
+import pytest
+
+from repro.bench.harness import BenchEnvironment, _run_in
+from repro.bench.phoronix import IoZoneWrite, Sqlite
+from repro.fuse.options import FuseMountOptions
+
+
+def _measure(workload, options=None, delay_sync=True, xattr_lookup=True):
+    env = BenchEnvironment(options=options or FuseMountOptions.paper_defaults(),
+                           delay_sync=delay_sync)
+    env.client.xattr_lookup_on_write = xattr_lookup
+    return _run_in(env, workload, through_cntr=True)
+
+
+def test_ablation_splice_write_costs_more(benchmark):
+    """The paper disables splice-write because the header peek adds a context switch."""
+    defaults = FuseMountOptions.paper_defaults()
+    off = _measure(IoZoneWrite(size_mb=8), defaults.with_overrides(splice_write=False,
+                                                                   writeback_cache=False))
+    on = _measure(IoZoneWrite(size_mb=8), defaults.with_overrides(splice_write=True,
+                                                                  writeback_cache=False))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info["splice_write_off_ms"] = off / 1e6
+    benchmark.extra_info["splice_write_on_ms"] = on / 1e6
+    assert on >= off * 0.95, "splice-write should not be a clear win (paper disables it)"
+
+
+def test_ablation_delayed_sync_tradeoff(benchmark):
+    """Delaying sync (writeback consistency trade-off) speeds up fsync-heavy loads."""
+    delayed = _measure(Sqlite(), delay_sync=True)
+    strict = _measure(Sqlite(), delay_sync=False)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info["delayed_sync_ms"] = delayed / 1e6
+    benchmark.extra_info["strict_sync_ms"] = strict / 1e6
+    assert delayed < strict
+
+
+def test_ablation_hypothetical_xattr_cache(benchmark):
+    """Caching security.capability would remove the small-write overhead."""
+    with_lookup = _measure(IoZoneWrite(size_mb=8), xattr_lookup=True)
+    without_lookup = _measure(IoZoneWrite(size_mb=8), xattr_lookup=False)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info["with_xattr_lookup_ms"] = with_lookup / 1e6
+    benchmark.extra_info["without_xattr_lookup_ms"] = without_lookup / 1e6
+    assert without_lookup < with_lookup

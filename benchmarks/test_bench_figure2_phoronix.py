@@ -1,0 +1,53 @@
+"""Figure 2: relative overhead of CntrFS for the Phoronix disk suite.
+
+One pytest-benchmark entry per workload; ``extra_info`` carries the measured
+relative overhead next to the value reported in the paper so the two can be
+compared from the benchmark JSON output.
+"""
+
+import pytest
+
+from repro.bench.harness import run_comparison
+from repro.bench.phoronix import ALL_WORKLOADS
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+def test_figure2_relative_overhead(benchmark, workload):
+    result_holder = {}
+
+    def run_once():
+        result_holder["result"] = run_comparison(workload)
+        return result_holder["result"].cntr_ns
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)
+    result = result_holder["result"]
+    benchmark.extra_info["workload"] = workload.name
+    benchmark.extra_info["measured_overhead"] = round(result.overhead, 2)
+    benchmark.extra_info["paper_overhead"] = workload.paper_overhead
+    benchmark.extra_info["native_virtual_ms"] = result.native_ns / 1e6
+    benchmark.extra_info["cntr_virtual_ms"] = result.cntr_ns / 1e6
+    assert result.native_ns > 0 and result.cntr_ns > 0
+
+
+def test_figure2_shape_summary():
+    """Aggregate shape check: the worst cases and the wins match the paper."""
+    from repro.bench.phoronix import (
+        CompilebenchCreate,
+        CompilebenchRead,
+        Dbench,
+        Fio,
+        PostMark,
+        ThreadedIoWrite,
+    )
+
+    lookups_heavy = [run_comparison(w) for w in
+                     (CompilebenchRead(), CompilebenchCreate(), PostMark())]
+    cache_friendly = run_comparison(Dbench(12, paper_overhead=0.9))
+    writeback_wins = [run_comparison(w) for w in (Fio(), ThreadedIoWrite())]
+
+    # Lookup-heavy workloads are the worst cases (paper: 13.3x / 7.3x / 7.1x).
+    assert all(r.overhead > 2.5 for r in lookups_heavy)
+    # Cache-friendly file-server mixes stay close to native (paper: ~0.9-1.0x).
+    assert cache_friendly.overhead < 2.0
+    # Writeback-friendly write workloads do not lose to native (paper: 0.2-0.3x).
+    assert all(r.overhead < 1.6 for r in writeback_wins)

@@ -1,0 +1,15 @@
+#!/usr/bin/env python3
+"""Print the component inventory next to the paper's §4 implementation stats.
+
+Run with:  python examples/component_inventory.py
+"""
+
+from repro.core.inventory import format_inventory
+
+
+def main() -> None:
+    print(format_inventory())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Container-to-container debugging in production (paper use case #1).
+
+One *fat* debug container holds the tools; many *slim* application containers
+borrow them on demand.  This example also demonstrates Unix-socket forwarding
+(the X11/D-Bus path) and the pseudo-TTY shell I/O.
+
+Run with:  python examples/debug_container_scenario.py
+"""
+
+from repro.container import DockerEngine, ImageBuilder, Registry
+from repro.core import AttachOptions, attach
+from repro.kernel import boot
+
+
+def build_images():
+    slim_web = (ImageBuilder("frontend", "slim")
+                .add_file("/usr/sbin/nginx", size=1_200_000, mode=0o755)
+                .add_file("/etc/nginx/nginx.conf", content="worker_processes 2;\n")
+                .entrypoint("/usr/sbin/nginx").build())
+    slim_db = (ImageBuilder("orders-db", "slim")
+               .add_file("/usr/sbin/postgres", size=8_000_000, mode=0o755)
+               .add_file("/etc/postgresql.conf", content="max_connections = 50\n")
+               .entrypoint("/usr/sbin/postgres").build())
+    fat_tools = (ImageBuilder("debug-tools", "fat")
+                 .add_file("/bin/bash", size=1_100_000, mode=0o755)
+                 .add_file("/usr/bin/gdb", size=8_500_000, mode=0o755)
+                 .add_file("/usr/bin/strace", size=1_600_000, mode=0o755)
+                 .add_file("/usr/bin/perf", size=9_000_000, mode=0o755)
+                 .add_file("/usr/bin/tcpdump", size=1_200_000, mode=0o755)
+                 .add_file("/root/.gdbinit", content="set pagination off\n")
+                 .entrypoint("/bin/bash").build())
+    return slim_web, slim_db, fat_tools
+
+
+def main() -> None:
+    machine = boot()
+    registry = Registry(machine.clock)
+    docker = DockerEngine(machine, registry=registry)
+    slim_web, slim_db, fat_tools = build_images()
+    for image in (slim_web, slim_db, fat_tools):
+        registry.push(image)
+
+    print("deployment time estimates (1 Gbit/s registry link):")
+    for ref in ("frontend:slim", "orders-db:slim", "debug-tools:fat"):
+        print(f"  {ref:<18} {registry.estimate_deploy_time_s(ref) * 1000:7.1f} ms")
+
+    web = docker.run_reference("frontend:slim", name="frontend")
+    db = docker.run_reference("orders-db:slim", name="orders-db")
+    tools = docker.run_reference("debug-tools:fat", name="debug-tools")
+    print(f"\nrunning: {[c.name for c in docker.list_containers()]}")
+
+    # One debug container serves both application containers, one at a time.
+    for target in ("frontend", "orders-db"):
+        session = attach(machine, docker, target,
+                         options=AttachOptions(fat_container="debug-tools",
+                                               forward_sockets=()))
+        shell = session.shell_syscalls
+        tools_visible = sorted(shell.listdir("/usr/bin"))
+        app_files = sorted(shell.listdir(session.application_path("/etc")))
+        print(f"\nattached to {target!r} using tools from 'debug-tools':")
+        print(f"  tools available : {', '.join(tools_visible)}")
+        print(f"  app /etc        : {', '.join(app_files)}")
+
+        # Interactive shell round trip through the pseudo-TTY.
+        session.pty_forwarder.terminal.type("strace -p 1\n")
+        session.pump_io()
+        typed = shell.read(0, 100)
+        shell.write(1, b"attached to pid 1\n")
+        session.pump_io()
+        print(f"  typed into shell: {typed.decode().strip()!r}; "
+              f"shell replied: {session.pty_forwarder.terminal.read_output().decode().strip()!r}")
+
+        # The debugger from the fat container runs with the app's privileges.
+        gdb = session.exec_tool("gdb")
+        print(f"  gdb runs with capabilities: "
+              f"{sorted(gdb.process.caps.effective)[:4]} ... "
+              f"(same bounded set as the app)")
+        session.detach()
+
+    print("\nboth application containers stayed slim; the fat image was "
+          "attached only while debugging.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Container-to-host administration (paper use case #3).
+
+Container-oriented distributions (CoreOS, RancherOS) have no package manager;
+administrators keep their tools in a container and use Cntr to reach the host
+filesystem from it.  Here the "toolbox" container attaches to the host (pid 1)
+and edits a host configuration file in place — the "edit files in place and
+reload the service" workflow from the paper's conclusion.
+
+Run with:  python examples/host_admin_scenario.py
+"""
+
+from repro.container import DockerEngine, ImageBuilder
+from repro.core import AttachOptions, attach
+from repro.core.attach import APPLICATION_MOUNTPOINT
+from repro.fs.constants import OpenFlags
+from repro.kernel import boot
+
+
+def main() -> None:
+    machine = boot()
+    docker = DockerEngine(machine)
+
+    toolbox_image = (ImageBuilder("toolbox", "latest")
+                     .add_file("/bin/bash", size=1_100_000, mode=0o755)
+                     .add_file("/usr/bin/vim", size=3_200_000, mode=0o755)
+                     .add_file("/usr/bin/htop", size=350_000, mode=0o755)
+                     .entrypoint("/bin/bash")
+                     .build())
+    toolbox = docker.run(toolbox_image, name="toolbox",
+                         extra_capabilities={"CAP_SYS_ADMIN", "CAP_SYS_PTRACE"})
+    print(f"toolbox container running (pid {toolbox.init_pid}), host untouched")
+
+    # Attach the *toolbox container* to the *host* (pid 1): the tools come from
+    # the toolbox image, the filesystem under /var/lib/cntr is the host's root.
+    session = attach(machine, docker, pid=1,
+                     options=AttachOptions(fat_container="toolbox"))
+    shell = session.shell_syscalls
+    host_etc = f"{APPLICATION_MOUNTPOINT}/etc"
+    print("host files reachable from the toolbox session:",
+          ", ".join(sorted(shell.listdir(host_etc))[:6]), "...")
+
+    # Edit a host config file in place (the vim-from-a-container workflow).
+    resolv = f"{host_etc}/resolv.conf"
+    before = shell.read(shell.open(resolv), 200).decode().strip()
+    fd = shell.open(resolv, OpenFlags.O_WRONLY | OpenFlags.O_TRUNC)
+    shell.write(fd, b"nameserver 10.0.0.2\nnameserver 1.1.1.1\n")
+    shell.close(fd)
+    after = machine.syscalls.read(machine.syscalls.open("/etc/resolv.conf"), 200)
+    print(f"host /etc/resolv.conf before: {before!r}")
+    print(f"host /etc/resolv.conf after : {after.decode().strip()!r} "
+          "(edited from inside the container)")
+
+    # The toolbox's own tools are still what is running the show.
+    print("editor used from the toolbox image:", shell.exists("/usr/bin/vim"))
+    session.detach()
+    print("detached; toolbox container keeps running for the next admin task")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Reproduction of "Cntr: Lightweight OS Containers" (USENIX ATC 2018).
+
+The package is organised as a stack:
+
+* :mod:`repro.sim` — virtual clock and cost model (all performance numbers are
+  virtual time),
+* :mod:`repro.fs` — simulated Linux VFS (inodes, mounts, page cache, tmpfs,
+  ext4-like filesystem),
+* :mod:`repro.kernel` — processes, the seven namespace kinds, cgroups,
+  capabilities, /proc, IPC objects and the per-process syscall facade,
+* :mod:`repro.fuse` — the FUSE protocol, the kernel-side client filesystem
+  with the paper's optimizations, and the server base class,
+* :mod:`repro.container` — images, registry and the Docker/LXC/rkt/nspawn
+  engines,
+* :mod:`repro.core` — Cntr itself: context gathering, CntrFS, the nested
+  namespace attach workflow, PTY forwarding and the socket proxy,
+* :mod:`repro.slim`, :mod:`repro.xfstests`, :mod:`repro.bench` — the
+  evaluation substrates (Docker-Slim analogue, filesystem regression suite,
+  Phoronix-style benchmark harness).
+
+Quickstart::
+
+    from repro.kernel import boot
+    from repro.container import DockerEngine, ImageBuilder
+    from repro.core import attach
+
+    machine = boot()
+    docker = DockerEngine(machine)
+    image = ImageBuilder("app").add_file("/usr/bin/app", size=1 << 20,
+                                         mode=0o755).entrypoint("/usr/bin/app").build()
+    container = docker.run(image, name="app")
+    session = attach(machine, docker, "app")
+    session.shell_syscalls.listdir("/usr/bin")   # host tools, inside the container
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,36 @@
+"""Benchmark harness and Phoronix-style workload generators.
+
+This package regenerates the performance portion of the paper's evaluation:
+
+* :mod:`repro.bench.harness` — builds matched native/CntrFS environments over
+  the same ext4-like backing store, runs a workload in both and reports the
+  relative overhead (Figure 2), sweeps individual optimizations (Figure 3) and
+  thread counts (Figure 4), and drives the Docker-Slim sweep (Figure 5),
+* :mod:`repro.bench.phoronix` — the twenty disk workloads of the Phoronix
+  suite the paper uses, re-implemented as operation-mix generators against the
+  simulated syscall interface.
+"""
+
+from repro.bench.harness import (
+    BenchEnvironment,
+    ComparisonResult,
+    figure2_phoronix_overheads,
+    figure3_optimization_effects,
+    figure4_thread_sweep,
+    figure5_docker_slim,
+    run_comparison,
+)
+from repro.bench.phoronix import ALL_WORKLOADS, Workload, workload_by_name
+
+__all__ = [
+    "BenchEnvironment",
+    "ComparisonResult",
+    "run_comparison",
+    "figure2_phoronix_overheads",
+    "figure3_optimization_effects",
+    "figure4_thread_sweep",
+    "figure5_docker_slim",
+    "ALL_WORKLOADS",
+    "Workload",
+    "workload_by_name",
+]

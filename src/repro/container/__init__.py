@@ -1,0 +1,35 @@
+"""Container substrate: images, registry, layers and four container engines.
+
+The paper's design goal is to work with *every* container implementation by
+relying only on stable kernel interfaces; the implementation ships ~70-line
+adapters for Docker, LXC, rkt and systemd-nspawn whose only job is resolving a
+container name to the init process id.  This package provides the equivalent
+substrate: an image format with layers, a registry with deployment-cost
+modelling, and the four engine front-ends, all built exclusively on the
+namespace/cgroup/capability primitives of :mod:`repro.kernel`.
+"""
+
+from repro.container.image import FileSpec, ImageLayer, ImageConfig, Image, ImageBuilder
+from repro.container.registry import Registry, PullResult
+from repro.container.engine import Container, ContainerEngine, ContainerError
+from repro.container.docker import DockerEngine
+from repro.container.lxc import LxcEngine
+from repro.container.rkt import RktEngine
+from repro.container.nspawn import NspawnEngine
+
+__all__ = [
+    "FileSpec",
+    "ImageLayer",
+    "ImageConfig",
+    "Image",
+    "ImageBuilder",
+    "Registry",
+    "PullResult",
+    "Container",
+    "ContainerEngine",
+    "ContainerError",
+    "DockerEngine",
+    "LxcEngine",
+    "RktEngine",
+    "NspawnEngine",
+]

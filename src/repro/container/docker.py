@@ -1,0 +1,76 @@
+"""Docker engine front-end."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.container.engine import Container, ContainerEngine, ContainerError
+from repro.container.image import Image
+from repro.container.registry import Registry, PullResult
+
+_name_counter = itertools.count(1)
+
+#: Adjective/name pairs docker uses for auto-generated container names.
+_ADJECTIVES = ("admiring", "brave", "clever", "dazzling", "eager", "festive",
+               "gallant", "hopeful", "jolly", "keen")
+_SURNAMES = ("turing", "hopper", "lovelace", "ritchie", "thompson", "hamilton",
+             "liskov", "knuth", "dijkstra", "lamport")
+
+
+class DockerEngine(ContainerEngine):
+    """The Docker container runtime front-end.
+
+    Adds the pieces Cntr's docker adapter interacts with: auto-generated
+    container names, ``docker pull`` against a registry with a local layer
+    cache, the ``docker-default`` AppArmor profile and the ``/docker/<id>``
+    cgroup layout.
+    """
+
+    engine_name = "docker"
+    cgroup_parent = "/docker"
+    default_hostname_prefix = "docker"
+
+    def __init__(self, machine, registry: Registry | None = None) -> None:
+        super().__init__(machine)
+        self.registry = registry
+        self._local_images: dict[str, Image] = {}
+
+    def container_name_for(self, requested: str | None, image: Image) -> str:
+        if requested:
+            return requested
+        seq = next(_name_counter)
+        adjective = _ADJECTIVES[seq % len(_ADJECTIVES)]
+        surname = _SURNAMES[(seq // len(_ADJECTIVES)) % len(_SURNAMES)]
+        return f"{adjective}_{surname}"
+
+    def default_lsm_profile(self) -> str:
+        return "docker-default"
+
+    # ------------------------------------------------------------- images
+    def pull(self, reference: str) -> PullResult:
+        """``docker pull``: fetch an image from the configured registry."""
+        if self.registry is None:
+            raise ContainerError("no registry configured")
+        result = self.registry.pull(reference, self._pulled_layers)
+        self._local_images[reference] = result.image
+        return result
+
+    def images(self) -> list[str]:
+        """``docker images``: references available locally."""
+        return sorted(self._local_images)
+
+    def image(self, reference: str) -> Image:
+        """Fetch a locally available image."""
+        if reference not in self._local_images:
+            raise ContainerError(f"image not found locally: {reference}")
+        return self._local_images[reference]
+
+    def load_image(self, image: Image) -> None:
+        """``docker load``: register an image without going through a registry."""
+        self._local_images[image.reference] = image
+
+    def run_reference(self, reference: str, name: str | None = None, **kwargs) -> Container:
+        """``docker run <reference>``: pull if needed, then create and start."""
+        if reference not in self._local_images:
+            self.pull(reference)
+        return self.run(self._local_images[reference], name=name, **kwargs)

@@ -1,0 +1,39 @@
+"""LXC engine front-end."""
+
+from __future__ import annotations
+
+from repro.container.engine import Container, ContainerEngine, ContainerError
+from repro.container.image import Image
+
+
+class LxcEngine(ContainerEngine):
+    """LXC: name-addressed system containers.
+
+    LXC containers are always explicitly named and are looked up with
+    ``lxc-info -n <name> -p`` — the engine adapter Cntr ships simply parses
+    that output.  ``lxc_info`` reproduces the same interface.
+    """
+
+    engine_name = "lxc"
+    cgroup_parent = "/lxc"
+    default_hostname_prefix = "lxc"
+
+    def container_name_for(self, requested: str | None, image: Image) -> str:
+        if not requested:
+            raise ContainerError("lxc containers must be created with an explicit name")
+        return requested
+
+    def lxc_info(self, name: str) -> dict[str, str]:
+        """Equivalent of ``lxc-info -n <name>`` output fields."""
+        container = self.find(name)
+        state = "RUNNING" if container.status == "running" else "STOPPED"
+        info = {"Name": container.name, "State": state}
+        if container.init_pid is not None:
+            info["PID"] = str(container.init_pid)
+        return info
+
+    def resolve_name_to_pid(self, name_or_id: str) -> int:
+        info = self.lxc_info(name_or_id)
+        if "PID" not in info:
+            raise ContainerError(f"container not running: {name_or_id}")
+        return int(info["PID"])

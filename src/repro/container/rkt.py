@@ -1,0 +1,66 @@
+"""rkt engine front-end."""
+
+from __future__ import annotations
+
+import uuid
+
+from repro.container.engine import Container, ContainerEngine, ContainerError
+from repro.container.image import Image
+
+
+class RktEngine(ContainerEngine):
+    """rkt: pod-addressed containers identified by UUIDs.
+
+    Cntr's rkt adapter resolves a pod UUID via ``rkt status <uuid>`` and reads
+    the ``pid=`` field; ``rkt_status`` reproduces that output format, including
+    UUID-prefix matching.
+    """
+
+    engine_name = "rkt"
+    cgroup_parent = "/machine.slice/rkt"
+    default_hostname_prefix = "rkt"
+
+    def __init__(self, machine) -> None:
+        super().__init__(machine)
+        self._pod_uuids: dict[str, str] = {}
+
+    def container_name_for(self, requested: str | None, image: Image) -> str:
+        return requested or f"rkt-{image.name}"
+
+    def create(self, image: Image, name: str | None = None, **kwargs) -> Container:
+        container = super().create(image, name=name, **kwargs)
+        pod_uuid = str(uuid.uuid5(uuid.NAMESPACE_URL, container.container_id))
+        self._pod_uuids[pod_uuid] = container.container_id
+        container.labels["pod_uuid"] = pod_uuid
+        return container
+
+    def pod_uuid(self, container: Container) -> str:
+        """The pod UUID assigned at creation."""
+        return container.labels["pod_uuid"]
+
+    def find_by_uuid(self, uuid_or_prefix: str) -> Container:
+        """Resolve a pod by UUID or unique UUID prefix."""
+        matches = [cid for pod, cid in self._pod_uuids.items()
+                   if pod.startswith(uuid_or_prefix)]
+        if not matches:
+            raise ContainerError(f"no such pod: {uuid_or_prefix}")
+        if len(matches) > 1:
+            raise ContainerError(f"ambiguous pod prefix: {uuid_or_prefix}")
+        return self.containers[matches[0]]
+
+    def rkt_status(self, uuid_or_prefix: str) -> dict[str, str]:
+        """Equivalent of ``rkt status <uuid>``."""
+        container = self.find_by_uuid(uuid_or_prefix)
+        status = {"state": container.status, "name": container.name}
+        if container.init_pid is not None:
+            status["pid"] = str(container.init_pid)
+        return status
+
+    def resolve_name_to_pid(self, name_or_id: str) -> int:
+        try:
+            status = self.rkt_status(name_or_id)
+        except ContainerError:
+            return super().resolve_name_to_pid(name_or_id)
+        if "pid" not in status:
+            raise ContainerError(f"pod not running: {name_or_id}")
+        return int(status["pid"])

@@ -1,0 +1,36 @@
+"""Cntr core: attach a "fat" tool container (or the host) to a "slim" container.
+
+This package reproduces the paper's contribution on top of the simulated OS
+substrate:
+
+* :mod:`repro.core.context` — step #1: resolve a container name to its init
+  process and gather the full execution context from ``/proc``,
+* :mod:`repro.core.cntrfs` — step #2: the CntrFS FUSE server that exports the
+  fat container's (or the host's) filesystem,
+* :mod:`repro.core.attach` — step #3: the nested mount namespace that makes
+  CntrFS the new root while keeping the application visible under
+  ``/var/lib/cntr``, plus step #4: the interactive shell on a pseudo-TTY,
+* :mod:`repro.core.pty_forward` / :mod:`repro.core.socket_proxy` — shell I/O
+  forwarding and Unix-socket forwarding (X11/D-Bus),
+* :mod:`repro.core.cli` — the ``cntr attach`` / ``cntr exec`` command line,
+* :mod:`repro.core.inventory` — the component inventory mirroring §4.
+"""
+
+from repro.core.context import ContainerContext, gather_context, open_namespace_handles
+from repro.core.cntrfs import CntrFS
+from repro.core.attach import AttachOptions, CntrSession, CntrAttachError, attach
+from repro.core.pty_forward import PtyForwarder
+from repro.core.socket_proxy import SocketProxy
+
+__all__ = [
+    "ContainerContext",
+    "gather_context",
+    "open_namespace_handles",
+    "CntrFS",
+    "AttachOptions",
+    "CntrSession",
+    "CntrAttachError",
+    "attach",
+    "PtyForwarder",
+    "SocketProxy",
+]

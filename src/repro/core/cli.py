@@ -1,0 +1,130 @@
+"""The ``cntr`` command line.
+
+Because the whole OS is simulated, the CLI operates on a self-contained demo
+scenario: it boots a host, starts a slim application container (and optionally
+a fat tools container), attaches to it exactly as the library API would, and
+prints what the attached shell can see.  The subcommands mirror the real
+tool's interface:
+
+* ``cntr attach <container> [--fat-container NAME]`` — run the attach
+  workflow and report the nested-namespace view,
+* ``cntr exec <container> -- <tool> [args...]`` — attach and run one tool,
+* ``cntr inventory`` — print the component inventory (paper §4).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.container.docker import DockerEngine
+from repro.container.image import ImageBuilder
+from repro.core.attach import AttachOptions, attach
+from repro.core.inventory import format_inventory
+from repro.kernel.machine import boot
+
+
+def _demo_environment():
+    """Boot a host with one slim application container and one fat tools container."""
+    machine = boot()
+    docker = DockerEngine(machine)
+
+    slim = (ImageBuilder("demo-app", "slim")
+            .add_dir("/usr/sbin")
+            .add_file("/usr/sbin/demo-server", size=12_000_000, mode=0o755)
+            .add_file("/etc/passwd", content="root:x:0:0:root:/root:/bin/sh\n")
+            .add_file("/etc/hostname", content="demo-app\n")
+            .add_file("/etc/demo.conf", content="listen = 0.0.0.0:8080\n")
+            .entrypoint("/usr/sbin/demo-server")
+            .env("DEMO_MODE", "production")
+            .build())
+    fat = (ImageBuilder("debug-tools", "fat")
+           .add_dir("/usr/bin")
+           .add_file("/usr/bin/gdb", size=8_500_000, mode=0o755)
+           .add_file("/usr/bin/strace", size=1_600_000, mode=0o755)
+           .add_file("/usr/bin/vim", size=3_200_000, mode=0o755)
+           .add_file("/bin/bash", size=1_100_000, mode=0o755)
+           .entrypoint("/bin/bash")
+           .build())
+    docker.load_image(slim)
+    docker.load_image(fat)
+    app = docker.run(slim, name="demo-app")
+    tools = docker.run(fat, name="debug-tools")
+    return machine, docker, app, tools
+
+
+def _cmd_attach(args: argparse.Namespace) -> int:
+    machine, docker, app, tools = _demo_environment()
+    name = args.container or "demo-app"
+    options = AttachOptions(fat_container=args.fat_container)
+    session = attach(machine, docker, name, options=options)
+    sc = session.shell_syscalls
+    print(f"attached to container {name!r} (pid {session.context.pid})")
+    print(f"tools PATH: {sc.getenv('PATH')}")
+    print(f"tools visible in /usr/bin: {', '.join(sorted(sc.listdir('/usr/bin'))[:10])} ...")
+    app_root = session.application_path("/")
+    print(f"application filesystem mounted at {app_root}:")
+    for entry in sorted(sc.listdir(app_root)):
+        print(f"  {app_root.rstrip('/')}/{entry}")
+    print(f"FUSE requests so far: {session.client_fs.connection.stats.requests_total}")
+    session.detach()
+    return 0
+
+
+def _cmd_exec(args: argparse.Namespace) -> int:
+    machine, docker, app, tools = _demo_environment()
+    name = args.container or "demo-app"
+    options = AttachOptions(fat_container=args.fat_container)
+    session = attach(machine, docker, name, options=options)
+    tool = args.tool or "gdb"
+    tool_sc = session.exec_tool(tool, args.tool_args)
+    print(f"executed {tool!r} inside container {name!r} "
+          f"(pid {tool_sc.process.pid}, cwd {tool_sc.getcwd()})")
+    print(f"the tool sees the application config at "
+          f"{session.application_path('/etc/demo.conf')}: "
+          f"{tool_sc.exists(session.application_path('/etc/demo.conf'))}")
+    session.detach()
+    return 0
+
+
+def _cmd_inventory(_args: argparse.Namespace) -> int:
+    print(format_inventory())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``cntr`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="cntr",
+        description="Cntr reproduction: attach fat tool containers to slim "
+                    "application containers (simulated demo environment).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_attach = sub.add_parser("attach", help="attach to a container")
+    p_attach.add_argument("container", nargs="?", default="demo-app",
+                          help="container name (default: demo-app)")
+    p_attach.add_argument("--fat-container", default=None,
+                          help="serve tools from this container instead of the host")
+    p_attach.set_defaults(func=_cmd_attach)
+
+    p_exec = sub.add_parser("exec", help="attach and run one tool")
+    p_exec.add_argument("container", nargs="?", default="demo-app")
+    p_exec.add_argument("--fat-container", default=None)
+    p_exec.add_argument("--tool", default="gdb", help="tool to run (default: gdb)")
+    p_exec.add_argument("tool_args", nargs="*", help="arguments passed to the tool")
+    p_exec.set_defaults(func=_cmd_exec)
+
+    p_inv = sub.add_parser("inventory", help="print the component inventory")
+    p_inv.set_defaults(func=_cmd_inventory)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Simulated Linux VFS substrate.
+
+This package implements an in-memory model of the Linux virtual filesystem
+layer that the paper's system (CntrFS) is built on: inodes, dentries, open
+file descriptions, mount namespaces with bind mounts and propagation modes,
+a page cache with writeback, extended attributes, POSIX ACLs, advisory locks,
+and two concrete filesystems (``tmpfs`` and a journaled, disk-cost-modelled
+``ext4``-like filesystem).
+
+The public entry point for path-based operations is :class:`repro.fs.vfs.VFS`;
+the kernel layer (:mod:`repro.kernel`) wraps it in a per-process syscall
+facade.
+"""
+
+from repro.fs.errors import FsError
+from repro.fs.constants import OpenFlags, FileMode, SeekWhence, XattrFlags
+from repro.fs.stat import FileStat, StatVfs
+from repro.fs.inode import (
+    Inode,
+    RegularInode,
+    DirectoryInode,
+    SymlinkInode,
+    DeviceInode,
+    FifoInode,
+    SocketInode,
+)
+from repro.fs.filesystem import Filesystem
+from repro.fs.tmpfs import TmpFS
+from repro.fs.ext4 import Ext4Fs
+from repro.fs.blockdev import BlockDevice
+from repro.fs.mount import Mount, MountNamespace, MountPropagation
+from repro.fs.vfs import VFS, Credentials, OpenFile
+
+__all__ = [
+    "FsError",
+    "OpenFlags",
+    "FileMode",
+    "SeekWhence",
+    "XattrFlags",
+    "FileStat",
+    "StatVfs",
+    "Inode",
+    "RegularInode",
+    "DirectoryInode",
+    "SymlinkInode",
+    "DeviceInode",
+    "FifoInode",
+    "SocketInode",
+    "Filesystem",
+    "TmpFS",
+    "Ext4Fs",
+    "BlockDevice",
+    "Mount",
+    "MountNamespace",
+    "MountPropagation",
+    "VFS",
+    "Credentials",
+    "OpenFile",
+]

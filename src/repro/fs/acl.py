@@ -1,0 +1,93 @@
+"""Minimal POSIX ACL representation.
+
+The paper's xfstests failure #375 concerns SETGID-bit clearing when the file
+owner is not a member of the owning group of an ACL.  CntrFS delegates ACL
+interpretation to the underlying filesystem, which is exactly the behaviour
+this reproduction models: ACLs are stored and returned verbatim but are not
+interpreted during ``chmod``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class AclTag(enum.IntEnum):
+    """ACL entry tags, following the POSIX.1e draft."""
+
+    USER_OBJ = 1
+    USER = 2
+    GROUP_OBJ = 4
+    GROUP = 8
+    MASK = 16
+    OTHER = 32
+
+
+@dataclass(frozen=True)
+class AclEntry:
+    """One ACL entry: a tag, an optional qualifier (uid/gid), and rwx bits."""
+
+    tag: AclTag
+    qualifier: int | None
+    perms: int  # rwx bits, 0-7
+
+    def permits(self, want: int) -> bool:
+        """True when the entry grants all bits in ``want``."""
+        return (self.perms & want) == want
+
+
+@dataclass
+class PosixAcl:
+    """An access ACL attached to an inode."""
+
+    entries: list[AclEntry] = field(default_factory=list)
+
+    def add(self, tag: AclTag, qualifier: int | None, perms: int) -> None:
+        """Append one entry."""
+        self.entries.append(AclEntry(tag, qualifier, perms & 0o7))
+
+    def entries_for(self, tag: AclTag) -> list[AclEntry]:
+        """All entries with the given tag."""
+        return [e for e in self.entries if e.tag == tag]
+
+    def named_group_ids(self) -> set[int]:
+        """Group ids of all named-group entries."""
+        return {e.qualifier for e in self.entries_for(AclTag.GROUP) if e.qualifier is not None}
+
+    def check(self, uid: int, gids: set[int], owner_uid: int, owner_gid: int, want: int) -> bool | None:
+        """Evaluate the ACL for (uid, gids) requesting ``want`` rwx bits.
+
+        Returns True/False when the ACL decides the access, or None when the
+        caller matches no entry and the classic mode bits should apply.
+        """
+        if uid == owner_uid:
+            for e in self.entries_for(AclTag.USER_OBJ):
+                return e.permits(want)
+        for e in self.entries_for(AclTag.USER):
+            if e.qualifier == uid:
+                return e.permits(want)
+        group_entries = self.entries_for(AclTag.GROUP_OBJ) + self.entries_for(AclTag.GROUP)
+        matched = False
+        for e in group_entries:
+            in_group = (e.tag == AclTag.GROUP_OBJ and owner_gid in gids) or (
+                e.tag == AclTag.GROUP and e.qualifier in gids
+            )
+            if in_group:
+                matched = True
+                if e.permits(want):
+                    return True
+        if matched:
+            return False
+        for e in self.entries_for(AclTag.OTHER):
+            return e.permits(want)
+        return None
+
+    @classmethod
+    def from_mode(cls, mode: int) -> "PosixAcl":
+        """Build the minimal three-entry ACL equivalent to classic mode bits."""
+        acl = cls()
+        acl.add(AclTag.USER_OBJ, None, (mode >> 6) & 0o7)
+        acl.add(AclTag.GROUP_OBJ, None, (mode >> 3) & 0o7)
+        acl.add(AclTag.OTHER, None, mode & 0o7)
+        return acl

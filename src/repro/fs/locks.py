@@ -1,0 +1,85 @@
+"""Advisory byte-range locks (``fcntl``-style) and whole-file locks (``flock``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fs.constants import LockType
+from repro.fs.errors import FsError
+
+
+@dataclass(frozen=True)
+class LockRange:
+    """A byte range; ``length == 0`` means "to end of file"."""
+
+    start: int
+    length: int
+
+    @property
+    def end(self) -> float:
+        """Exclusive end offset, ``inf`` for to-end-of-file locks."""
+        return float("inf") if self.length == 0 else self.start + self.length
+
+    def overlaps(self, other: "LockRange") -> bool:
+        """True when the two ranges share at least one byte."""
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass(frozen=True)
+class FileLock:
+    """One advisory lock held by a lock owner (pid)."""
+
+    owner: int
+    lock_type: LockType
+    range: LockRange
+
+    def conflicts_with(self, other: "FileLock") -> bool:
+        """True when this lock prevents ``other`` from being granted."""
+        if self.owner == other.owner:
+            return False
+        if not self.range.overlaps(other.range):
+            return False
+        return LockType.F_WRLCK in (self.lock_type, other.lock_type)
+
+
+class LockTable:
+    """Per-inode advisory lock state."""
+
+    def __init__(self) -> None:
+        self._locks: list[FileLock] = []
+
+    def held_locks(self) -> list[FileLock]:
+        """All currently granted locks."""
+        return list(self._locks)
+
+    def test(self, candidate: FileLock) -> FileLock | None:
+        """Return the first conflicting lock, or None when the lock could be granted."""
+        for lock in self._locks:
+            if lock.conflicts_with(candidate):
+                return lock
+        return None
+
+    def acquire(self, owner: int, lock_type: LockType, start: int = 0, length: int = 0) -> None:
+        """Grant, upgrade or release a lock (F_UNLCK releases)."""
+        rng = LockRange(start, length)
+        if lock_type == LockType.F_UNLCK:
+            self.release(owner, start, length)
+            return
+        candidate = FileLock(owner, lock_type, rng)
+        conflict = self.test(candidate)
+        if conflict is not None:
+            raise FsError.eagain(f"lock held by pid {conflict.owner}")
+        # Drop any of our own overlapping locks before inserting the new one.
+        self._locks = [l for l in self._locks
+                       if not (l.owner == owner and l.range.overlaps(rng))]
+        self._locks.append(candidate)
+
+    def release(self, owner: int, start: int = 0, length: int = 0) -> None:
+        """Release all of ``owner``'s locks overlapping the given range."""
+        rng = LockRange(start, length)
+        self._locks = [l for l in self._locks
+                       if not (l.owner == owner and l.range.overlaps(rng))]
+
+    def release_owner(self, owner: int) -> None:
+        """Release every lock held by ``owner`` (called on close/exit)."""
+        self._locks = [l for l in self._locks if l.owner != owner]

@@ -1,0 +1,134 @@
+"""Page cache model.
+
+The page cache does not hold file data (data always lives on the inode); it
+tracks which pages are *resident* and which are *dirty*, because residency and
+dirtiness are what determine the virtual-time cost of an access and the number
+of FUSE/disk requests issued.  This is the same modelling choice throughout
+the reproduction: correctness state is exact, performance state is a cost
+model.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+PAGE_SIZE = 4096
+
+
+def page_span(offset: int, size: int, page_size: int = PAGE_SIZE) -> range:
+    """Page indices covered by the byte range ``[offset, offset+size)``."""
+    if size <= 0:
+        return range(0)
+    first = offset // page_size
+    last = (offset + size - 1) // page_size
+    return range(first, last + 1)
+
+
+@dataclass
+class PageCacheStats:
+    """Hit/miss accounting for one page cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of page accesses served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PageCache:
+    """LRU page cache tracking residency and dirtiness per ``(ino, page)`` key."""
+
+    def __init__(self, max_bytes: int | None = None, page_size: int = PAGE_SIZE) -> None:
+        self.page_size = page_size
+        self.max_pages = None if max_bytes is None else max(1, max_bytes // page_size)
+        self._resident: OrderedDict[tuple[int, int], bool] = OrderedDict()  # value = dirty
+        self.stats = PageCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes currently resident."""
+        return len(self._resident) * self.page_size
+
+    def is_resident(self, ino: int, page: int) -> bool:
+        """True when the page is cached (and refresh its LRU position)."""
+        key = (ino, page)
+        if key in self._resident:
+            self._resident.move_to_end(key)
+            return True
+        return False
+
+    def access(self, ino: int, offset: int, size: int) -> tuple[int, int]:
+        """Record a read access; returns ``(hit_pages, miss_pages)`` and caches misses."""
+        hits = misses = 0
+        for page in page_span(offset, size, self.page_size):
+            if self.is_resident(ino, page):
+                hits += 1
+            else:
+                misses += 1
+                self._insert(ino, page, dirty=False)
+        self.stats.hits += hits
+        self.stats.misses += misses
+        return hits, misses
+
+    def write(self, ino: int, offset: int, size: int) -> int:
+        """Record a buffered write; returns the number of pages dirtied."""
+        dirtied = 0
+        for page in page_span(offset, size, self.page_size):
+            key = (ino, page)
+            if key in self._resident:
+                if not self._resident[key]:
+                    dirtied += 1
+                self._resident[key] = True
+                self._resident.move_to_end(key)
+            else:
+                self._insert(ino, page, dirty=True)
+                dirtied += 1
+        return dirtied
+
+    def dirty_pages(self, ino: int | None = None) -> list[tuple[int, int]]:
+        """All dirty ``(ino, page)`` keys, optionally restricted to one inode."""
+        return [k for k, dirty in self._resident.items()
+                if dirty and (ino is None or k[0] == ino)]
+
+    def clean(self, ino: int | None = None) -> int:
+        """Mark dirty pages clean (after writeback); returns pages cleaned."""
+        cleaned = 0
+        for key, dirty in list(self._resident.items()):
+            if dirty and (ino is None or key[0] == ino):
+                self._resident[key] = False
+                cleaned += 1
+        if cleaned:
+            self.stats.writebacks += 1
+        return cleaned
+
+    def invalidate(self, ino: int) -> int:
+        """Drop every page of ``ino`` from the cache; returns pages dropped."""
+        victims = [k for k in self._resident if k[0] == ino]
+        for key in victims:
+            del self._resident[key]
+        return len(victims)
+
+    def invalidate_all(self) -> None:
+        """Drop the whole cache (used when a FUSE mount does not keep caches)."""
+        self._resident.clear()
+
+    def _insert(self, ino: int, page: int, dirty: bool) -> None:
+        key = (ino, page)
+        self._resident[key] = dirty
+        self._resident.move_to_end(key)
+        if self.max_pages is not None:
+            while len(self._resident) > self.max_pages:
+                old_key, old_dirty = self._resident.popitem(last=False)
+                self.stats.evictions += 1
+                if old_dirty:
+                    # An eviction of a dirty page implies a writeback.
+                    self.stats.writebacks += 1

@@ -1,0 +1,525 @@
+"""The kernel-side FUSE driver, mountable as a regular filesystem.
+
+``FuseClientFs`` is what the nested namespace in Cntr actually mounts as its
+new root: a :class:`repro.fs.filesystem.Filesystem` whose every operation is
+translated into FUSE requests on a :class:`repro.fuse.device.FuseConnection`.
+It reproduces the kernel-side behaviours the paper's optimizations manipulate:
+
+* dentry/attribute caches (cheap repeated lookups once resolved),
+* the page cache, optionally retained across ``open()`` (``FOPEN_KEEP_CACHE``),
+* the writeback cache that coalesces small writes into ``max_write``-sized
+  WRITE requests (``FUSE_WRITEBACK_CACHE``),
+* readahead-sized READ batching (``FUSE_ASYNC_READ``),
+* serialized vs. parallel directory operations (``FUSE_PARALLEL_DIROPS``),
+* batched FORGET requests,
+* splice-based zero-copy transfer on the read and/or write path,
+* per-request overhead growing slightly with the number of server threads
+  (the effect measured in the paper's Figure 4),
+* the uncached ``security.capability`` xattr lookup the kernel performs on
+  every write, which the paper identifies as the source of the Apache and
+  IOzone write overheads.
+
+Inodes are *proxies*: their numbers equal the server-side nodeids and their
+attributes mirror the last reply that mentioned them.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.fs.constants import FileMode
+from repro.fs.errors import FsError
+from repro.fs.filesystem import Filesystem
+from repro.fs.inode import (
+    DeviceInode,
+    DirectoryInode,
+    FifoInode,
+    FileData,
+    Inode,
+    RegularInode,
+    SocketInode,
+    SymlinkInode,
+)
+from repro.fs.pagecache import PageCache
+from repro.fs.stat import StatVfs
+from repro.fuse.device import FuseConnection
+from repro.fuse.options import FuseMountOptions
+from repro.fuse.protocol import FuseAttr, FuseOpcode, FuseReply, FuseRequest
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel
+from repro.sim.trace import Tracer
+
+#: Number of dropped nodeids accumulated before a BATCH_FORGET is emitted.
+FORGET_BATCH_SIZE = 64
+
+
+class FuseClientFs(Filesystem):
+    """FUSE client filesystem forwarding operations to a userspace server."""
+
+    fs_type = "fuse.cntrfs"
+    #: O_DIRECT is unsupported because CntrFS chose mmap support instead
+    #: (xfstests #391 analogue).
+    supports_direct_io = False
+    #: Inodes are not exportable by handle (xfstests #426 analogue).
+    supports_export_handles = False
+    #: ACLs are delegated to the backing filesystem, so chmod does not
+    #: interpret them (xfstests #375 analogue).
+    interprets_acls_on_chmod = False
+    #: RLIMIT_FSIZE of the writing process is not enforced when operations are
+    #: replayed by the server (xfstests #228 analogue).
+    enforces_fsize_limit = False
+
+    def __init__(self, name: str, clock: VirtualClock, costs: CostModel,
+                 connection: FuseConnection, options: FuseMountOptions | None = None,
+                 tracer: Tracer | None = None,
+                 page_cache_bytes: int = 12 << 30) -> None:
+        super().__init__(name, clock, costs, tracer, capacity_bytes=1 << 50)
+        self.connection = connection
+        self.options = options or FuseMountOptions()
+        self.page_cache = PageCache(max_bytes=page_cache_bytes, page_size=costs.page_size)
+        self._entry_cache: dict[tuple[int, str], int] = {}
+        self._attr_fresh: set[int] = set()
+        self._writeback_pending: dict[int, int] = {}
+        self._writeback_total = 0
+        self._pending_forgets: list[int] = []
+        #: When True (the default, as in Linux) every write triggers an
+        #: uncached security.capability xattr lookup round trip.
+        self.xattr_lookup_on_write = True
+        # Replace the root placeholder created by the base class with a proxy
+        # whose nodeid follows the FUSE convention (1).
+        self._send_init()
+
+    # ------------------------------------------------------------ protocol I/O
+    def _send_init(self) -> None:
+        request = FuseRequest(FuseOpcode.INIT, nodeid=1,
+                              args={"options": self.options})
+        self.connection.attach_options = self.options
+        self.connection.request(request)
+        self.connection.mark_mounted()
+        # Fetch the real root attributes from the server.
+        reply = self._send(FuseOpcode.GETATTR, 1, {})
+        if reply.attr is not None:
+            self._update_proxy(1, reply.attr)
+
+    def _request_overhead(self, dirop: bool, payload: int, received: int) -> float:
+        costs = self.costs
+        options = self.options
+        overhead = costs.fuse_request_ns + costs.fuse_small_reply_ns
+        if dirop and not options.parallel_dirops:
+            overhead += costs.fuse_request_ns * 1.5
+        if options.threads > 1:
+            overhead += costs.fuse_thread_contention_ns * math.log2(options.threads)
+        if payload:
+            if options.splice_write:
+                # Splice writes need an extra context switch to peek the header.
+                overhead += costs.splice_cost(payload) + costs.context_switch_ns
+            else:
+                overhead += costs.copy_cost(payload)
+        if received:
+            if options.splice_read:
+                overhead += costs.splice_cost(received)
+            else:
+                overhead += costs.copy_cost(received)
+        return overhead
+
+    def _send(self, opcode: FuseOpcode, nodeid: int, args: dict,
+              payload: bytes = b"", payload_size: int | None = None,
+              expected_reply_bytes: int = 0, dirop: bool = False) -> FuseReply:
+        """Send one request, charging the protocol costs, and return the reply."""
+        send_size = payload_size if payload_size is not None else len(payload)
+        overhead = self._request_overhead(dirop, send_size, expected_reply_bytes)
+        self.clock.advance(overhead)
+        self.tracer.record(self.clock.now_ns, "fuse", opcode.name.lower(), int(overhead))
+        request = FuseRequest(opcode, nodeid, args=args, payload=payload)
+        reply = self.connection.request(request)
+        if not reply.ok:
+            raise FsError(reply.error)
+        return reply
+
+    # ------------------------------------------------------------ proxy inodes
+    def _update_proxy(self, nodeid: int, attr: FuseAttr,
+                      parent_ino: int | None = None, symlink_target: str = "") -> Inode:
+        ftype = attr.mode & FileMode.S_IFMT
+        existing = self._inodes.get(nodeid)
+        if existing is None or existing.file_type != ftype:
+            if ftype == FileMode.S_IFDIR:
+                inode = DirectoryInode(ino=nodeid, mode=attr.mode)
+            elif ftype == FileMode.S_IFLNK:
+                inode = SymlinkInode(ino=nodeid, mode=attr.mode, target=symlink_target)
+            elif ftype in (FileMode.S_IFBLK, FileMode.S_IFCHR):
+                inode = DeviceInode(ino=nodeid, mode=attr.mode)
+            elif ftype == FileMode.S_IFIFO:
+                inode = FifoInode(ino=nodeid, mode=attr.mode)
+            elif ftype == FileMode.S_IFSOCK:
+                inode = SocketInode(ino=nodeid, mode=attr.mode)
+            else:
+                inode = RegularInode(ino=nodeid, mode=attr.mode,
+                                     data=FileData(store=False))
+            inode.fs_name = self.name
+            self._inodes[nodeid] = inode
+        inode = self._inodes[nodeid]
+        inode.mode = attr.mode
+        inode.uid = attr.uid
+        inode.gid = attr.gid
+        inode.nlink = attr.nlink
+        inode.rdev = attr.rdev
+        inode.atime_ns = attr.atime_ns
+        inode.mtime_ns = attr.mtime_ns
+        inode.ctime_ns = attr.ctime_ns
+        inode.generation = attr.generation
+        if isinstance(inode, RegularInode):
+            inode.data.truncate(attr.size)
+        if isinstance(inode, SymlinkInode) and symlink_target:
+            inode.target = symlink_target
+        if isinstance(inode, DirectoryInode) and parent_ino is not None:
+            inode.parent_ino = parent_ino
+        self._attr_fresh.add(nodeid)
+        return inode
+
+    def iget(self, ino: int) -> Inode:
+        inode = self._inodes.get(ino)
+        if inode is not None:
+            return inode
+        # Unknown nodeid: ask the server (can happen after cache invalidation).
+        reply = self._send(FuseOpcode.GETATTR, ino, {})
+        if reply.attr is None:
+            raise FsError.estale(f"nodeid {ino}")
+        return self._update_proxy(ino, reply.attr)
+
+    def _forget(self, nodeid: int) -> None:
+        self._attr_fresh.discard(nodeid)
+        if self.options.batch_forget:
+            self._pending_forgets.append(nodeid)
+            if len(self._pending_forgets) >= FORGET_BATCH_SIZE:
+                self.clock.advance(self.costs.fuse_forget_batch_ns)
+                self.connection.request(FuseRequest(
+                    FuseOpcode.BATCH_FORGET, 0,
+                    args={"nodeids": list(self._pending_forgets)}))
+                self.connection.stats.forgets_batched += len(self._pending_forgets)
+                self._pending_forgets.clear()
+        else:
+            self.clock.advance(self.costs.fuse_forget_batch_ns)
+            self.connection.request(FuseRequest(FuseOpcode.FORGET, nodeid, args={}))
+
+    def flush_forgets(self) -> None:
+        """Flush any batched FORGET intents (called on unmount)."""
+        if self._pending_forgets:
+            self.clock.advance(self.costs.fuse_forget_batch_ns)
+            self.connection.request(FuseRequest(
+                FuseOpcode.BATCH_FORGET, 0,
+                args={"nodeids": list(self._pending_forgets)}))
+            self.connection.stats.forgets_batched += len(self._pending_forgets)
+            self._pending_forgets.clear()
+
+    def drop_caches(self) -> None:
+        """Invalidate the dentry, attribute and page caches (for experiments)."""
+        self.flush_writeback()
+        self._entry_cache.clear()
+        self._attr_fresh.clear()
+        self.page_cache.invalidate_all()
+
+    # ------------------------------------------------------------ open hooks
+    def on_open(self, ino: int, flags: int) -> None:
+        """Called by the VFS when a file backed by this mount is opened."""
+        self._send(FuseOpcode.OPEN, ino, {"flags": int(flags)})
+        if not self.options.keep_cache:
+            # Without FOPEN_KEEP_CACHE the kernel invalidates the inode's page
+            # cache on every open, so the cache is never shared across opens.
+            self.page_cache.invalidate(ino)
+
+    def on_release(self, ino: int) -> None:
+        """Called by the VFS when the last descriptor for an inode is closed."""
+        if self._writeback_pending.get(ino):
+            self.flush_writeback(ino)
+        self.connection.request(FuseRequest(FuseOpcode.RELEASE, ino, args={}))
+
+    # ------------------------------------------------------------ dir operations
+    def lookup(self, dir_ino: int, name: str) -> Inode:
+        cached = self._entry_cache.get((dir_ino, name))
+        if cached is not None and cached in self._inodes and cached in self._attr_fresh:
+            # Dentry-cache hit: no round trip, only the in-kernel cost.
+            self.clock.advance(self.costs.tmpfs_op_ns * 0.5)
+            return self._inodes[cached]
+        reply = self._send(FuseOpcode.LOOKUP, dir_ino, {"name": name}, dirop=True)
+        if reply.attr is None or reply.nodeid is None:
+            raise FsError.enoent(name)
+        inode = self._update_proxy(reply.nodeid, reply.attr, parent_ino=dir_ino,
+                                   symlink_target=reply.target)
+        self._entry_cache[(dir_ino, name)] = reply.nodeid
+        return inode
+
+    def create(self, dir_ino: int, name: str, mode: int, uid: int = 0,
+               gid: int = 0) -> RegularInode:
+        reply = self._send(FuseOpcode.CREATE, dir_ino,
+                           {"name": name, "mode": mode, "uid": uid, "gid": gid},
+                           dirop=True)
+        inode = self._update_proxy(reply.nodeid, reply.attr, parent_ino=dir_ino)
+        self._entry_cache[(dir_ino, name)] = reply.nodeid
+        assert isinstance(inode, RegularInode)
+        return inode
+
+    def mkdir(self, dir_ino: int, name: str, mode: int, uid: int = 0,
+              gid: int = 0) -> DirectoryInode:
+        reply = self._send(FuseOpcode.MKDIR, dir_ino,
+                           {"name": name, "mode": mode, "uid": uid, "gid": gid},
+                           dirop=True)
+        inode = self._update_proxy(reply.nodeid, reply.attr, parent_ino=dir_ino)
+        self._entry_cache[(dir_ino, name)] = reply.nodeid
+        assert isinstance(inode, DirectoryInode)
+        return inode
+
+    def symlink(self, dir_ino: int, name: str, target: str, uid: int = 0,
+                gid: int = 0) -> SymlinkInode:
+        reply = self._send(FuseOpcode.SYMLINK, dir_ino,
+                           {"name": name, "target": target, "uid": uid, "gid": gid},
+                           dirop=True)
+        inode = self._update_proxy(reply.nodeid, reply.attr, parent_ino=dir_ino,
+                                   symlink_target=target)
+        self._entry_cache[(dir_ino, name)] = reply.nodeid
+        assert isinstance(inode, SymlinkInode)
+        return inode
+
+    def mknod(self, dir_ino: int, name: str, mode: int, rdev: int = 0,
+              uid: int = 0, gid: int = 0) -> Inode:
+        reply = self._send(FuseOpcode.MKNOD, dir_ino,
+                           {"name": name, "mode": mode, "rdev": rdev,
+                            "uid": uid, "gid": gid}, dirop=True)
+        inode = self._update_proxy(reply.nodeid, reply.attr, parent_ino=dir_ino)
+        self._entry_cache[(dir_ino, name)] = reply.nodeid
+        return inode
+
+    def link(self, dir_ino: int, name: str, target_ino: int) -> Inode:
+        reply = self._send(FuseOpcode.LINK, dir_ino,
+                           {"name": name, "target": target_ino}, dirop=True)
+        inode = self._update_proxy(reply.nodeid, reply.attr)
+        self._entry_cache[(dir_ino, name)] = reply.nodeid
+        return inode
+
+    def unlink(self, dir_ino: int, name: str) -> None:
+        self._send(FuseOpcode.UNLINK, dir_ino, {"name": name}, dirop=True)
+        nodeid = self._entry_cache.pop((dir_ino, name), None)
+        if nodeid is not None:
+            self._forget(nodeid)
+
+    def rmdir(self, dir_ino: int, name: str) -> None:
+        self._send(FuseOpcode.RMDIR, dir_ino, {"name": name}, dirop=True)
+        nodeid = self._entry_cache.pop((dir_ino, name), None)
+        if nodeid is not None:
+            self._forget(nodeid)
+
+    def rename(self, old_dir: int, old_name: str, new_dir: int, new_name: str,
+               flags: int = 0) -> None:
+        self._send(FuseOpcode.RENAME2 if flags else FuseOpcode.RENAME, old_dir,
+                   {"old_name": old_name, "new_dir": new_dir,
+                    "new_name": new_name, "flags": flags}, dirop=True)
+        nodeid = self._entry_cache.pop((old_dir, old_name), None)
+        self._entry_cache.pop((new_dir, new_name), None)
+        if nodeid is not None:
+            self._entry_cache[(new_dir, new_name)] = nodeid
+            inode = self._inodes.get(nodeid)
+            if isinstance(inode, DirectoryInode):
+                inode.parent_ino = new_dir
+
+    def readdir(self, dir_ino: int) -> list[tuple[str, int, int]]:
+        self._send(FuseOpcode.OPENDIR, dir_ino, {})
+        reply = self._send(FuseOpcode.READDIR, dir_ino, {},
+                           expected_reply_bytes=4096, dirop=True)
+        self.connection.request(FuseRequest(FuseOpcode.RELEASEDIR, dir_ino, args={}))
+        entries = [(".", dir_ino, int(FileMode.S_IFDIR)),
+                   ("..", dir_ino, int(FileMode.S_IFDIR))]
+        entries.extend(reply.entries)
+        return entries
+
+    def readlink(self, ino: int) -> str:
+        inode = self._inodes.get(ino)
+        if isinstance(inode, SymlinkInode) and inode.target:
+            self.clock.advance(self.costs.tmpfs_op_ns * 0.5)
+            return inode.target
+        reply = self._send(FuseOpcode.READLINK, ino, {}, expected_reply_bytes=256)
+        return reply.target
+
+    # ------------------------------------------------------------ data I/O
+    def read(self, ino: int, offset: int, size: int) -> bytes:
+        inode = self.iget(ino)
+        if not isinstance(inode, RegularInode):
+            raise FsError.einval(f"nodeid {ino} has no data")
+        size = max(0, min(size, inode.size - offset))
+        if size == 0:
+            self.clock.advance(self.costs.syscall_ns)
+            return b""
+        if self.options.direct_io:
+            hits, misses_bytes = 0, size
+        else:
+            hits, misses = self.page_cache.access(ino, offset, size)
+            misses_bytes = misses * self.costs.page_size
+            if hits:
+                self.clock.advance(self.costs.page_cache_hit_per_byte_ns *
+                                   hits * self.costs.page_size)
+        data = bytearray()
+        if misses_bytes or self.options.direct_io:
+            # Readahead: with FUSE_ASYNC_READ the kernel issues large
+            # readahead-window requests, so subsequent sequential reads hit
+            # the page cache instead of paying one round trip per call.
+            if self.options.async_read and not self.options.direct_io:
+                fetch_size = max(size, self.options.max_readahead)
+                fetch_size = min(fetch_size, max(0, inode.size - offset))
+                granule = self.options.max_readahead
+            else:
+                fetch_size = size
+                granule = 4 * self.costs.page_size
+            self.page_cache.access(ino, offset, fetch_size)
+            remaining = fetch_size
+            chunk_offset = offset
+            while remaining > 0:
+                chunk = min(granule, remaining)
+                reply = self._send(FuseOpcode.READ, ino,
+                                   {"offset": chunk_offset, "size": chunk},
+                                   expected_reply_bytes=chunk)
+                data.extend(reply.data)
+                chunk_offset += chunk
+                remaining -= chunk
+            return bytes(data[:size])
+        # Full page-cache hit: fetch the bytes from the server without
+        # charging a round trip (the data is already resident in the kernel;
+        # the fetch below is only for simulation correctness).
+        reply = self.connection.request(
+            FuseRequest(FuseOpcode.READ, ino, args={"offset": offset, "size": size,
+                                                    "cache_fill": True}))
+        if not reply.ok:
+            # Fall back to a real round trip if the cheap path failed.
+            reply = self._send(FuseOpcode.READ, ino,
+                               {"offset": offset, "size": size},
+                               expected_reply_bytes=size)
+        return reply.data
+
+    def write(self, ino: int, offset: int, data: bytes) -> int:
+        inode = self.iget(ino)
+        if not isinstance(inode, RegularInode):
+            raise FsError.einval(f"nodeid {ino} has no data")
+        size = len(data)
+        if self.xattr_lookup_on_write:
+            # The kernel checks security.capability before every write and the
+            # FUSE protocol offers no way to cache the (missing) attribute.
+            # The probe is cheaper than a full data request (tiny negative
+            # reply), so it is charged at a fraction of the base request cost.
+            self.clock.advance(self.costs.fuse_request_ns * 0.4)
+            self.connection.request(FuseRequest(
+                FuseOpcode.GETXATTR, ino, args={"name": "security.capability"}))
+        if self.options.writeback_cache:
+            self.page_cache.write(ino, offset, size)
+            self.clock.advance(self.costs.page_cache_hit_per_byte_ns * size)
+            self._writeback_pending[ino] = self._writeback_pending.get(ino, 0) + size
+            self._writeback_total += size
+            # Data still has to reach the server for correctness; the request
+            # below carries no protocol cost because the writeback flush
+            # accounts for it in aggregated form.
+            self.connection.request(FuseRequest(
+                FuseOpcode.WRITE, ino,
+                args={"offset": offset, "size": size, "writeback": True},
+                payload=bytes(data)))
+            if self._writeback_total >= self.costs.writeback_batch_bytes:
+                self.flush_writeback()
+        else:
+            granule = self.options.max_write
+            sent = 0
+            while sent < size:
+                chunk = min(granule, size - sent)
+                self._send(FuseOpcode.WRITE, ino,
+                           {"offset": offset + sent, "size": chunk},
+                           payload=bytes(data[sent:sent + chunk]))
+                sent += chunk
+            self.page_cache.write(ino, offset, size)
+        inode.data.truncate(max(inode.size, offset + size))
+        inode.mtime_ns = self.clock.now_ns
+        return size
+
+    def flush_writeback(self, ino: int | None = None) -> int:
+        """Flush the writeback buffer, charging the aggregated WRITE requests."""
+        if ino is None:
+            pending_items = list(self._writeback_pending.items())
+        else:
+            pending_items = [(ino, self._writeback_pending.get(ino, 0))]
+        flushed = 0
+        for node, pending in pending_items:
+            if pending <= 0:
+                continue
+            requests = max(1, math.ceil(pending / self.options.max_write))
+            for _ in range(requests):
+                chunk = min(self.options.max_write, pending)
+                overhead = self._request_overhead(False, chunk, 0)
+                self.clock.advance(overhead)
+                pending -= chunk
+            self.clock.advance(self.costs.fuse_writeback_flush_ns)
+            flushed += self._writeback_pending.get(node, 0)
+            self._writeback_total -= self._writeback_pending.get(node, 0)
+            self._writeback_pending[node] = 0
+            self.page_cache.clean(node)
+        self._writeback_total = max(0, self._writeback_total)
+        return flushed
+
+    def truncate(self, ino: int, size: int) -> None:
+        reply = self._send(FuseOpcode.SETATTR, ino, {"size": size})
+        if reply.attr is not None:
+            self._update_proxy(ino, reply.attr)
+        self.page_cache.invalidate(ino)
+
+    def fallocate(self, ino: int, mode: int, offset: int, length: int) -> None:
+        reply = self._send(FuseOpcode.FALLOCATE, ino,
+                           {"mode": mode, "offset": offset, "length": length})
+        self._attr_fresh.discard(ino)
+
+    def fsync(self, ino: int, datasync: bool = False) -> None:
+        self.flush_writeback(ino)
+        self._send(FuseOpcode.FSYNC, ino, {"datasync": datasync})
+
+    def sync(self) -> None:
+        self.flush_writeback()
+        self._send(FuseOpcode.FSYNC, 1, {"datasync": False})
+
+    # ------------------------------------------------------------ attributes
+    def getattr(self, ino: int):
+        if ino in self._attr_fresh and ino in self._inodes:
+            self.clock.advance(self.costs.tmpfs_op_ns * 0.5)
+            return self._inodes[ino].stat(st_dev=self.fs_id)
+        reply = self._send(FuseOpcode.GETATTR, ino, {})
+        inode = self._update_proxy(ino, reply.attr)
+        return inode.stat(st_dev=self.fs_id)
+
+    def setattr(self, ino: int, *, mode: int | None = None, uid: int | None = None,
+                gid: int | None = None, size: int | None = None,
+                atime_ns: int | None = None, mtime_ns: int | None = None) -> None:
+        reply = self._send(FuseOpcode.SETATTR, ino,
+                           {"mode": mode, "uid": uid, "gid": gid, "size": size,
+                            "atime_ns": atime_ns, "mtime_ns": mtime_ns})
+        if reply.attr is not None:
+            self._update_proxy(ino, reply.attr)
+        if size is not None:
+            self.page_cache.invalidate(ino)
+
+    # ------------------------------------------------------------ xattrs
+    def setxattr(self, ino: int, name: str, value: bytes, flags: int = 0) -> None:
+        self._send(FuseOpcode.SETXATTR, ino, {"name": name, "flags": flags},
+                   payload=bytes(value))
+
+    def getxattr(self, ino: int, name: str) -> bytes:
+        reply = self._send(FuseOpcode.GETXATTR, ino, {"name": name},
+                           expected_reply_bytes=256)
+        return reply.data
+
+    def listxattr(self, ino: int) -> list[str]:
+        reply = self._send(FuseOpcode.LISTXATTR, ino, {}, expected_reply_bytes=256)
+        return reply.names
+
+    def removexattr(self, ino: int, name: str) -> None:
+        self._send(FuseOpcode.REMOVEXATTR, ino, {"name": name})
+
+    # ------------------------------------------------------------ misc
+    def statfs(self) -> StatVfs:
+        reply = self._send(FuseOpcode.STATFS, 1, {})
+        if reply.statfs is not None:
+            return reply.statfs
+        return super().statfs()
+
+    def fsync_connection_stats(self):
+        """Connection statistics (request counts), for tests and reports."""
+        return self.connection.stats

@@ -1,0 +1,125 @@
+"""``/dev/fuse`` and the kernel<->userspace FUSE connection.
+
+In the real system the CntrFS process opens ``/dev/fuse``, passes the file
+descriptor to ``mount(2)`` and then reads requests from it in a worker-thread
+loop.  The simulation preserves that structure: opening the device produces a
+:class:`FuseDeviceHandle` holding a :class:`FuseConnection`; the client
+filesystem pushes :class:`~repro.fuse.protocol.FuseRequest` objects into the
+connection and the attached server handles them.  Because the simulation is
+single-threaded the round trip happens synchronously, but every request still
+pays the queueing/context-switch costs of the real protocol, which is what the
+paper's performance numbers are made of.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.fs.errors import FsError
+from repro.fuse.protocol import FuseOpcode, FuseReply, FuseRequest, NO_REPLY_OPCODES
+from repro.kernel.objects import KernelObject
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fuse.server import FuseServer
+    from repro.kernel.kernel import Kernel
+
+_connection_counter = itertools.count(1)
+
+
+@dataclass
+class FuseConnectionStats:
+    """Per-connection request accounting (used by tests and benchmark reports)."""
+
+    requests_total: int = 0
+    requests_by_opcode: dict[str, int] = field(default_factory=dict)
+    bytes_to_server: int = 0
+    bytes_from_server: int = 0
+    errors: int = 0
+    forgets_batched: int = 0
+
+    def record(self, request: FuseRequest, reply: FuseReply | None) -> None:
+        """Record one round trip."""
+        self.requests_total += 1
+        name = request.opcode.name
+        self.requests_by_opcode[name] = self.requests_by_opcode.get(name, 0) + 1
+        self.bytes_to_server += request.payload_size
+        if reply is not None:
+            self.bytes_from_server += reply.data_size
+            if not reply.ok:
+                self.errors += 1
+
+
+class FuseConnection:
+    """A kernel<->server FUSE session."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.connection_id = next(_connection_counter)
+        self.kernel = kernel
+        self.server: "FuseServer | None" = None
+        self.mounted = False
+        self.aborted = False
+        self.stats = FuseConnectionStats()
+
+    def attach_server(self, server: "FuseServer") -> None:
+        """Attach the userspace server that will handle requests."""
+        self.server = server
+
+    def mark_mounted(self) -> None:
+        """Called by the client filesystem once it is mounted in a namespace."""
+        self.mounted = True
+
+    def abort(self) -> None:
+        """Abort the connection (``umount -f`` / server crash)."""
+        self.aborted = True
+        self.mounted = False
+
+    def request(self, request: FuseRequest) -> FuseReply:
+        """Send one request to the server and return its reply.
+
+        The caller (the kernel-side client filesystem) is responsible for
+        charging the protocol costs; the server charges whatever its backing
+        filesystem operations cost while handling the request.
+        """
+        if self.aborted:
+            raise FsError(107, msg="FUSE connection aborted")  # ENOTCONN
+        if self.server is None:
+            raise FsError.enotconn("no FUSE server attached")
+        reply = self.server.handle(request)
+        if request.opcode in NO_REPLY_OPCODES:
+            self.stats.record(request, None)
+            return FuseReply(unique=request.unique)
+        self.stats.record(request, reply)
+        return reply
+
+
+class FuseDeviceHandle(KernelObject):
+    """The object a process gets back from opening ``/dev/fuse``."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        super().__init__()
+        self.connection = FuseConnection(kernel)
+
+    def read(self, size: int) -> bytes:
+        # The real device blocks until a request arrives; the simulated
+        # request flow is synchronous so there is never anything to read here.
+        raise FsError.eagain("no pending FUSE requests (synchronous simulation)")
+
+    def write(self, data: bytes) -> int:
+        raise FsError.einval("raw FUSE replies are not modelled; use FuseServer")
+
+    def poll(self) -> set[str]:
+        return {"out"}
+
+    def close(self) -> None:
+        super().close()
+        if not self.connection.mounted:
+            self.connection.abort()
+
+
+def register_fuse_device(kernel: "Kernel") -> None:
+    """Install the ``/dev/fuse`` driver into a kernel."""
+    from repro.kernel.kernel import DEV_FUSE_RDEV
+
+    kernel.register_device(DEV_FUSE_RDEV, lambda: FuseDeviceHandle(kernel))

@@ -1,0 +1,70 @@
+"""FUSE mount options / negotiated INIT flags.
+
+Each boolean corresponds to one of the optimizations the paper describes in
+§3.3 and evaluates individually in §5.2.3 (Figures 3 and 4).  The defaults
+match the configuration CntrFS ships with: every optimization on except
+splice-write, which the paper measured as a net loss and disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class FuseMountOptions:
+    """Options negotiated between the FUSE client (kernel) and server."""
+
+    #: FOPEN_KEEP_CACHE: keep the page cache across open() calls so reads can
+    #: be shared between processes (§3.3 "Caching", Figure 3a).
+    keep_cache: bool = True
+    #: FUSE_WRITEBACK_CACHE: buffer writes in the kernel and flush them in
+    #: large batches (§3.3 "Caching", Figure 3b).
+    writeback_cache: bool = True
+    #: FUSE_PARALLEL_DIROPS: allow concurrent lookups/readdirs (§3.3
+    #: "Batching", Figure 3c).
+    parallel_dirops: bool = True
+    #: Batched FORGET requests (§3.3 "Batching").
+    batch_forget: bool = True
+    #: FUSE_ASYNC_READ: let the kernel issue multiple concurrent reads /
+    #: readahead batches (§3.3 "Batching").
+    async_read: bool = True
+    #: Splice for READ replies (§3.3 "Splicing", Figure 3d).
+    splice_read: bool = True
+    #: Splice for WRITE requests; disabled by default, as in the paper,
+    #: because the extra context switch slows every other request down.
+    splice_write: bool = False
+    #: Number of CntrFS worker threads reading /dev/fuse (§3.3
+    #: "Multithreading", Figure 4).
+    threads: int = 4
+    #: Attribute/entry cache validity; the simulation treats any non-zero
+    #: value as "cache until invalidated".
+    attr_timeout_s: float = 1.0
+    entry_timeout_s: float = 1.0
+    #: Maximum size of one WRITE request payload.
+    max_write: int = 128 * 1024
+    #: Readahead window used when async_read is enabled.
+    max_readahead: int = 128 * 1024
+    #: Allow other users to access the mount (-o allow_other); Cntr needs it
+    #: because the container application may run as a non-root uid.
+    allow_other: bool = True
+    #: Use O_DIRECT-style direct I/O, bypassing the page cache.  Mutually
+    #: exclusive with mmap support, so CntrFS leaves it off (the paper's
+    #: xfstests failure #391 and the AIO-Stress discussion).
+    direct_io: bool = False
+
+    def with_overrides(self, **kwargs) -> "FuseMountOptions":
+        """Copy with selected options replaced."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def all_optimizations_off(cls) -> "FuseMountOptions":
+        """Baseline configuration with every optimization disabled."""
+        return cls(keep_cache=False, writeback_cache=False, parallel_dirops=False,
+                   batch_forget=False, async_read=False, splice_read=False,
+                   splice_write=False, threads=1)
+
+    @classmethod
+    def paper_defaults(cls) -> "FuseMountOptions":
+        """The configuration evaluated in the paper's Figure 2."""
+        return cls()

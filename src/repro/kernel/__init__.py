@@ -1,0 +1,37 @@
+"""Simulated Linux kernel: processes, namespaces, cgroups, IPC and syscalls.
+
+The kernel layer provides the per-process isolation mechanisms that container
+runtimes (and Cntr itself) are built from:
+
+* all seven namespace kinds with ``unshare``/``setns`` semantics,
+* cgroup hierarchy with controller limits and process membership,
+* capability sets and LSM (AppArmor/SELinux-style) profiles,
+* a process table with fork/exec/exit, file-descriptor tables, chroot,
+* kernel IPC objects: pipes, Unix sockets, epoll, pseudo-TTYs, splice,
+* the synthetic ``/proc`` and ``/dev`` filesystems,
+* a per-process syscall facade (:class:`repro.kernel.syscalls.Syscalls`).
+
+:func:`repro.kernel.machine.boot` assembles all of it into a ready-to-use
+simulated host.
+"""
+
+from repro.kernel.capabilities import CapabilitySet
+from repro.kernel.namespaces import Namespace, NamespaceKind
+from repro.kernel.cgroups import Cgroup, CgroupHierarchy
+from repro.kernel.process import Process
+from repro.kernel.kernel import Kernel
+from repro.kernel.syscalls import Syscalls
+from repro.kernel.machine import Machine, boot
+
+__all__ = [
+    "CapabilitySet",
+    "Namespace",
+    "NamespaceKind",
+    "Cgroup",
+    "CgroupHierarchy",
+    "Process",
+    "Kernel",
+    "Syscalls",
+    "Machine",
+    "boot",
+]

@@ -1,0 +1,130 @@
+"""Control groups: hierarchy, controllers and process membership.
+
+Cntr reads the cgroup membership of the container's init process and moves the
+processes it injects into the same cgroup so that the injected tools are
+subject to the container's resource limits (design §3.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fs.errors import FsError
+
+#: Controllers modelled by the simulation (a subset of cgroup v1/v2).
+CONTROLLERS = ("cpu", "memory", "pids", "blkio", "devices")
+
+
+@dataclass
+class CgroupLimits:
+    """Per-cgroup resource limits."""
+
+    cpu_shares: int = 1024
+    cpu_quota_us: int | None = None
+    cpu_period_us: int = 100_000
+    memory_limit_bytes: int | None = None
+    pids_max: int | None = None
+    blkio_weight: int = 500
+
+    def cpu_fraction(self) -> float:
+        """Fraction of one CPU this cgroup may use (1.0 = unlimited/one full core)."""
+        if self.cpu_quota_us is None:
+            return 1.0
+        return min(1.0, self.cpu_quota_us / self.cpu_period_us)
+
+
+class Cgroup:
+    """One node in the cgroup hierarchy."""
+
+    def __init__(self, name: str, parent: "Cgroup | None" = None) -> None:
+        self.name = name
+        self.parent = parent
+        self.children: dict[str, "Cgroup"] = {}
+        self.procs: set[int] = set()
+        self.limits = CgroupLimits()
+        self.stats_cpu_usage_ns = 0
+        self.stats_memory_peak = 0
+
+    @property
+    def path(self) -> str:
+        """Absolute path of the cgroup within the hierarchy."""
+        if self.parent is None:
+            return "/"
+        parent_path = self.parent.path
+        return f"{parent_path.rstrip('/')}/{self.name}"
+
+    def effective_memory_limit(self) -> int | None:
+        """The tightest memory limit along the path to the root."""
+        limit = self.limits.memory_limit_bytes
+        node = self.parent
+        while node is not None:
+            parent_limit = node.limits.memory_limit_bytes
+            if parent_limit is not None and (limit is None or parent_limit < limit):
+                limit = parent_limit
+            node = node.parent
+        return limit
+
+    def descendant_procs(self) -> set[int]:
+        """Pids of this cgroup and every descendant."""
+        pids = set(self.procs)
+        for child in self.children.values():
+            pids |= child.descendant_procs()
+        return pids
+
+
+class CgroupHierarchy:
+    """The (unified, v2-style) cgroup tree."""
+
+    def __init__(self) -> None:
+        self.root = Cgroup("")
+        self._proc_to_cgroup: dict[int, Cgroup] = {}
+
+    def create(self, path: str) -> Cgroup:
+        """Create (or return) the cgroup at ``path``."""
+        node = self.root
+        for part in [p for p in path.split("/") if p]:
+            if part not in node.children:
+                node.children[part] = Cgroup(part, parent=node)
+            node = node.children[part]
+        return node
+
+    def lookup(self, path: str) -> Cgroup:
+        """Find a cgroup by path."""
+        node = self.root
+        for part in [p for p in path.split("/") if p]:
+            if part not in node.children:
+                raise FsError.enoent(path)
+            node = node.children[part]
+        return node
+
+    def attach(self, pid: int, path: str) -> Cgroup:
+        """Move a process into the cgroup at ``path`` (``echo pid > cgroup.procs``)."""
+        group = self.create(path)
+        previous = self._proc_to_cgroup.get(pid)
+        if previous is not None:
+            previous.procs.discard(pid)
+        group.procs.add(pid)
+        self._proc_to_cgroup[pid] = group
+        return group
+
+    def detach(self, pid: int) -> None:
+        """Remove a process from the hierarchy (on exit)."""
+        group = self._proc_to_cgroup.pop(pid, None)
+        if group is not None:
+            group.procs.discard(pid)
+
+    def cgroup_of(self, pid: int) -> Cgroup:
+        """The cgroup a process belongs to (the root if never attached)."""
+        return self._proc_to_cgroup.get(pid, self.root)
+
+    def remove(self, path: str) -> None:
+        """Remove an empty cgroup."""
+        group = self.lookup(path)
+        if group.procs or group.children:
+            raise FsError.ebusy(path)
+        if group.parent is not None:
+            del group.parent.children[group.name]
+
+    def proc_cgroup_line(self, pid: int) -> str:
+        """The ``/proc/<pid>/cgroup`` content (cgroup v2 single line)."""
+        return f"0::{self.cgroup_of(pid).path}"

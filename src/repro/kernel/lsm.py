@@ -1,0 +1,82 @@
+"""Mandatory access control: AppArmor / SELinux profile modelling.
+
+The reproduction only needs what Cntr needs: to *read* the LSM confinement of
+the container's init process and to *apply* the same confinement to injected
+processes, so profiles are modelled as named objects with a small path-based
+deny list that the syscall layer consults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fs.errors import FsError
+
+
+@dataclass(frozen=True)
+class LsmProfile:
+    """One AppArmor profile or SELinux domain."""
+
+    name: str
+    kind: str = "apparmor"          # "apparmor" | "selinux"
+    mode: str = "enforce"            # "enforce" | "complain" | "unconfined"
+    denied_path_prefixes: tuple[str, ...] = ()
+    denied_capabilities: tuple[str, ...] = ()
+
+    @property
+    def proc_attr_current(self) -> str:
+        """The text of ``/proc/<pid>/attr/current``."""
+        if self.kind == "selinux":
+            return f"system_u:system_r:{self.name}:s0"
+        if self.mode == "unconfined":
+            return "unconfined"
+        return f"{self.name} ({self.mode})"
+
+    def allows_path(self, path: str, write: bool) -> bool:
+        """Check a filesystem access against the profile's deny rules."""
+        if self.mode != "enforce":
+            return True
+        for prefix in self.denied_path_prefixes:
+            if path.startswith(prefix):
+                return False
+        return True
+
+    def check_path(self, path: str, write: bool = False) -> None:
+        """Raise EACCES when the profile denies the access."""
+        if not self.allows_path(path, write):
+            raise FsError.eacces(path)
+
+
+#: The profile of an unconfined host process.
+UNCONFINED = LsmProfile(name="unconfined", mode="unconfined")
+
+#: The default profile Docker applies to containers.
+DOCKER_DEFAULT_PROFILE = LsmProfile(
+    name="docker-default",
+    kind="apparmor",
+    mode="enforce",
+    denied_path_prefixes=("/sys/firmware", "/sys/kernel/security", "/proc/sysrq-trigger"),
+    denied_capabilities=("CAP_SYS_MODULE", "CAP_SYS_RAWIO"),
+)
+
+
+class LsmRegistry:
+    """Loaded LSM profiles on the simulated host."""
+
+    def __init__(self) -> None:
+        self._profiles: dict[str, LsmProfile] = {
+            UNCONFINED.name: UNCONFINED,
+            DOCKER_DEFAULT_PROFILE.name: DOCKER_DEFAULT_PROFILE,
+        }
+
+    def load(self, profile: LsmProfile) -> None:
+        """Register a profile (like ``apparmor_parser -r``)."""
+        self._profiles[profile.name] = profile
+
+    def get(self, name: str) -> LsmProfile:
+        """Look a profile up by name, falling back to unconfined."""
+        return self._profiles.get(name, UNCONFINED)
+
+    def names(self) -> list[str]:
+        """Names of every loaded profile."""
+        return sorted(self._profiles)

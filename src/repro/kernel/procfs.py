@@ -1,0 +1,290 @@
+"""The synthetic ``/proc`` filesystem.
+
+Cntr's container-context gathering (design step #1) works exclusively by
+reading ``/proc``: the namespaces links, environment, capability sets, cgroup
+membership, uid/gid maps and mount table of the container's init process.
+This module provides a procfs instance bound to a PID namespace, exactly like
+Linux, so the same information is available to the reproduction of that step
+and so that ``/proc`` can be bind-mounted from the application container into
+Cntr's nested namespace (design step #3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.fs.constants import FileMode
+from repro.fs.errors import FsError
+from repro.fs.filesystem import Filesystem
+from repro.fs.inode import DirectoryInode, Inode, RegularInode, SymlinkInode
+from repro.kernel.namespaces import NamespaceKind, PidNamespace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+
+#: Files generated inside every ``/proc/<pid>`` directory.
+PID_FILES = ("status", "environ", "cmdline", "cgroup", "mounts", "mountinfo",
+             "limits", "uid_map", "gid_map", "stat", "comm")
+#: Symlinks generated inside every ``/proc/<pid>`` directory.
+PID_LINKS = ("root", "cwd", "exe")
+#: Entries of ``/proc/<pid>/ns``.
+NS_LINKS = tuple(kind.value for kind in NamespaceKind)
+#: Top-level non-pid entries.
+TOP_FILES = ("mounts", "filesystems", "uptime", "version", "cpuinfo", "meminfo")
+
+
+@dataclass(frozen=True)
+class ProcEntry:
+    """What a synthetic procfs inode refers to."""
+
+    kind: str          # "root" | "piddir" | "nsdir" | "attrdir" | "file" | "link"
+    pid: int | None
+    name: str
+
+
+class ProcFS(Filesystem):
+    """A procfs instance bound to a PID namespace."""
+
+    fs_type = "proc"
+    supports_direct_io = False
+    supports_export_handles = False
+
+    def __init__(self, name: str, kernel: "Kernel", pid_ns: PidNamespace) -> None:
+        super().__init__(name, kernel.clock, kernel.costs, kernel.tracer,
+                         capacity_bytes=0)
+        self.kernel = kernel
+        self.pid_ns = pid_ns
+        self._entries: dict[int, ProcEntry] = {
+            self.root_ino: ProcEntry("root", None, "/")}
+        self._path_to_ino: dict[tuple[int | None, str, str], int] = {}
+
+    # ------------------------------------------------------------- plumbing
+    def _synthetic_inode(self, entry: ProcEntry) -> Inode:
+        key = (entry.pid, entry.kind, entry.name)
+        ino = self._path_to_ino.get(key)
+        if ino is not None and ino in self._inodes:
+            return self._inodes[ino]
+        if entry.kind in ("piddir", "nsdir", "attrdir"):
+            inode = DirectoryInode(ino=self._alloc_ino(), mode=FileMode.S_IFDIR | 0o555)
+        elif entry.kind == "link":
+            inode = SymlinkInode(ino=self._alloc_ino(), mode=FileMode.S_IFLNK | 0o777,
+                                 target=self._link_target(entry))
+        else:
+            inode = RegularInode(ino=self._alloc_ino(), mode=FileMode.S_IFREG | 0o444)
+        inode.fs_name = self.name
+        self._inodes[inode.ino] = inode
+        self._entries[inode.ino] = entry
+        self._path_to_ino[key] = inode.ino
+        return inode
+
+    def _resolve_pid(self, name: str) -> int | None:
+        """Translate a directory name (a vpid in this namespace) to a global pid."""
+        if not name.isdigit():
+            return None
+        vpid = int(name)
+        for global_pid, mapped in self.pid_ns.vpid_map.items():
+            if mapped == vpid and global_pid in self.kernel.processes:
+                return global_pid
+        return None
+
+    def entry_of(self, ino: int) -> ProcEntry:
+        """The synthetic entry behind an inode number."""
+        entry = self._entries.get(ino)
+        if entry is None:
+            raise FsError.estale(f"procfs ino {ino}")
+        return entry
+
+    # ------------------------------------------------------------- fs interface
+    def lookup(self, dir_ino: int, name: str) -> Inode:
+        self._charge_metadata("lookup")
+        entry = self.entry_of(dir_ino)
+        if entry.kind == "root":
+            if name == "self":
+                raise FsError.enoent("/proc/self (reader identity not modelled)")
+            if name in TOP_FILES:
+                return self._synthetic_inode(ProcEntry("file", None, name))
+            pid = self._resolve_pid(name)
+            if pid is not None:
+                return self._synthetic_inode(ProcEntry("piddir", pid, name))
+            raise FsError.enoent(name)
+        if entry.kind == "piddir":
+            if name == "ns":
+                return self._synthetic_inode(ProcEntry("nsdir", entry.pid, "ns"))
+            if name == "attr":
+                return self._synthetic_inode(ProcEntry("attrdir", entry.pid, "attr"))
+            if name in PID_FILES:
+                return self._synthetic_inode(ProcEntry("file", entry.pid, name))
+            if name in PID_LINKS:
+                return self._synthetic_inode(ProcEntry("link", entry.pid, name))
+            raise FsError.enoent(name)
+        if entry.kind == "nsdir":
+            if name in NS_LINKS:
+                return self._synthetic_inode(ProcEntry("link", entry.pid, f"ns/{name}"))
+            raise FsError.enoent(name)
+        if entry.kind == "attrdir":
+            if name in ("current", "exec"):
+                return self._synthetic_inode(ProcEntry("file", entry.pid, f"attr/{name}"))
+            raise FsError.enoent(name)
+        raise FsError.enotdir(name)
+
+    def readdir(self, dir_ino: int) -> list[tuple[str, int, int]]:
+        self._charge_metadata("readdir")
+        entry = self.entry_of(dir_ino)
+        out = [(".", dir_ino, int(FileMode.S_IFDIR)), ("..", dir_ino, int(FileMode.S_IFDIR))]
+        if entry.kind == "root":
+            for name in TOP_FILES:
+                inode = self._synthetic_inode(ProcEntry("file", None, name))
+                out.append((name, inode.ino, int(FileMode.S_IFREG)))
+            for global_pid in self.pid_ns.member_pids():
+                if global_pid not in self.kernel.processes:
+                    continue
+                vpid = self.pid_ns.vpid_of(global_pid)
+                inode = self._synthetic_inode(ProcEntry("piddir", global_pid, str(vpid)))
+                out.append((str(vpid), inode.ino, int(FileMode.S_IFDIR)))
+        elif entry.kind == "piddir":
+            for name in PID_FILES:
+                inode = self._synthetic_inode(ProcEntry("file", entry.pid, name))
+                out.append((name, inode.ino, int(FileMode.S_IFREG)))
+            for name in PID_LINKS:
+                inode = self._synthetic_inode(ProcEntry("link", entry.pid, name))
+                out.append((name, inode.ino, int(FileMode.S_IFLNK)))
+            for name in ("ns", "attr"):
+                inode = self._synthetic_inode(ProcEntry(f"{name}dir", entry.pid, name))
+                out.append((name, inode.ino, int(FileMode.S_IFDIR)))
+        elif entry.kind == "nsdir":
+            for name in NS_LINKS:
+                inode = self._synthetic_inode(ProcEntry("link", entry.pid, f"ns/{name}"))
+                out.append((name, inode.ino, int(FileMode.S_IFLNK)))
+        elif entry.kind == "attrdir":
+            for name in ("current", "exec"):
+                inode = self._synthetic_inode(ProcEntry("file", entry.pid, f"attr/{name}"))
+                out.append((name, inode.ino, int(FileMode.S_IFREG)))
+        return out
+
+    def read(self, ino: int, offset: int, size: int) -> bytes:
+        entry = self.entry_of(ino)
+        if entry.kind != "file":
+            raise FsError.eisdir(entry.name)
+        content = self._generate(entry)
+        self._charge_read(ino, offset, min(size, len(content)))
+        return content[offset:offset + size]
+
+    def readlink(self, ino: int) -> str:
+        self._charge_metadata("readlink")
+        entry = self.entry_of(ino)
+        if entry.kind != "link":
+            raise FsError.einval(entry.name)
+        return self._link_target(entry)
+
+    def getattr(self, ino: int):
+        self._charge_metadata("getattr")
+        inode = self.iget(ino)
+        entry = self._entries.get(ino)
+        if entry is not None and entry.kind == "file" and isinstance(inode, RegularInode):
+            content = self._generate(entry)
+            inode.data.truncate(0)
+            inode.data.write(0, content)
+        return inode.stat(st_dev=self.fs_id)
+
+    def write(self, ino: int, offset: int, data: bytes) -> int:
+        raise FsError.eacces("procfs is read-only in this simulation")
+
+    # ------------------------------------------------------------- content
+    def _proc(self, pid: int):
+        proc = self.kernel.processes.get(pid)
+        if proc is None:
+            raise FsError.esrch(f"pid {pid}")
+        return proc
+
+    def _link_target(self, entry: ProcEntry) -> str:
+        if entry.pid is None:
+            return ""
+        proc = self._proc(entry.pid)
+        if entry.name.startswith("ns/"):
+            kind = NamespaceKind(entry.name.split("/", 1)[1])
+            return proc.namespaces[kind].proc_link()
+        if entry.name == "root":
+            return "/"
+        if entry.name == "cwd":
+            return proc.cwd_path
+        if entry.name == "exe":
+            return proc.argv[0] if proc.argv else ""
+        return ""
+
+    def _generate(self, entry: ProcEntry) -> bytes:
+        if entry.pid is None:
+            return self._generate_top(entry.name)
+        proc = self._proc(entry.pid)
+        name = entry.name
+        if name == "environ":
+            return b"\x00".join(f"{k}={v}".encode() for k, v in proc.env.items()) + b"\x00"
+        if name == "cmdline":
+            return b"\x00".join(a.encode() for a in proc.argv) + b"\x00"
+        if name == "comm":
+            return (proc.comm + "\n").encode()
+        if name == "cgroup":
+            return (self.kernel.cgroups.proc_cgroup_line(proc.pid) + "\n").encode()
+        if name in ("mounts", "mountinfo"):
+            rows = proc.mnt_ns.mount_table()
+            lines = [f"{r['source']} {r['mountpoint']} {r['fs_type']} {r['options']} 0 0"
+                     for r in rows]
+            return ("\n".join(lines) + "\n").encode()
+        if name == "status":
+            caps = proc.caps.to_proc_status()
+            lines = [
+                f"Name:\t{proc.comm}",
+                f"State:\tS (sleeping)" if proc.state == "running" else f"State:\tZ (zombie)",
+                f"Pid:\t{proc.vpid()}",
+                f"PPid:\t{proc.ppid}",
+                f"Uid:\t{proc.uid}\t{proc.uid}\t{proc.uid}\t{proc.uid}",
+                f"Gid:\t{proc.gid}\t{proc.gid}\t{proc.gid}\t{proc.gid}",
+                f"Groups:\t{' '.join(str(g) for g in sorted(proc.groups))}",
+                f"NStgid:\t{proc.vpid()}",
+            ] + [f"{k}:\t{v}" for k, v in caps.items()] + [
+                f"Seccomp:\t0",
+            ]
+            return ("\n".join(lines) + "\n").encode()
+        if name == "limits":
+            fsize = proc.rlimits.fsize_bytes
+            fsize_text = "unlimited" if fsize is None else str(fsize)
+            lines = [
+                "Limit                     Soft Limit           Hard Limit           Units",
+                f"Max file size             {fsize_text:<20} {fsize_text:<20} bytes",
+                f"Max open files            {proc.rlimits.nofile:<20} {proc.rlimits.nofile:<20} files",
+            ]
+            return ("\n".join(lines) + "\n").encode()
+        if name == "uid_map":
+            user_ns = proc.namespaces[NamespaceKind.USER]
+            rows = getattr(user_ns, "uid_map", [(0, 0, 4294967295)])
+            return ("".join(f"{a:>10} {b:>10} {c:>10}\n" for a, b, c in rows)).encode()
+        if name == "gid_map":
+            user_ns = proc.namespaces[NamespaceKind.USER]
+            rows = getattr(user_ns, "gid_map", [(0, 0, 4294967295)])
+            return ("".join(f"{a:>10} {b:>10} {c:>10}\n" for a, b, c in rows)).encode()
+        if name == "stat":
+            return (f"{proc.vpid()} ({proc.comm}) S {proc.ppid} 0 0 0 -1 0 0\n").encode()
+        if name == "attr/current":
+            return (proc.lsm_profile.proc_attr_current + "\n").encode()
+        if name == "attr/exec":
+            return b"\n"
+        raise FsError.enoent(name)
+
+    def _generate_top(self, name: str) -> bytes:
+        if name == "filesystems":
+            return b"nodev\tproc\nnodev\ttmpfs\nnodev\tfuse\n\text4\n"
+        if name == "uptime":
+            seconds = self.clock.now_s
+            return f"{seconds:.2f} {seconds:.2f}\n".encode()
+        if name == "version":
+            return b"Linux version 4.14.13-repro (simulated) #1 SMP\n"
+        if name == "cpuinfo":
+            block = "\n".join(
+                f"processor\t: {i}\nmodel name\t: Intel(R) Xeon(R) CPU E5-2686 v4 @ 2.30GHz"
+                for i in range(4))
+            return (block + "\n").encode()
+        if name == "meminfo":
+            return b"MemTotal:       16384000 kB\nMemFree:        12000000 kB\n"
+        if name == "mounts":
+            return b"rootfs / rootfs rw 0 0\n"
+        raise FsError.enoent(name)

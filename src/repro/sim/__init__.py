@@ -1,0 +1,23 @@
+"""Virtual-time simulation substrate.
+
+Everything in the reproduction that the paper measures in wall-clock time is
+accounted for in *virtual nanoseconds* on a :class:`VirtualClock`.  The
+:class:`CostModel` holds the per-operation price list (context switches,
+per-byte copies, disk seeks, journal commits, ...) that the filesystem, FUSE
+driver and kernel layers charge against the clock.  Benchmarks then report
+ratios of virtual time (native vs. CntrFS), which is exactly the quantity the
+paper's Figure 2-4 report as "relative overhead".
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel
+from repro.sim.trace import TraceEvent, Tracer
+from repro.sim.rng import DeterministicRandom
+
+__all__ = [
+    "VirtualClock",
+    "CostModel",
+    "Tracer",
+    "TraceEvent",
+    "DeterministicRandom",
+]

@@ -1,0 +1,57 @@
+"""A deterministic virtual clock measured in nanoseconds."""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """Monotonic virtual clock.
+
+    The clock only moves when some component explicitly charges time against
+    it, which keeps every experiment fully deterministic and independent of
+    the speed of the machine running the reproduction.
+    """
+
+    def __init__(self, start_ns: int = 0) -> None:
+        if start_ns < 0:
+            raise ValueError("clock cannot start in the past of epoch 0")
+        self._now_ns = int(start_ns)
+
+    @property
+    def now_ns(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self._now_ns
+
+    @property
+    def now_s(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now_ns / 1e9
+
+    def advance(self, delta_ns: int | float) -> int:
+        """Advance the clock by ``delta_ns`` nanoseconds and return the new time."""
+        if delta_ns < 0:
+            raise ValueError(f"cannot advance clock by negative time: {delta_ns}")
+        self._now_ns += int(delta_ns)
+        return self._now_ns
+
+    def elapsed_since(self, t0_ns: int) -> int:
+        """Nanoseconds elapsed since ``t0_ns``."""
+        return self._now_ns - t0_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now_ns={self._now_ns})"
+
+
+class StopwatchRegion:
+    """Context manager measuring virtual time spent inside a region."""
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self._clock = clock
+        self.start_ns = 0
+        self.elapsed_ns = 0
+
+    def __enter__(self) -> "StopwatchRegion":
+        self.start_ns = self._clock.now_ns
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed_ns = self._clock.now_ns - self.start_ns

@@ -1,0 +1,78 @@
+"""Lightweight event tracing for debugging and for the benchmark reports."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single traced operation."""
+
+    timestamp_ns: int
+    category: str
+    name: str
+    cost_ns: int = 0
+    detail: str = ""
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records.
+
+    Tracing is disabled by default; benchmarks that want per-operation counts
+    (e.g. "how many FUSE LOOKUP requests did compilebench issue?") enable it.
+    """
+
+    def __init__(self, enabled: bool = False, capacity: int | None = 200_000) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self._events: list[TraceEvent] = []
+        self._counts: Counter[str] = Counter()
+        self._costs: Counter[str] = Counter()
+        self.dropped = 0
+
+    def record(self, timestamp_ns: int, category: str, name: str,
+               cost_ns: int = 0, detail: str = "") -> None:
+        """Record one event (no-op when tracing is disabled)."""
+        if not self.enabled:
+            return
+        key = f"{category}.{name}"
+        self._counts[key] += 1
+        self._costs[key] += int(cost_ns)
+        if self.capacity is not None and len(self._events) >= self.capacity:
+            self.dropped += 1
+            return
+        self._events.append(TraceEvent(timestamp_ns, category, name, int(cost_ns), detail))
+
+    def events(self, category: str | None = None) -> Iterator[TraceEvent]:
+        """Iterate events, optionally filtered by category."""
+        for ev in self._events:
+            if category is None or ev.category == category:
+                yield ev
+
+    def count(self, key: str) -> int:
+        """Number of events recorded under ``category.name``."""
+        return self._counts.get(key, 0)
+
+    def total_cost(self, key: str) -> int:
+        """Total virtual nanoseconds recorded under ``category.name``."""
+        return self._costs.get(key, 0)
+
+    def counts_by_key(self) -> dict[str, int]:
+        """All counts as a plain dictionary."""
+        return dict(self._counts)
+
+    def clear(self) -> None:
+        """Drop all recorded events and counters."""
+        self._events.clear()
+        self._counts.clear()
+        self._costs.clear()
+        self.dropped = 0
+
+    def summary(self, top: int = 20) -> list[tuple[str, int, int]]:
+        """Return ``(key, count, total_cost_ns)`` tuples sorted by total cost."""
+        rows = [(k, self._counts[k], self._costs[k]) for k in self._counts]
+        rows.sort(key=lambda r: r[2], reverse=True)
+        return rows[:top]

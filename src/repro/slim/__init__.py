@@ -1,0 +1,28 @@
+"""Docker-Slim analogue and the Top-50 Docker Hub image catalogue.
+
+The paper's effectiveness experiment (§5.3, Figure 5) instruments the Top-50
+official Docker Hub images with Docker Slim, exercises each application so it
+touches the files it actually needs, and rebuilds a minimal image from the
+access trace.  This package reproduces that pipeline:
+
+* :mod:`repro.slim.tracker` — a fanotify-style file-access tracker,
+* :mod:`repro.slim.analyzer` — static + dynamic analysis producing a slim
+  image and a reduction report,
+* :mod:`repro.slim.catalogue` — a synthetic catalogue of the Top-50 images
+  (sizes, file inventories, runtime access profiles) modelled on the published
+  statistics the paper reports (66.6% mean reduction; 6/50 single-Go-binary
+  images below 10%).
+"""
+
+from repro.slim.tracker import AccessTracker
+from repro.slim.analyzer import DockerSlim, SlimReport
+from repro.slim.catalogue import CatalogueEntry, TOP50_CATALOGUE, build_catalogue_image
+
+__all__ = [
+    "AccessTracker",
+    "DockerSlim",
+    "SlimReport",
+    "CatalogueEntry",
+    "TOP50_CATALOGUE",
+    "build_catalogue_image",
+]

@@ -1,0 +1,127 @@
+"""fanotify-style file access tracking.
+
+Docker Slim records every file a containerised application touches during a
+representative run (using the fanotify kernel facility).  The simulation's
+equivalent wraps a syscall facade and records the paths of files that are
+opened, stat-ed, executed or read through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fs.errors import FsError
+from repro.kernel.syscalls import Syscalls
+
+
+@dataclass
+class AccessRecord:
+    """Accounting for one accessed path."""
+
+    path: str
+    opens: int = 0
+    reads: int = 0
+    stats: int = 0
+    bytes_read: int = 0
+
+
+class AccessTracker:
+    """Records which paths a workload touches (the fanotify role)."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, AccessRecord] = {}
+
+    def _record(self, path: str) -> AccessRecord:
+        if path not in self._records:
+            self._records[path] = AccessRecord(path=path)
+        return self._records[path]
+
+    def note_open(self, path: str) -> None:
+        """Record an ``open``/``exec`` access."""
+        self._record(path).opens += 1
+
+    def note_stat(self, path: str) -> None:
+        """Record a ``stat`` access."""
+        self._record(path).stats += 1
+
+    def note_read(self, path: str, nbytes: int) -> None:
+        """Record bytes read from a path."""
+        record = self._record(path)
+        record.reads += 1
+        record.bytes_read += nbytes
+
+    def accessed_paths(self) -> set[str]:
+        """All paths the workload touched."""
+        return set(self._records)
+
+    def records(self) -> list[AccessRecord]:
+        """All access records."""
+        return list(self._records.values())
+
+    def clear(self) -> None:
+        """Drop every record."""
+        self._records.clear()
+
+
+class TrackedSyscalls:
+    """A syscall facade wrapper that reports file accesses to a tracker.
+
+    Only the operations Docker Slim cares about are intercepted; everything
+    else passes straight through to the underlying facade.
+    """
+
+    def __init__(self, sc: Syscalls, tracker: AccessTracker) -> None:
+        self._sc = sc
+        self._tracker = tracker
+        self._fd_paths: dict[int, str] = {}
+
+    def __getattr__(self, name):
+        return getattr(self._sc, name)
+
+    def open(self, path: str, *args, **kwargs) -> int:
+        fd = self._sc.open(path, *args, **kwargs)
+        self._tracker.note_open(path)
+        self._fd_paths[fd] = path
+        return fd
+
+    def close(self, fd: int) -> None:
+        self._fd_paths.pop(fd, None)
+        self._sc.close(fd)
+
+    def read(self, fd: int, size: int) -> bytes:
+        data = self._sc.read(fd, size)
+        path = self._fd_paths.get(fd)
+        if path is not None:
+            self._tracker.note_read(path, len(data))
+        return data
+
+    def stat(self, path: str):
+        result = self._sc.stat(path)
+        self._tracker.note_stat(path)
+        return result
+
+    def lstat(self, path: str):
+        result = self._sc.lstat(path)
+        self._tracker.note_stat(path)
+        return result
+
+    def exists(self, path: str) -> bool:
+        found = self._sc.exists(path)
+        if found:
+            self._tracker.note_stat(path)
+        return found
+
+    def touch_all(self, paths, read_bytes: int = 4096) -> int:
+        """Convenience: open + read a set of paths, skipping missing ones."""
+        touched = 0
+        for path in paths:
+            try:
+                fd = self.open(path)
+            except FsError:
+                continue
+            try:
+                self.read(fd, read_bytes)
+            finally:
+                self.close(fd)
+            touched += 1
+        return touched

@@ -1,0 +1,1127 @@
+"""The generic test group: 94 filesystem regression tests.
+
+Each test is registered with an xfstests-style number.  Four of them
+(generic/228, generic/375, generic/391, generic/426) reproduce the cases the
+paper reports as failing on CntrFS because of deliberate design decisions
+(RLIMIT_FSIZE not enforced, ACL-aware setgid clearing delegated to the backing
+store, O_DIRECT unsupported in favour of mmap, inodes not exportable by
+handle); the remaining 90 pass on both the native filesystem and CntrFS.
+"""
+
+from __future__ import annotations
+
+import errno
+
+from repro.fs.acl import AclTag, PosixAcl
+from repro.fs.constants import (
+    FallocateMode,
+    FileMode,
+    LockType,
+    OpenFlags,
+    RenameFlags,
+    SeekWhence,
+)
+from repro.fs.errors import FsError
+from repro.kernel.capabilities import CapabilitySet, KNOWN_CAPABILITIES
+from repro.kernel.syscalls import Syscalls
+from repro.xfstests.harness import TestCase, TestEnvironment, TestFailure, TestNotSupported
+
+#: Registry filled by the @generic decorator.
+GENERIC_TESTS: list[TestCase] = []
+
+#: The four tests the paper reports as failing on CntrFS.
+PAPER_FAILING_TESTS = ("generic/228", "generic/375", "generic/391", "generic/426")
+
+RW = OpenFlags.O_RDWR
+CREAT_RW = OpenFlags.O_CREAT | OpenFlags.O_RDWR
+CREAT_WR = OpenFlags.O_CREAT | OpenFlags.O_WRONLY
+
+
+def generic(number: int, *groups: str):
+    """Register a generic test under the given xfstests number."""
+
+    def wrap(func):
+        GENERIC_TESTS.append(TestCase(number=number, name=func.__name__,
+                                      groups=groups or ("auto", "quick"), func=func))
+        return func
+
+    return wrap
+
+
+def unprivileged(env: TestEnvironment, uid: int = 1000, gid: int = 1000,
+                 keep_caps: frozenset[str] = frozenset()) -> Syscalls:
+    """A syscall facade for an unprivileged user process."""
+    child = env.sc.fork(argv=["/usr/bin/xfstests-unpriv"])
+    child.uid = uid
+    child.gid = gid
+    child.groups = frozenset({gid})
+    child.caps = CapabilitySet(effective=keep_caps, permitted=keep_caps,
+                               inheritable=frozenset(), bounding=keep_caps)
+    return Syscalls(env.machine.kernel, child)
+
+
+# ---------------------------------------------------------------------------
+# Basic create / remove / rename
+# ---------------------------------------------------------------------------
+@generic(1, "auto", "quick")
+def test_create_and_read_back(env):
+    path = env.path("file1")
+    env.create_file(path, b"hello xfstests")
+    env.check_equal(env.read_file(path), b"hello xfstests", "content round trip")
+
+
+@generic(2, "auto", "quick")
+def test_new_file_is_empty(env):
+    path = env.path("empty")
+    env.create_file(path)
+    st = env.sc.stat(path)
+    env.check_equal(st.st_size, 0, "new file size")
+    env.check(st.is_regular, "new file is regular")
+
+
+@generic(3, "auto", "quick")
+def test_unlink_removes_file(env):
+    path = env.path("doomed")
+    env.create_file(path, b"x")
+    env.sc.unlink(path)
+    env.check(not env.sc.exists(path), "file gone after unlink")
+    env.check_errno(errno.ENOENT, env.sc.stat, path)
+
+
+@generic(4, "auto", "quick")
+def test_mkdir_rmdir(env):
+    path = env.path("subdir")
+    env.sc.mkdir(path)
+    env.check(env.sc.stat(path).is_dir, "mkdir creates a directory")
+    env.sc.rmdir(path)
+    env.check(not env.sc.exists(path), "rmdir removes it")
+
+
+@generic(5, "auto", "quick")
+def test_rmdir_nonempty_fails(env):
+    path = env.path("nonempty")
+    env.sc.mkdir(path)
+    env.create_file(f"{path}/child", b"x")
+    env.check_errno(errno.ENOTEMPTY, env.sc.rmdir, path)
+
+
+@generic(6, "auto", "quick")
+def test_nested_mkdir(env):
+    path = env.path("a/b/c/d/e")
+    env.sc.makedirs(path)
+    env.check(env.sc.stat(path).is_dir, "deep path exists")
+    env.create_file(f"{path}/leaf", b"leaf")
+    env.check_equal(env.read_file(f"{path}/leaf"), b"leaf")
+
+
+@generic(7, "auto", "quick")
+def test_rename_same_directory(env):
+    old, new = env.path("old"), env.path("new")
+    env.create_file(old, b"data")
+    env.sc.rename(old, new)
+    env.check(not env.sc.exists(old), "old name gone")
+    env.check_equal(env.read_file(new), b"data")
+
+
+@generic(8, "auto", "quick")
+def test_rename_across_directories(env):
+    env.sc.makedirs(env.path("src"))
+    env.sc.makedirs(env.path("dst"))
+    env.create_file(env.path("src/f"), b"move me")
+    env.sc.rename(env.path("src/f"), env.path("dst/f"))
+    env.check_equal(env.read_file(env.path("dst/f")), b"move me")
+    env.check(not env.sc.exists(env.path("src/f")), "source entry removed")
+
+
+@generic(9, "auto", "quick")
+def test_rename_replaces_target(env):
+    a, b = env.path("a"), env.path("b")
+    env.create_file(a, b"AAA")
+    env.create_file(b, b"BBB")
+    env.sc.rename(a, b)
+    env.check_equal(env.read_file(b), b"AAA", "target replaced by source")
+
+
+@generic(10, "auto", "quick")
+def test_rename_noreplace(env):
+    a, b = env.path("nr-a"), env.path("nr-b")
+    env.create_file(a, b"A")
+    env.create_file(b, b"B")
+    env.check_errno(errno.EEXIST, env.sc.rename, a, b, RenameFlags.RENAME_NOREPLACE)
+    env.check_equal(env.read_file(b), b"B", "target untouched")
+
+
+@generic(11, "auto", "quick")
+def test_rename_exchange(env):
+    a, b = env.path("xa"), env.path("xb")
+    env.create_file(a, b"first")
+    env.create_file(b, b"second")
+    env.sc.rename(a, b, RenameFlags.RENAME_EXCHANGE)
+    env.check_equal(env.read_file(a), b"second", "exchange swapped a")
+    env.check_equal(env.read_file(b), b"first", "exchange swapped b")
+
+
+@generic(12, "auto", "quick")
+def test_rename_directory(env):
+    env.sc.makedirs(env.path("dir-old/inner"))
+    env.create_file(env.path("dir-old/inner/f"), b"deep")
+    env.sc.rename(env.path("dir-old"), env.path("dir-new"))
+    env.check_equal(env.read_file(env.path("dir-new/inner/f")), b"deep")
+    env.check(not env.sc.exists(env.path("dir-old")), "old directory gone")
+
+
+# ---------------------------------------------------------------------------
+# Hard links and symlinks
+# ---------------------------------------------------------------------------
+@generic(13, "auto", "quick")
+def test_hardlink_shares_inode(env):
+    a, b = env.path("hl-a"), env.path("hl-b")
+    env.create_file(a, b"linked")
+    env.sc.link(a, b)
+    st_a, st_b = env.sc.stat(a), env.sc.stat(b)
+    env.check_equal(st_a.st_ino, st_b.st_ino, "same inode")
+    env.check_equal(st_a.st_nlink, 2, "nlink incremented")
+    env.check_equal(env.read_file(b), b"linked")
+
+
+@generic(14, "auto", "quick")
+def test_unlink_one_hardlink(env):
+    a, b = env.path("hl2-a"), env.path("hl2-b")
+    env.create_file(a, b"keep")
+    env.sc.link(a, b)
+    env.sc.unlink(a)
+    env.check_equal(env.read_file(b), b"keep", "survives unlink of other name")
+    env.check_equal(env.sc.stat(b).st_nlink, 1, "nlink back to 1")
+
+
+@generic(15, "auto", "quick")
+def test_hardlink_to_directory_forbidden(env):
+    env.sc.mkdir(env.path("hl-dir"))
+    env.check_errno(errno.EPERM, env.sc.link, env.path("hl-dir"), env.path("hl-dir2"))
+
+
+@generic(16, "auto", "quick")
+def test_symlink_and_readlink(env):
+    target, link = env.path("target"), env.path("link")
+    env.create_file(target, b"pointed at")
+    env.sc.symlink(target, link)
+    env.check_equal(env.sc.readlink(link), target, "readlink returns target")
+    env.check(env.sc.lstat(link).is_symlink, "lstat sees the link itself")
+
+
+@generic(17, "auto", "quick")
+def test_symlink_resolution(env):
+    target, link = env.path("t2"), env.path("l2")
+    env.create_file(target, b"via symlink")
+    env.sc.symlink(target, link)
+    env.check_equal(env.read_file(link), b"via symlink", "open follows the link")
+    env.check_equal(env.sc.stat(link).st_size, len(b"via symlink"))
+
+
+@generic(18, "auto", "quick")
+def test_dangling_symlink(env):
+    link = env.path("dangling")
+    env.sc.symlink(env.path("does-not-exist"), link)
+    env.check(env.sc.lstat(link).is_symlink, "lstat works on dangling link")
+    env.check_errno(errno.ENOENT, env.sc.stat, link)
+
+
+@generic(19, "auto", "quick")
+def test_symlink_loop(env):
+    a, b = env.path("loop-a"), env.path("loop-b")
+    env.sc.symlink(a, b)
+    env.sc.symlink(b, a)
+    env.check_errno(errno.ELOOP, env.sc.stat, a)
+
+
+# ---------------------------------------------------------------------------
+# open(2) flag semantics
+# ---------------------------------------------------------------------------
+@generic(20, "auto", "quick")
+def test_o_excl(env):
+    path = env.path("excl")
+    env.create_file(path, b"x")
+    env.check_errno(errno.EEXIST, env.sc.open, path,
+                    CREAT_RW | OpenFlags.O_EXCL, 0o644)
+
+
+@generic(21, "auto", "quick")
+def test_create_mode_respects_umask(env):
+    previous = env.sc.umask(0o077)
+    try:
+        path = env.path("masked")
+        fd = env.sc.open(path, CREAT_WR, 0o666)
+        env.sc.close(fd)
+        env.check_equal(env.sc.stat(path).permissions & 0o777, 0o600,
+                        "umask applied at create")
+    finally:
+        env.sc.umask(previous)
+
+
+@generic(22, "auto", "quick")
+def test_o_trunc(env):
+    path = env.path("trunc")
+    env.create_file(path, b"long old content")
+    fd = env.sc.open(path, OpenFlags.O_WRONLY | OpenFlags.O_TRUNC)
+    env.sc.close(fd)
+    env.check_equal(env.sc.stat(path).st_size, 0, "O_TRUNC emptied the file")
+
+
+@generic(23, "auto", "quick")
+def test_o_append(env):
+    path = env.path("append")
+    env.create_file(path, b"start-")
+    fd = env.sc.open(path, OpenFlags.O_WRONLY | OpenFlags.O_APPEND)
+    env.sc.write(fd, b"end")
+    env.sc.close(fd)
+    env.check_equal(env.read_file(path), b"start-end", "append lands at EOF")
+
+
+@generic(24, "auto", "quick")
+def test_o_directory_on_file(env):
+    path = env.path("notadir")
+    env.create_file(path, b"x")
+    env.check_errno(errno.ENOTDIR, env.sc.open, path,
+                    OpenFlags.O_RDONLY | OpenFlags.O_DIRECTORY)
+
+
+@generic(25, "auto", "quick")
+def test_open_missing_file(env):
+    env.check_errno(errno.ENOENT, env.sc.open, env.path("missing"), OpenFlags.O_RDONLY)
+
+
+@generic(26, "auto", "quick")
+def test_open_directory_for_write(env):
+    path = env.path("wrdir")
+    env.sc.mkdir(path)
+    env.check_errno(errno.EISDIR, env.sc.open, path, OpenFlags.O_WRONLY)
+
+
+@generic(27, "auto", "quick")
+def test_write_on_readonly_fd(env):
+    path = env.path("ro")
+    env.create_file(path, b"x")
+    fd = env.sc.open(path, OpenFlags.O_RDONLY)
+    try:
+        env.check_errno(errno.EBADF, env.sc.write, fd, b"nope")
+    finally:
+        env.sc.close(fd)
+
+
+@generic(28, "auto", "quick")
+def test_read_on_writeonly_fd(env):
+    path = env.path("wo")
+    env.create_file(path, b"secret")
+    fd = env.sc.open(path, OpenFlags.O_WRONLY)
+    try:
+        env.check_errno(errno.EBADF, env.sc.read, fd, 10)
+    finally:
+        env.sc.close(fd)
+
+
+# ---------------------------------------------------------------------------
+# Offsets, truncation, sparse files
+# ---------------------------------------------------------------------------
+@generic(29, "auto", "quick")
+def test_lseek_whences(env):
+    path = env.path("seek")
+    env.create_file(path, b"0123456789")
+    fd = env.sc.open(path, OpenFlags.O_RDONLY)
+    try:
+        env.check_equal(env.sc.lseek(fd, 4, SeekWhence.SEEK_SET), 4)
+        env.check_equal(env.sc.read(fd, 2), b"45")
+        env.check_equal(env.sc.lseek(fd, 2, SeekWhence.SEEK_CUR), 8)
+        env.check_equal(env.sc.lseek(fd, -3, SeekWhence.SEEK_END), 7)
+        env.check_equal(env.sc.read(fd, 3), b"789")
+    finally:
+        env.sc.close(fd)
+
+
+@generic(30, "auto", "quick")
+def test_lseek_negative(env):
+    path = env.path("seekneg")
+    env.create_file(path, b"abc")
+    fd = env.sc.open(path, OpenFlags.O_RDONLY)
+    try:
+        env.check_errno(errno.EINVAL, env.sc.lseek, fd, -10, SeekWhence.SEEK_SET)
+    finally:
+        env.sc.close(fd)
+
+
+@generic(31, "auto", "quick")
+def test_pread_pwrite_do_not_move_offset(env):
+    path = env.path("positional")
+    env.create_file(path, b"AAAAAAAAAA")
+    fd = env.sc.open(path, RW)
+    try:
+        env.sc.pwrite(fd, b"BB", 4)
+        env.check_equal(env.sc.pread(fd, 10, 0), b"AAAABBAAAA")
+        env.check_equal(env.sc.read(fd, 4), b"AAAA", "offset still at 0")
+    finally:
+        env.sc.close(fd)
+
+
+@generic(32, "auto", "quick")
+def test_write_beyond_eof_creates_hole(env):
+    path = env.path("hole")
+    fd = env.sc.open(path, CREAT_RW)
+    try:
+        env.sc.pwrite(fd, b"tail", 8192)
+        env.check_equal(env.sc.fstat(fd).st_size, 8196, "size covers the hole")
+        env.check_equal(env.sc.pread(fd, 4, 0), b"\x00" * 4, "hole reads as zeros")
+        env.check_equal(env.sc.pread(fd, 4, 8192), b"tail")
+    finally:
+        env.sc.close(fd)
+
+
+@generic(33, "auto", "quick")
+def test_truncate_grow(env):
+    path = env.path("grow")
+    env.create_file(path, b"abc")
+    env.sc.truncate(path, 10)
+    env.check_equal(env.sc.stat(path).st_size, 10)
+    env.check_equal(env.read_file(path), b"abc" + b"\x00" * 7, "growth zero-fills")
+
+
+@generic(34, "auto", "quick")
+def test_truncate_shrink(env):
+    path = env.path("shrink")
+    env.create_file(path, b"a long piece of content")
+    env.sc.truncate(path, 6)
+    env.check_equal(env.read_file(path), b"a long")
+
+
+@generic(35, "auto", "quick")
+def test_ftruncate(env):
+    path = env.path("ftrunc")
+    env.create_file(path, b"1234567890")
+    fd = env.sc.open(path, RW)
+    try:
+        env.sc.ftruncate(fd, 4)
+        env.check_equal(env.sc.fstat(fd).st_size, 4)
+    finally:
+        env.sc.close(fd)
+
+
+# ---------------------------------------------------------------------------
+# stat(2) fields and timestamps
+# ---------------------------------------------------------------------------
+@generic(36, "auto", "quick")
+def test_stat_fields(env):
+    path = env.path("statf")
+    env.create_file(path, b"0123456789abcdef")
+    st = env.sc.stat(path)
+    env.check_equal(st.st_size, 16)
+    env.check_equal(st.st_nlink, 1)
+    env.check(st.st_ino > 0, "inode number assigned")
+    env.check(st.st_blksize >= 512, "block size sane")
+
+
+@generic(37, "auto", "quick")
+def test_stat_directory_type(env):
+    path = env.path("statd")
+    env.sc.mkdir(path)
+    st = env.sc.stat(path)
+    env.check(st.is_dir, "S_IFDIR set")
+    env.check(st.st_nlink >= 2, "directory nlink counts . entry")
+
+
+@generic(38, "auto", "quick")
+def test_lstat_vs_stat_on_symlink(env):
+    target, link = env.path("ls-t"), env.path("ls-l")
+    env.create_file(target, b"0123")
+    env.sc.symlink(target, link)
+    env.check(env.sc.lstat(link).is_symlink, "lstat reports the link")
+    env.check(env.sc.stat(link).is_regular, "stat follows to the file")
+    env.check_equal(env.sc.stat(link).st_size, 4)
+
+
+@generic(39, "auto", "quick")
+def test_fstat_matches_stat(env):
+    path = env.path("fstat")
+    env.create_file(path, b"same inode")
+    fd = env.sc.open(path, OpenFlags.O_RDONLY)
+    try:
+        env.check_equal(env.sc.fstat(fd).st_ino, env.sc.stat(path).st_ino)
+    finally:
+        env.sc.close(fd)
+
+
+@generic(40, "auto", "quick")
+def test_chmod_changes_bits(env):
+    path = env.path("chmod")
+    env.create_file(path, b"x", mode=0o644)
+    env.sc.chmod(path, 0o600)
+    env.check_equal(env.sc.stat(path).permissions & 0o777, 0o600)
+    env.sc.chmod(path, 0o755)
+    env.check_equal(env.sc.stat(path).permissions & 0o777, 0o755)
+
+
+@generic(41, "auto", "quick")
+def test_chmod_requires_ownership(env):
+    path = env.path("chmod-own")
+    env.create_file(path, b"x")
+    other = unprivileged(env, uid=4000)
+    env.check_errno(errno.EPERM, other.chmod, path, 0o777)
+
+
+@generic(42, "auto", "quick")
+def test_chown_by_root(env):
+    path = env.path("chown")
+    env.create_file(path, b"x")
+    env.sc.chown(path, 1234, 5678)
+    st = env.sc.stat(path)
+    env.check_equal((st.st_uid, st.st_gid), (1234, 5678))
+
+
+@generic(43, "auto", "quick")
+def test_chown_requires_cap_chown(env):
+    path = env.path("chown-unpriv")
+    env.create_file(path, b"x")
+    env.sc.chown(path, 1000, 1000)
+    other = unprivileged(env, uid=1000, gid=1000)
+    env.check_errno(errno.EPERM, other.chown, path, 0, 0)
+
+
+@generic(44, "auto", "quick")
+def test_chown_clears_setuid(env):
+    path = env.path("suid")
+    env.create_file(path, b"x", mode=0o4755)
+    env.check(env.sc.stat(path).st_mode & FileMode.S_ISUID, "setuid set initially")
+    owner = unprivileged(env, uid=0, gid=0,
+                         keep_caps=frozenset({"CAP_CHOWN", "CAP_FOWNER",
+                                              "CAP_DAC_OVERRIDE"}))
+    owner.chown(path, 2000, 2000)
+    env.check(not (env.sc.stat(path).st_mode & FileMode.S_ISUID),
+              "setuid cleared by chown without CAP_FSETID")
+
+
+@generic(45, "auto", "quick")
+def test_exec_requires_execute_bit(env):
+    path = env.path("noexec")
+    env.create_file(path, b"#!/bin/sh\n", mode=0o644)
+    from repro.fs.constants import AccessMode
+    env.check_errno(errno.EACCES, env.sc.access, path, AccessMode.X_OK)
+    env.sc.chmod(path, 0o755)
+    env.sc.access(path, AccessMode.X_OK)
+
+
+@generic(46, "auto", "quick")
+def test_sticky_bit_protects_deletion(env):
+    shared = env.path("sticky")
+    env.sc.mkdir(shared, 0o777)
+    env.sc.chmod(shared, 0o1777)
+    victim_owner = unprivileged(env, uid=3000)
+    fd = victim_owner.open(f"{shared}/victim", CREAT_WR, 0o666)
+    victim_owner.close(fd)
+    attacker = unprivileged(env, uid=3001)
+    env.check_errno(errno.EPERM, attacker.unlink, f"{shared}/victim")
+    victim_owner.unlink(f"{shared}/victim")
+
+
+@generic(47, "auto", "quick")
+def test_utimens(env):
+    path = env.path("utimens")
+    env.create_file(path, b"x")
+    env.sc.utimens(path, atime_ns=111_000, mtime_ns=222_000)
+    st = env.sc.stat(path)
+    env.check_equal(st.st_atime_ns, 111_000)
+    env.check_equal(st.st_mtime_ns, 222_000)
+
+
+@generic(48, "auto", "quick")
+def test_mtime_updates_on_write(env):
+    path = env.path("mtime")
+    env.create_file(path, b"x")
+    before = env.sc.stat(path).st_mtime_ns
+    fd = env.sc.open(path, OpenFlags.O_WRONLY | OpenFlags.O_APPEND)
+    env.sc.write(fd, b"more")
+    env.sc.close(fd)
+    env.check(env.sc.stat(path).st_mtime_ns > before, "mtime advanced by write")
+
+
+@generic(49, "auto", "quick")
+def test_ctime_updates_on_chmod(env):
+    path = env.path("ctime")
+    env.create_file(path, b"x")
+    before = env.sc.stat(path).st_ctime_ns
+    env.sc.chmod(path, 0o640)
+    env.check(env.sc.stat(path).st_ctime_ns >= before, "ctime did not go backwards")
+    env.check_equal(env.sc.stat(path).permissions & 0o777, 0o640)
+
+
+@generic(50, "auto", "quick")
+def test_atime_monotonic_on_read(env):
+    path = env.path("atime")
+    env.create_file(path, b"read me")
+    before = env.sc.stat(path).st_atime_ns
+    env.read_file(path)
+    env.check(env.sc.stat(path).st_atime_ns >= before, "atime non-decreasing")
+
+
+# ---------------------------------------------------------------------------
+# Directories
+# ---------------------------------------------------------------------------
+@generic(51, "auto", "quick")
+def test_readdir_contains_dot_entries(env):
+    path = env.path("dots")
+    env.sc.mkdir(path)
+    names = [name for name, _ino, _type in env.sc.readdir(path)]
+    env.check("." in names and ".." in names, "dot entries present")
+
+
+@generic(52, "auto", "quick")
+def test_readdir_reflects_changes(env):
+    path = env.path("listing")
+    env.sc.mkdir(path)
+    env.create_file(f"{path}/one", b"1")
+    env.create_file(f"{path}/two", b"2")
+    env.check_equal(sorted(env.sc.listdir(path)), ["one", "two"])
+    env.sc.unlink(f"{path}/one")
+    env.check_equal(env.sc.listdir(path), ["two"])
+
+
+@generic(53, "auto")
+def test_many_files_in_directory(env):
+    path = env.path("many")
+    env.sc.mkdir(path)
+    for i in range(200):
+        env.create_file(f"{path}/f{i:03d}", b"x")
+    names = env.sc.listdir(path)
+    env.check_equal(len(names), 200, "all 200 entries listed")
+    env.check("f199" in names, "last entry present")
+
+
+@generic(54, "auto", "quick")
+def test_name_max(env):
+    ok_name = "n" * 255
+    too_long = "n" * 256
+    env.create_file(env.path(ok_name), b"x")
+    env.check(env.sc.exists(env.path(ok_name)), "255-char name accepted")
+    env.check_errno(errno.ENAMETOOLONG, env.sc.open, env.path(too_long), CREAT_WR, 0o644)
+
+
+@generic(55, "auto")
+def test_deep_nesting(env):
+    path = env.path("/".join(["d"] * 50))
+    env.sc.makedirs(path)
+    env.create_file(f"{path}/leaf", b"deep down")
+    env.check_equal(env.read_file(f"{path}/leaf"), b"deep down")
+
+
+@generic(56, "auto")
+def test_large_file_integrity(env):
+    path = env.path("large")
+    pattern = bytes(range(256)) * 4096          # 1 MiB
+    fd = env.sc.open(path, CREAT_WR)
+    try:
+        written = 0
+        while written < len(pattern):
+            written += env.sc.write(fd, pattern[written:written + 65536])
+    finally:
+        env.sc.close(fd)
+    env.check_equal(env.sc.stat(path).st_size, len(pattern))
+    data = env.read_file(path, size=len(pattern))
+    env.check_equal(len(data), len(pattern))
+    env.check_equal(data[:512], pattern[:512], "head intact")
+    env.check_equal(data[-512:], pattern[-512:], "tail intact")
+
+
+@generic(57, "auto", "quick")
+def test_sparse_file_size(env):
+    path = env.path("sparse")
+    fd = env.sc.open(path, CREAT_WR)
+    try:
+        env.sc.pwrite(fd, b"end", 1_000_000)
+    finally:
+        env.sc.close(fd)
+    st = env.sc.stat(path)
+    env.check_equal(st.st_size, 1_000_003, "logical size includes the hole")
+
+
+@generic(58, "auto", "quick", "prealloc")
+def test_punch_hole(env):
+    path = env.path("punch")
+    env.create_file(path, b"A" * 8192)
+    fd = env.sc.open(path, RW)
+    try:
+        env.sc.fallocate(fd, FallocateMode.PUNCH_HOLE | FallocateMode.KEEP_SIZE,
+                         1024, 2048)
+    finally:
+        env.sc.close(fd)
+    data = env.read_file(path)
+    env.check_equal(len(data), 8192, "size unchanged by hole punch")
+    env.check_equal(data[1024:3072], b"\x00" * 2048, "punched range zeroed")
+    env.check_equal(data[:1024], b"A" * 1024, "prefix intact")
+
+
+@generic(59, "auto", "quick", "prealloc")
+def test_fallocate_extends(env):
+    path = env.path("falloc")
+    env.create_file(path, b"xy")
+    fd = env.sc.open(path, RW)
+    try:
+        env.sc.fallocate(fd, FallocateMode.DEFAULT, 0, 4096)
+    finally:
+        env.sc.close(fd)
+    env.check_equal(env.sc.stat(path).st_size, 4096, "fallocate grew the file")
+
+
+@generic(60, "auto", "quick", "prealloc")
+def test_fallocate_keep_size(env):
+    path = env.path("falloc-keep")
+    env.create_file(path, b"xy")
+    fd = env.sc.open(path, RW)
+    try:
+        env.sc.fallocate(fd, FallocateMode.KEEP_SIZE, 0, 4096)
+    finally:
+        env.sc.close(fd)
+    env.check_equal(env.sc.stat(path).st_size, 2, "KEEP_SIZE leaves size alone")
+
+
+@generic(61, "auto", "quick")
+def test_fsync(env):
+    path = env.path("fsync")
+    fd = env.sc.open(path, CREAT_WR)
+    try:
+        env.sc.write(fd, b"durable")
+        env.sc.fsync(fd)
+    finally:
+        env.sc.close(fd)
+    env.check_equal(env.read_file(path), b"durable")
+
+
+@generic(62, "auto", "quick")
+def test_fdatasync(env):
+    path = env.path("fdatasync")
+    fd = env.sc.open(path, CREAT_WR)
+    try:
+        env.sc.write(fd, b"data only")
+        env.sc.fdatasync(fd)
+    finally:
+        env.sc.close(fd)
+    env.check_equal(env.read_file(path), b"data only")
+
+
+@generic(63, "auto", "quick")
+def test_statfs(env):
+    st = env.sc.statfs(env.test_dir)
+    env.check(st.f_bsize >= 512, "block size sane")
+    env.check(st.f_blocks > 0, "filesystem reports capacity")
+    env.check(st.f_bfree <= st.f_blocks, "free blocks bounded by total")
+    env.check(st.f_namemax >= 255, "NAME_MAX at least 255")
+
+
+# ---------------------------------------------------------------------------
+# Extended attributes
+# ---------------------------------------------------------------------------
+@generic(64, "auto", "quick", "attr")
+def test_xattr_roundtrip(env):
+    path = env.path("xattr")
+    env.create_file(path, b"x")
+    env.sc.setxattr(path, "user.comment", b"hello attr")
+    env.check_equal(env.sc.getxattr(path, "user.comment"), b"hello attr")
+
+
+@generic(65, "auto", "quick", "attr")
+def test_xattr_replace_missing(env):
+    from repro.fs.constants import XattrFlags
+    path = env.path("xattr-replace")
+    env.create_file(path, b"x")
+    env.check_errno(errno.ENODATA, env.sc.setxattr, path, "user.nope", b"v",
+                    XattrFlags.XATTR_REPLACE)
+
+
+@generic(66, "auto", "quick", "attr")
+def test_xattr_create_existing(env):
+    from repro.fs.constants import XattrFlags
+    path = env.path("xattr-create")
+    env.create_file(path, b"x")
+    env.sc.setxattr(path, "user.key", b"1")
+    env.check_errno(errno.EEXIST, env.sc.setxattr, path, "user.key", b"2",
+                    XattrFlags.XATTR_CREATE)
+
+
+@generic(67, "auto", "quick", "attr")
+def test_xattr_list(env):
+    path = env.path("xattr-list")
+    env.create_file(path, b"x")
+    env.sc.setxattr(path, "user.a", b"1")
+    env.sc.setxattr(path, "user.b", b"2")
+    names = env.sc.listxattr(path)
+    env.check("user.a" in names and "user.b" in names, "both attributes listed")
+
+
+@generic(68, "auto", "quick", "attr")
+def test_xattr_remove(env):
+    path = env.path("xattr-rm")
+    env.create_file(path, b"x")
+    env.sc.setxattr(path, "user.gone", b"soon")
+    env.sc.removexattr(path, "user.gone")
+    env.check_errno(errno.ENODATA, env.sc.getxattr, path, "user.gone")
+
+
+@generic(69, "auto", "attr")
+def test_xattr_large_value(env):
+    path = env.path("xattr-large")
+    env.create_file(path, b"x")
+    value = bytes(range(256)) * 16       # 4 KiB
+    env.sc.setxattr(path, "user.blob", value)
+    env.check_equal(env.sc.getxattr(path, "user.blob"), value)
+
+
+# ---------------------------------------------------------------------------
+# Permissions
+# ---------------------------------------------------------------------------
+@generic(70, "auto", "quick", "perms")
+def test_access_denied_without_read_bit(env):
+    from repro.fs.constants import AccessMode
+    path = env.path("secret")
+    env.create_file(path, b"top secret", mode=0o600)
+    other = unprivileged(env, uid=5000)
+    env.check_errno(errno.EACCES, other.access, path, AccessMode.R_OK)
+
+
+@generic(71, "auto", "quick", "perms")
+def test_open_denied_without_read_bit(env):
+    path = env.path("noread")
+    env.create_file(path, b"hidden", mode=0o200)
+    other = unprivileged(env, uid=5001)
+    env.check_errno(errno.EACCES, other.open, path, OpenFlags.O_RDONLY)
+
+
+@generic(72, "auto", "quick", "perms")
+def test_traverse_requires_execute(env):
+    private_dir = env.path("private")
+    env.sc.mkdir(private_dir, 0o700)
+    env.create_file(f"{private_dir}/inside", b"x")
+    other = unprivileged(env, uid=5002)
+    env.check_errno(errno.EACCES, other.stat, f"{private_dir}/inside")
+
+
+@generic(73, "auto", "quick", "perms")
+def test_root_overrides_dac(env):
+    path = env.path("rootcan")
+    env.create_file(path, b"root sees all", mode=0o000)
+    env.check_equal(env.read_file(path), b"root sees all",
+                    "CAP_DAC_OVERRIDE bypasses mode bits")
+
+
+# ---------------------------------------------------------------------------
+# Open-file semantics
+# ---------------------------------------------------------------------------
+@generic(74, "auto", "quick")
+def test_unlink_while_open(env):
+    path = env.path("orphan")
+    env.create_file(path, b"still here")
+    fd = env.sc.open(path, OpenFlags.O_RDONLY)
+    try:
+        env.sc.unlink(path)
+        env.check(not env.sc.exists(path), "name removed")
+        env.check_equal(env.sc.read(fd, 100), b"still here",
+                        "data readable through the open descriptor")
+        env.check_equal(env.sc.fstat(fd).st_nlink, 0, "nlink reports zero")
+    finally:
+        env.sc.close(fd)
+
+
+@generic(75, "auto", "quick")
+def test_rename_while_open(env):
+    old, new = env.path("ren-open-a"), env.path("ren-open-b")
+    env.create_file(old, b"moving target")
+    fd = env.sc.open(old, OpenFlags.O_RDONLY)
+    try:
+        env.sc.rename(old, new)
+        env.check_equal(env.sc.read(fd, 100), b"moving target",
+                        "descriptor survives rename")
+    finally:
+        env.sc.close(fd)
+
+
+@generic(76, "auto", "quick")
+def test_dup_shares_offset(env):
+    path = env.path("dup")
+    env.create_file(path, b"0123456789")
+    fd = env.sc.open(path, OpenFlags.O_RDONLY)
+    fd2 = env.sc.dup(fd)
+    try:
+        env.check_equal(env.sc.read(fd, 4), b"0123")
+        env.check_equal(env.sc.read(fd2, 4), b"4567",
+                        "dup'd descriptor shares the file offset")
+    finally:
+        env.sc.close(fd)
+        env.sc.close(fd2)
+
+
+@generic(77, "auto", "quick")
+def test_mknod_fifo(env):
+    path = env.path("fifo")
+    env.sc.mknod(path, int(FileMode.S_IFIFO) | 0o644)
+    st = env.sc.stat(path)
+    env.check_equal(st.st_mode & FileMode.S_IFMT, FileMode.S_IFIFO, "FIFO type")
+
+
+@generic(78, "auto", "quick")
+def test_mknod_socket(env):
+    path = env.path("sock")
+    env.sc.mknod(path, int(FileMode.S_IFSOCK) | 0o644)
+    st = env.sc.stat(path)
+    env.check_equal(st.st_mode & FileMode.S_IFMT, FileMode.S_IFSOCK, "socket type")
+
+
+# ---------------------------------------------------------------------------
+# Advisory locking
+# ---------------------------------------------------------------------------
+@generic(79, "auto", "quick", "locks")
+def test_conflicting_write_locks(env):
+    path = env.path("lock1")
+    env.create_file(path, b"locked")
+    holder = unprivileged(env, uid=0, keep_caps=frozenset(KNOWN_CAPABILITIES))
+    contender = unprivileged(env, uid=0, keep_caps=frozenset(KNOWN_CAPABILITIES))
+    fd1 = holder.open(path, RW)
+    fd2 = contender.open(path, RW)
+    try:
+        holder.flock(fd1, LockType.F_WRLCK)
+        env.check_errno(errno.EAGAIN, contender.flock, fd2, LockType.F_WRLCK)
+    finally:
+        holder.close(fd1)
+        contender.close(fd2)
+
+
+@generic(80, "auto", "quick", "locks")
+def test_shared_read_locks(env):
+    path = env.path("lock2")
+    env.create_file(path, b"shared")
+    a = unprivileged(env, uid=0, keep_caps=frozenset(KNOWN_CAPABILITIES))
+    b = unprivileged(env, uid=0, keep_caps=frozenset(KNOWN_CAPABILITIES))
+    fd1, fd2 = a.open(path, OpenFlags.O_RDONLY), b.open(path, OpenFlags.O_RDONLY)
+    try:
+        a.flock(fd1, LockType.F_RDLCK)
+        b.flock(fd2, LockType.F_RDLCK)
+    finally:
+        a.close(fd1)
+        b.close(fd2)
+
+
+@generic(81, "auto", "quick", "locks")
+def test_lock_released_on_close(env):
+    path = env.path("lock3")
+    env.create_file(path, b"serialised")
+    first = unprivileged(env, uid=0, keep_caps=frozenset(KNOWN_CAPABILITIES))
+    second = unprivileged(env, uid=0, keep_caps=frozenset(KNOWN_CAPABILITIES))
+    fd1 = first.open(path, RW)
+    first.flock(fd1, LockType.F_WRLCK)
+    first.close(fd1)
+    fd2 = second.open(path, RW)
+    try:
+        second.flock(fd2, LockType.F_WRLCK)
+    finally:
+        second.close(fd2)
+
+
+# ---------------------------------------------------------------------------
+# Modes, set-gid directories, integrity
+# ---------------------------------------------------------------------------
+@generic(82, "auto", "quick", "perms")
+def test_umask_affects_mkdir(env):
+    previous = env.sc.umask(0o027)
+    try:
+        path = env.path("masked-dir")
+        env.sc.mkdir(path, 0o777)
+        env.check_equal(env.sc.stat(path).permissions & 0o777, 0o750)
+    finally:
+        env.sc.umask(previous)
+
+
+@generic(83, "auto", "quick", "perms")
+def test_setgid_directory_inherits_group(env):
+    shared = env.path("team")
+    env.sc.mkdir(shared, 0o775)
+    env.sc.chown(shared, 0, 4242)
+    env.sc.chmod(shared, 0o2775)
+    env.create_file(f"{shared}/report", b"group data")
+    env.check_equal(env.sc.stat(f"{shared}/report").st_gid, 4242,
+                    "new file inherits the directory group")
+
+
+@generic(84, "auto", "quick", "perms")
+def test_setgid_directory_propagates_to_subdir(env):
+    shared = env.path("team2")
+    env.sc.mkdir(shared, 0o775)
+    env.sc.chown(shared, 0, 4343)
+    env.sc.chmod(shared, 0o2775)
+    env.sc.mkdir(f"{shared}/sub")
+    st = env.sc.stat(f"{shared}/sub")
+    env.check_equal(st.st_gid, 4343, "subdirectory inherits the group")
+    env.check(st.st_mode & FileMode.S_ISGID, "subdirectory inherits setgid")
+
+
+@generic(85, "auto")
+def test_large_offset_sparse_io(env):
+    path = env.path("huge-offset")
+    offset = 1 << 30                      # 1 GiB
+    fd = env.sc.open(path, CREAT_RW)
+    try:
+        env.sc.pwrite(fd, b"far away", offset)
+        env.check_equal(env.sc.fstat(fd).st_size, offset + 8)
+        env.check_equal(env.sc.pread(fd, 8, offset), b"far away")
+        env.check_equal(env.sc.pread(fd, 8, offset // 2), b"\x00" * 8)
+    finally:
+        env.sc.close(fd)
+
+
+@generic(86, "auto")
+def test_many_small_writes_integrity(env):
+    path = env.path("chunks")
+    fd = env.sc.open(path, CREAT_WR)
+    try:
+        for i in range(128):
+            env.sc.write(fd, bytes([i % 256]) * 97)
+    finally:
+        env.sc.close(fd)
+    data = env.read_file(path, size=97 * 128)
+    env.check_equal(len(data), 97 * 128)
+    env.check_equal(data[:97], b"\x00" * 97)
+    env.check_equal(data[-97:], bytes([127]) * 97)
+
+
+@generic(87, "auto", "quick")
+def test_two_appenders(env):
+    path = env.path("two-append")
+    env.create_file(path, b"")
+    fd1 = env.sc.open(path, OpenFlags.O_WRONLY | OpenFlags.O_APPEND)
+    fd2 = env.sc.open(path, OpenFlags.O_WRONLY | OpenFlags.O_APPEND)
+    try:
+        env.sc.write(fd1, b"aaaa")
+        env.sc.write(fd2, b"bbbb")
+        env.sc.write(fd1, b"cccc")
+    finally:
+        env.sc.close(fd1)
+        env.sc.close(fd2)
+    env.check_equal(env.read_file(path), b"aaaabbbbcccc",
+                    "O_APPEND writes always land at EOF")
+
+
+@generic(88, "auto", "quick")
+def test_recreate_after_unlink_open(env):
+    path = env.path("recreate")
+    env.create_file(path, b"old generation")
+    fd = env.sc.open(path, OpenFlags.O_RDONLY)
+    try:
+        env.sc.unlink(path)
+        env.create_file(path, b"new generation")
+        env.check_equal(env.sc.read(fd, 100), b"old generation",
+                        "old descriptor still reads the old inode")
+        env.check_equal(env.read_file(path), b"new generation")
+        env.check(env.sc.fstat(fd).st_ino != env.sc.stat(path).st_ino,
+                  "the two names refer to different inodes")
+    finally:
+        env.sc.close(fd)
+
+
+@generic(89, "auto", "quick")
+def test_empty_directory_listing(env):
+    path = env.path("empty-dir")
+    env.sc.mkdir(path)
+    env.check_equal(env.sc.listdir(path), [], "no entries besides the dots")
+
+
+@generic(90, "auto", "quick")
+def test_mode_preserved_across_rename(env):
+    old, new = env.path("mode-old"), env.path("mode-new")
+    env.create_file(old, b"x", mode=0o751)
+    env.sc.chown(old, 77, 88)
+    env.sc.rename(old, new)
+    st = env.sc.stat(new)
+    env.check_equal(st.permissions & 0o777, 0o751, "mode preserved")
+    env.check_equal((st.st_uid, st.st_gid), (77, 88), "ownership preserved")
+
+
+# ---------------------------------------------------------------------------
+# The four paper-documented CntrFS failures
+# ---------------------------------------------------------------------------
+@generic(228, "auto", "quick")
+def test_rlimit_fsize_enforced(env):
+    """generic/228: writes beyond RLIMIT_FSIZE must fail with EFBIG.
+
+    CntrFS replays file operations in the server process, where the caller's
+    RLIMIT_FSIZE is neither set nor enforced, so this fails on CntrFS.
+    """
+    path = env.path("rlimit")
+    writer = unprivileged(env, uid=0, keep_caps=frozenset(KNOWN_CAPABILITIES))
+    writer.setrlimit_fsize(4096)
+    fd = writer.open(path, CREAT_WR, 0o644)
+    try:
+        writer.write(fd, b"A" * 4096)
+        env.check_errno(errno.EFBIG, writer.pwrite, fd, b"over the limit", 4096)
+    finally:
+        writer.close(fd)
+
+
+@generic(375, "auto", "quick", "perms")
+def test_setgid_cleared_with_acl(env):
+    """generic/375: chmod must clear setgid when the owner is not in the owning group.
+
+    CntrFS delegates POSIX ACL interpretation to the backing filesystem (via
+    setfsuid/setfsgid on inode creation), so the ACL-aware clearing does not
+    happen and the setgid bit survives — the paper's first failure case.
+    """
+    path = env.path("acl-setgid")
+    env.create_file(path, b"x", mode=0o644)
+    env.sc.chown(path, 6000, 6100)
+    acl = PosixAcl.from_mode(0o664)
+    acl.add(AclTag.GROUP, 6200, 0o6)
+    env.sc.set_acl(path, acl)
+    owner = unprivileged(env, uid=6000, gid=6001,
+                         keep_caps=frozenset({"CAP_DAC_OVERRIDE", "CAP_FOWNER"}))
+    owner.chmod(path, 0o2755)
+    mode = env.sc.stat(path).st_mode
+    if mode & FileMode.S_ISGID:
+        raise TestFailure("setgid bit was not cleared by chmod for an owner "
+                          "outside the owning group of the ACL")
+
+
+@generic(391, "auto", "quick", "aio")
+def test_direct_io_open(env):
+    """generic/391: O_DIRECT reads/writes.
+
+    CntrFS does not support direct I/O because FUSE makes direct I/O and mmap
+    mutually exclusive and CntrFS needs mmap to execute binaries, so the open
+    fails — the paper's third failure case.
+    """
+    path = env.path("directio")
+    env.create_file(path, b"D" * 8192)
+    try:
+        fd = env.sc.open(path, RW | OpenFlags.O_DIRECT)
+    except FsError as exc:
+        raise TestFailure(f"O_DIRECT open failed: {exc}") from exc
+    try:
+        env.check_equal(env.sc.read(fd, 4096), b"D" * 4096)
+    finally:
+        env.sc.close(fd)
+
+
+@generic(426, "auto", "quick", "ioctl")
+def test_exportable_file_handles(env):
+    """generic/426: re-open files via name_to_handle_at/open_by_handle_at.
+
+    CntrFS inodes are created on demand and destroyed when the kernel forgets
+    them, so they cannot be exported as persistent handles — the paper's
+    fourth failure case (and one many container runtimes block anyway).
+    """
+    path = env.path("handle")
+    env.create_file(path, b"handle me")
+    try:
+        handle = env.sc.name_to_handle_at(path)
+        fd = env.sc.open_by_handle_at(handle)
+    except FsError as exc:
+        raise TestFailure(f"file-handle export unsupported: {exc}") from exc
+    try:
+        env.check_equal(env.sc.read(fd, 100), b"handle me")
+    finally:
+        env.sc.close(fd)
+
+
+def tests_by_id() -> dict[str, TestCase]:
+    """Map ``generic/NNN`` identifiers to test cases."""
+    return {case.test_id: case for case in GENERIC_TESTS}

@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.machine import boot
+
+
+@pytest.fixture()
+def machine():
+    """A freshly booted simulated host."""
+    return boot()
+
+
+@pytest.fixture()
+def syscalls(machine):
+    """A syscall facade for a host process forked off init."""
+    return machine.spawn_host_process(["/usr/bin/test-process"])

@@ -1,0 +1,285 @@
+"""Tests for the container engines and the Cntr attach workflow."""
+
+import pytest
+
+from repro.container import (
+    DockerEngine,
+    ImageBuilder,
+    LxcEngine,
+    NspawnEngine,
+    Registry,
+    RktEngine,
+)
+from repro.container.engine import ContainerError
+from repro.core import AttachOptions, attach, gather_context
+from repro.core.attach import APPLICATION_MOUNTPOINT
+from repro.core.inventory import component_inventory
+from repro.fs.constants import OpenFlags
+from repro.kernel.namespaces import NamespaceKind
+
+
+def make_app_image(name="webapp"):
+    return (ImageBuilder(name, "1.0")
+            .add_dir("/usr/sbin")
+            .add_file("/usr/sbin/webapp", size=5_000_000, mode=0o755)
+            .add_file("/etc/passwd", content="root:x:0:0:root:/root:/bin/sh\n")
+            .add_file("/etc/webapp.conf", content="port = 8080\n")
+            .entrypoint("/usr/sbin/webapp")
+            .env("APP_MODE", "production")
+            .expose(8080)
+            .build())
+
+
+def make_tools_image():
+    return (ImageBuilder("debug-tools", "latest")
+            .add_dir("/usr/bin")
+            .add_file("/usr/bin/gdb", size=8_500_000, mode=0o755)
+            .add_file("/usr/bin/strace", size=1_600_000, mode=0o755)
+            .add_file("/bin/bash", size=1_100_000, mode=0o755)
+            .entrypoint("/bin/bash")
+            .build())
+
+
+class TestImagesAndRegistry:
+    def test_builder_layers_and_size(self):
+        image = make_app_image()
+        assert image.size_bytes > 5_000_000
+        assert image.file_count >= 3
+        assert image.config.entrypoint == ("/usr/sbin/webapp",)
+        assert dict(image.config.env)["APP_MODE"] == "production"
+
+    def test_whiteout_removes_lower_layer_files(self):
+        base = (ImageBuilder("base").add_file("/usr/share/doc/manual", size=1000)
+                .add_file("/usr/bin/tool", size=500).build())
+        derived = (ImageBuilder("derived", base=base).new_layer()
+                   .remove("/usr/share/doc/manual").build())
+        flat = derived.flatten()
+        assert "/usr/share/doc/manual" not in flat
+        assert "/usr/bin/tool" in flat
+
+    def test_registry_pull_charges_deploy_time(self, machine):
+        registry = Registry(machine.clock)
+        registry.push(make_app_image())
+        before = machine.clock.now_ns
+        result = registry.pull("webapp:1.0")
+        assert result.bytes_transferred > 0
+        assert machine.clock.now_ns > before
+
+    def test_registry_layer_cache_makes_second_pull_cheap(self, machine):
+        registry = Registry(machine.clock)
+        registry.push(make_app_image())
+        cache: set[str] = set()
+        first = registry.pull("webapp:1.0", cache)
+        second = registry.pull("webapp:1.0", cache)
+        assert second.bytes_transferred == 0
+        assert second.duration_ns < first.duration_ns
+
+    def test_smaller_image_deploys_faster(self, machine):
+        registry = Registry(machine.clock)
+        fat = make_app_image("fat-app")
+        slim = (ImageBuilder("slim-app", "1.0")
+                .add_file("/usr/sbin/webapp", size=500_000, mode=0o755)
+                .entrypoint("/usr/sbin/webapp").build())
+        registry.push(fat)
+        registry.push(slim)
+        assert registry.estimate_deploy_time_s("slim-app:1.0") < \
+            registry.estimate_deploy_time_s("fat-app:1.0")
+
+
+class TestEngines:
+    def test_docker_run_and_resolve(self, machine):
+        docker = DockerEngine(machine)
+        docker.load_image(make_app_image())
+        container = docker.run(docker.image("webapp:1.0"), name="web")
+        assert container.status == "running"
+        assert docker.resolve_name_to_pid("web") == container.init_pid
+        assert docker.inspect("web")["State"]["Running"] is True
+
+    def test_container_is_isolated_from_host(self, machine):
+        docker = DockerEngine(machine)
+        container = docker.run(make_app_image(), name="isolated")
+        csc = docker.exec_in_container(container, ["/bin/sh"])
+        assert not csc.exists("/usr/bin/gdb")          # host tools invisible
+        assert csc.exists("/usr/sbin/webapp")
+        assert csc.gethostname() != machine.syscalls.gethostname()
+        assert not csc.process.caps.has("CAP_SYS_ADMIN")
+
+    def test_container_env_and_cgroup(self, machine):
+        docker = DockerEngine(machine)
+        container = docker.run(make_app_image(), name="env-test",
+                               env={"EXTRA": "1"})
+        init = container.init_process
+        assert init.env["APP_MODE"] == "production"
+        assert init.env["EXTRA"] == "1"
+        assert machine.kernel.cgroups.cgroup_of(init.pid).path.startswith("/docker/")
+
+    def test_stop_and_remove(self, machine):
+        docker = DockerEngine(machine)
+        container = docker.run(make_app_image(), name="short-lived")
+        pid = container.init_pid
+        docker.stop(container)
+        assert container.status == "exited"
+        assert pid not in machine.kernel.processes
+        docker.remove(container)
+        with pytest.raises(ContainerError):
+            docker.find("short-lived")
+
+    def test_lxc_requires_explicit_name(self, machine):
+        lxc = LxcEngine(machine)
+        with pytest.raises(ContainerError):
+            lxc.create(make_app_image())
+        container = lxc.run(make_app_image(), name="lxc-app")
+        assert lxc.lxc_info("lxc-app")["State"] == "RUNNING"
+        assert lxc.resolve_name_to_pid("lxc-app") == container.init_pid
+
+    def test_rkt_pod_uuid_resolution(self, machine):
+        rkt = RktEngine(machine)
+        container = rkt.run(make_app_image(), name="rkt-app")
+        uuid = rkt.pod_uuid(container)
+        assert rkt.resolve_name_to_pid(uuid[:13]) == container.init_pid
+
+    def test_nspawn_machinectl(self, machine):
+        nspawn = NspawnEngine(machine)
+        container = nspawn.run(make_app_image())
+        props = nspawn.machinectl_show(container.name)
+        assert props["Leader"] == str(container.init_pid)
+        assert nspawn.resolve_name_to_pid(container.name) == container.init_pid
+
+    def test_all_engines_share_resolution_interface(self, machine):
+        engines = [DockerEngine(machine), LxcEngine(machine), RktEngine(machine),
+                   NspawnEngine(machine)]
+        for i, engine in enumerate(engines):
+            container = engine.run(make_app_image(f"multi{i}"), name=f"multi-{i}")
+            assert engine.resolve_name_to_pid(f"multi-{i}") == container.init_pid
+
+
+class TestContextGathering:
+    def test_gather_context_reads_proc(self, machine):
+        docker = DockerEngine(machine)
+        container = docker.run(make_app_image(), name="ctx")
+        context = gather_context(machine, container.init_pid)
+        assert context.environment["APP_MODE"] == "production"
+        assert context.cgroup_path.startswith("/docker/")
+        assert "CAP_SYS_ADMIN" not in context.effective_capabilities
+        assert "CAP_CHOWN" in context.effective_capabilities
+        assert context.namespaces[NamespaceKind.MNT] != \
+            machine.syscalls.readlink("/proc/1/ns/mnt")
+        assert context.lsm_profile == "docker-default"
+
+
+class TestAttach:
+    def _setup(self, machine, with_tools_container=False):
+        docker = DockerEngine(machine)
+        app = docker.run(make_app_image(), name="app")
+        tools = None
+        if with_tools_container:
+            tools = docker.run(make_tools_image(), name="tools")
+        return docker, app, tools
+
+    def test_attach_exposes_host_tools_and_app_files(self, machine):
+        docker, app, _ = self._setup(machine)
+        session = attach(machine, docker, "app")
+        sc = session.shell_syscalls
+        assert sc.exists("/usr/bin/gdb")                       # host tool via CntrFS
+        assert sc.exists(f"{APPLICATION_MOUNTPOINT}/etc/webapp.conf")
+        assert sc.read(sc.open(f"{APPLICATION_MOUNTPOINT}/etc/webapp.conf"), 100) \
+            == b"port = 8080\n"
+        session.detach()
+
+    def test_attach_preserves_container_identity(self, machine):
+        docker, app, _ = self._setup(machine)
+        session = attach(machine, docker, "app")
+        proc = session.shell_process
+        # Same environment (except PATH), same cgroup, container capabilities.
+        assert proc.env["APP_MODE"] == "production"
+        assert proc.env["PATH"] == machine.init.env["PATH"]
+        assert machine.kernel.cgroups.cgroup_of(session.nested_process.pid).path == \
+            machine.kernel.cgroups.cgroup_of(app.init_pid).path
+        assert not session.nested_process.caps.has("CAP_SYS_ADMIN")
+        session.detach()
+
+    def test_attach_does_not_leak_mounts_into_container(self, machine):
+        docker, app, _ = self._setup(machine)
+        mounts_before = len(app.init_process.mnt_ns.mounts)
+        session = attach(machine, docker, "app")
+        assert len(app.init_process.mnt_ns.mounts) == mounts_before
+        app_sc = docker.exec_in_container(app, ["/bin/sh"])
+        assert not app_sc.exists("/usr/bin/gdb")
+        session.detach()
+
+    def test_attach_with_fat_container(self, machine):
+        docker, app, tools = self._setup(machine, with_tools_container=True)
+        session = attach(machine, docker, "app",
+                         options=AttachOptions(fat_container="tools"))
+        sc = session.shell_syscalls
+        assert sc.exists("/usr/bin/strace")        # from the fat image
+        assert not sc.exists("/usr/bin/vim")       # host tool, not in fat image
+        assert sc.exists(f"{APPLICATION_MOUNTPOINT}/usr/sbin/webapp")
+        session.detach()
+
+    def test_exec_tool_loads_binary_through_fuse(self, machine):
+        docker, app, _ = self._setup(machine)
+        session = attach(machine, docker, "app")
+        requests_before = session.client_fs.connection.stats.requests_total
+        tool_sc = session.exec_tool("gdb")
+        assert tool_sc.process.argv[0] == "/usr/bin/gdb"
+        assert session.client_fs.connection.stats.requests_total > requests_before
+        # The tool can see the application's /proc (bind-mounted).
+        assert tool_sc.exists(f"/proc/{app.init_process.vpid()}") or \
+            tool_sc.exists("/proc")
+        session.detach()
+
+    def test_attach_by_pid_without_engine_lookup(self, machine):
+        docker, app, _ = self._setup(machine)
+        session = attach(machine, docker, pid=app.init_pid)
+        assert session.shell_syscalls.exists(APPLICATION_MOUNTPOINT)
+        session.detach()
+
+    def test_pty_forwarding(self, machine):
+        docker, app, _ = self._setup(machine)
+        session = attach(machine, docker, "app")
+        shell_sc = session.shell_syscalls
+        session.pty_forwarder.terminal.type("ls /usr/bin\n")
+        session.pump_io()
+        assert shell_sc.read(0, 100) == b"ls /usr/bin\n"     # shell stdin
+        shell_sc.write(1, b"gdb strace vim\n")               # shell stdout
+        session.pump_io()
+        assert session.pty_forwarder.terminal.read_output() == b"gdb strace vim\n"
+        session.detach()
+
+    def test_socket_proxy_forwards_to_host_service(self, machine):
+        docker, app, _ = self._setup(machine)
+        # A fake X11 server listening on the host.
+        host_x = machine.spawn_host_process(["/usr/bin/Xorg"])
+        host_x.makedirs("/tmp/.X11-unix")
+        x_listener_fd = host_x.unix_listen("/tmp/.X11-unix/X0")
+        session = attach(machine, docker, "app",
+                         options=AttachOptions(forward_sockets=("/tmp/.X11-unix/X0",)))
+        # The application inside the container connects to its own /tmp socket.
+        app_sc = docker.exec_in_container(app, ["/usr/sbin/webapp"])
+        client_fd = app_sc.unix_connect("/tmp/.X11-unix/X0")
+        session.pump_io()
+        server_conn = host_x.unix_accept(x_listener_fd)
+        app_sc.write(client_fd, b"x11 handshake")
+        session.pump_io()
+        assert host_x.read(server_conn, 100) == b"x11 handshake"
+        session.detach()
+
+    def test_detach_cleans_up_processes(self, machine):
+        docker, app, _ = self._setup(machine)
+        session = attach(machine, docker, "app")
+        pids = [session.shell_process.pid, session.nested_process.pid,
+                session.cntr_process.pid]
+        session.detach()
+        for pid in pids:
+            assert pid not in machine.kernel.processes
+        # idempotent
+        session.detach()
+
+
+class TestInventory:
+    def test_component_inventory_covers_all_components(self):
+        rows = component_inventory()
+        assert {r.name for r in rows} == {"container engine", "cntrfs",
+                                          "pseudo tty", "socket proxy"}
+        assert all(r.repro_loc > 0 for r in rows)

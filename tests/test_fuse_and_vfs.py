@@ -1,0 +1,221 @@
+"""Tests for the VFS path layer and the FUSE client/CntrFS stack."""
+
+import errno
+
+import pytest
+
+from repro.fs.constants import OpenFlags
+from repro.fs.errors import FsError
+from repro.fs.tmpfs import TmpFS
+from repro.fuse.options import FuseMountOptions
+from repro.fuse.protocol import FuseOpcode
+from repro.xfstests.harness import cntrfs_environment, native_environment
+
+
+class TestVfsThroughSyscalls:
+    def test_bind_mount_shares_inodes(self, machine, syscalls):
+        syscalls.makedirs("/srv/data")
+        fd = syscalls.open("/srv/data/shared", OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        syscalls.write(fd, b"one copy")
+        syscalls.close(fd)
+        syscalls.makedirs("/mnt/view")
+        syscalls.bind_mount("/srv/data", "/mnt/view")
+        assert syscalls.read(syscalls.open("/mnt/view/shared"), 100) == b"one copy"
+        assert syscalls.stat("/mnt/view/shared").st_ino == \
+            syscalls.stat("/srv/data/shared").st_ino
+
+    def test_file_bind_mount(self, machine, syscalls):
+        fd = syscalls.open("/etc/app-config", OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        syscalls.write(fd, b"config-a")
+        syscalls.close(fd)
+        fd = syscalls.open("/etc/other-config", OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        syscalls.write(fd, b"config-b")
+        syscalls.close(fd)
+        syscalls.bind_mount("/etc/app-config", "/etc/other-config")
+        assert syscalls.read(syscalls.open("/etc/other-config"), 100) == b"config-a"
+
+    def test_umount_busy_with_child_mounts(self, machine, syscalls):
+        inner = TmpFS("inner", machine.kernel.clock, machine.kernel.costs)
+        outer = TmpFS("outer", machine.kernel.clock, machine.kernel.costs)
+        syscalls.makedirs("/mnt/outer")
+        syscalls.mount(outer, "/mnt/outer")
+        syscalls.makedirs("/mnt/outer/inner")
+        syscalls.mount(inner, "/mnt/outer/inner")
+        with pytest.raises(FsError) as exc:
+            syscalls.umount("/mnt/outer")
+        assert exc.value.errno == errno.EBUSY
+        syscalls.umount("/mnt/outer/inner")
+        syscalls.umount("/mnt/outer")
+
+    def test_dotdot_crosses_mountpoints(self, machine, syscalls):
+        extra = TmpFS("extra", machine.kernel.clock, machine.kernel.costs)
+        syscalls.makedirs("/opt/app")
+        syscalls.mount(extra, "/opt/app")
+        syscalls.makedirs("/opt/app/deep")
+        assert syscalls.stat("/opt/app/deep/../../..").st_ino == syscalls.stat("/").st_ino
+
+    def test_rename_across_filesystems_is_exdev(self, machine, syscalls):
+        fd = syscalls.open("/root/on-rootfs", OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        syscalls.close(fd)
+        with pytest.raises(FsError) as exc:
+            syscalls.rename("/root/on-rootfs", "/tmp/on-tmpfs")
+        assert exc.value.errno == errno.EXDEV
+
+    def test_mount_propagation_private_vs_shared(self, machine, syscalls):
+        from repro.kernel.namespaces import NamespaceKind
+        # Host tree is shared (set up by boot); a cloned namespace receives
+        # mounts made under shared mounts, but not after making it private.
+        cloned = machine.spawn_host_process(["/usr/bin/cloned"])
+        cloned.unshare(NamespaceKind.MNT)
+        extra = TmpFS("propagated", machine.kernel.clock, machine.kernel.costs)
+        machine.syscalls.makedirs("/srv/propagation-test")
+        machine.syscalls.mount(extra, "/srv/propagation-test")
+        assert any(m["mountpoint"] == "/srv/propagation-test"
+                   for m in cloned.mount_table())
+        # Now the private case: new namespace marked private sees nothing new.
+        isolated = machine.spawn_host_process(["/usr/bin/isolated"])
+        isolated.unshare(NamespaceKind.MNT)
+        isolated.process.mnt_ns.make_all_private()
+        extra2 = TmpFS("not-propagated", machine.kernel.clock, machine.kernel.costs)
+        machine.syscalls.makedirs("/srv/private-test")
+        machine.syscalls.mount(extra2, "/srv/private-test")
+        assert not any(m["mountpoint"] == "/srv/private-test"
+                       for m in isolated.mount_table())
+
+
+@pytest.fixture(scope="module")
+def cntr_env():
+    """A CntrFS-over-tmpfs environment shared by the FUSE tests."""
+    return cntrfs_environment()
+
+
+class TestFuseStack:
+    def test_basic_roundtrip_through_fuse(self, cntr_env):
+        sc = cntr_env.sc
+        path = f"{cntr_env.test_dir}/fuse-file"
+        fd = sc.open(path, OpenFlags.O_CREAT | OpenFlags.O_RDWR)
+        sc.write(fd, b"through the FUSE boundary")
+        sc.close(fd)
+        assert sc.read(sc.open(path), 100) == b"through the FUSE boundary"
+
+    def test_mkdir_and_listing_through_fuse(self, cntr_env):
+        sc = cntr_env.sc
+        base = f"{cntr_env.test_dir}/tree"
+        sc.makedirs(f"{base}/a/b")
+        fd = sc.open(f"{base}/a/b/leaf", OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        sc.close(fd)
+        assert sc.listdir(f"{base}/a/b") == ["leaf"]
+
+    def test_requests_are_counted(self, cntr_env):
+        stats = cntr_env.fs_under_test.connection.stats
+        before = stats.requests_total
+        cntr_env.sc.stat(f"{cntr_env.test_dir}")
+        assert stats.requests_total >= before
+
+    def test_entry_cache_avoids_second_lookup(self, cntr_env):
+        sc = cntr_env.sc
+        client = cntr_env.fs_under_test
+        path = f"{cntr_env.test_dir}/cached-entry"
+        fd = sc.open(path, OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        sc.close(fd)
+        stats = client.connection.stats
+        sc.stat(path)
+        lookups_before = stats.requests_by_opcode.get("LOOKUP", 0)
+        sc.stat(path)
+        assert stats.requests_by_opcode.get("LOOKUP", 0) == lookups_before
+
+    def test_o_direct_rejected(self, cntr_env):
+        sc = cntr_env.sc
+        path = f"{cntr_env.test_dir}/directio"
+        fd = sc.open(path, OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        sc.close(fd)
+        with pytest.raises(FsError) as exc:
+            sc.open(path, OpenFlags.O_RDONLY | OpenFlags.O_DIRECT)
+        assert exc.value.errno == errno.EINVAL
+
+    def test_xattrs_forwarded_to_backing_store(self, cntr_env):
+        sc = cntr_env.sc
+        path = f"{cntr_env.test_dir}/xattr-file"
+        fd = sc.open(path, OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        sc.close(fd)
+        sc.setxattr(path, "user.origin", b"fuse")
+        assert sc.getxattr(path, "user.origin") == b"fuse"
+        assert "user.origin" in sc.listxattr(path)
+
+    def test_writeback_flush_on_fsync(self, cntr_env):
+        sc = cntr_env.sc
+        client = cntr_env.fs_under_test
+        path = f"{cntr_env.test_dir}/writeback"
+        fd = sc.open(path, OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        sc.write(fd, b"w" * 8192)
+        assert client._writeback_total > 0 or client.options.writeback_cache is False
+        sc.fsync(fd)
+        assert client._writeback_pending.get(client._entry_cache.get(
+            (0, "ignored"), 0), 0) == 0 or client._writeback_total == 0
+        sc.close(fd)
+
+    def test_unknown_opcode_returns_enosys(self, cntr_env):
+        from repro.fuse.protocol import FuseRequest
+        server = cntr_env.fs_under_test.connection.server
+        reply = server.handle(FuseRequest(FuseOpcode.BMAP, 1, args={}))
+        assert reply.error == errno.ENOSYS
+
+    def test_forget_batching(self):
+        env = cntrfs_environment()
+        sc = env.sc
+        client = env.fs_under_test
+        base = f"{env.test_dir}/forget"
+        sc.makedirs(base)
+        for i in range(80):
+            fd = sc.open(f"{base}/f{i}", OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+            sc.close(fd)
+        for i in range(80):
+            sc.unlink(f"{base}/f{i}")
+        client.flush_forgets()
+        assert client.connection.stats.forgets_batched >= 64
+
+
+class TestMountOptions:
+    def test_defaults_match_paper(self):
+        options = FuseMountOptions.paper_defaults()
+        assert options.keep_cache and options.writeback_cache
+        assert options.parallel_dirops and options.async_read and options.splice_read
+        assert not options.splice_write
+
+    def test_all_off_configuration(self):
+        options = FuseMountOptions.all_optimizations_off()
+        assert not any([options.keep_cache, options.writeback_cache,
+                        options.parallel_dirops, options.async_read,
+                        options.splice_read, options.splice_write])
+        assert options.threads == 1
+
+    def test_keep_cache_off_invalidates_on_open(self):
+        env = cntrfs_environment(options=FuseMountOptions.paper_defaults()
+                                 .with_overrides(keep_cache=False))
+        sc = env.sc
+        client = env.fs_under_test
+        path = f"{env.test_dir}/no-keep-cache"
+        fd = sc.open(path, OpenFlags.O_CREAT | OpenFlags.O_RDWR)
+        sc.write(fd, b"d" * 8192)
+        sc.close(fd)
+        sc.read(sc.open(path), 8192)
+        resident_before = len(client.page_cache)
+        sc.read(sc.open(path), 8192)   # the open invalidates, so pages reload
+        assert client.connection.stats.requests_by_opcode.get("READ", 0) >= 2
+        assert resident_before >= 0
+
+
+class TestXfstestsSuite:
+    def test_native_passes_everything(self):
+        from repro.xfstests import XfstestsRunner
+        summary = XfstestsRunner(native_environment).run()
+        assert summary.total == 94
+        assert summary.passed == 94, summary.format_table()
+
+    def test_cntrfs_matches_paper_pass_rate(self):
+        from repro.xfstests import XfstestsRunner, PAPER_FAILING_TESTS
+        summary = XfstestsRunner(cntrfs_environment).run()
+        assert summary.total == 94
+        assert summary.passed == 90, summary.format_table()
+        assert sorted(summary.failing_ids()) == sorted(PAPER_FAILING_TESTS)
+        assert summary.pass_rate == pytest.approx(0.9574, abs=1e-3)

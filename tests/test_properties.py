@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) for the core data structures."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.fs.constants import LockType, OpenFlags
+from repro.fs.inode import FileData
+from repro.fs.locks import FileLock, LockRange, LockTable
+from repro.fs.pagecache import PageCache
+from repro.fs.errors import FsError
+
+# Keep examples small: every operation is pure Python.
+SMALL_OFFSET = st.integers(min_value=0, max_value=64 * 1024)
+SMALL_DATA = st.binary(min_size=0, max_size=4096)
+
+write_ops = st.tuples(SMALL_OFFSET, SMALL_DATA)
+
+
+class TestFileDataProperties:
+    @given(st.lists(write_ops, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_bytearray_model(self, ops):
+        """FileData must behave exactly like a flat, zero-filled bytearray."""
+        data = FileData()
+        reference = bytearray()
+        for offset, payload in ops:
+            data.write(offset, payload)
+            end = offset + len(payload)
+            if len(reference) < end:
+                reference.extend(b"\x00" * (end - len(reference)))
+            reference[offset:end] = payload
+        assert len(data) == len(reference)
+        assert data.to_bytes() == bytes(reference)
+
+    @given(st.lists(write_ops, max_size=10), st.integers(min_value=0, max_value=32768))
+    @settings(max_examples=40, deadline=None)
+    def test_truncate_matches_reference(self, ops, new_size):
+        data = FileData()
+        reference = bytearray()
+        for offset, payload in ops:
+            data.write(offset, payload)
+            end = offset + len(payload)
+            if len(reference) < end:
+                reference.extend(b"\x00" * (end - len(reference)))
+            reference[offset:end] = payload
+        data.truncate(new_size)
+        if len(reference) < new_size:
+            reference.extend(b"\x00" * (new_size - len(reference)))
+        else:
+            del reference[new_size:]
+        assert data.to_bytes() == bytes(reference)
+
+    @given(SMALL_OFFSET, SMALL_DATA, SMALL_OFFSET, st.integers(min_value=0, max_value=8192))
+    @settings(max_examples=50, deadline=None)
+    def test_reads_never_exceed_file_size(self, woff, payload, roff, rsize):
+        data = FileData()
+        data.write(woff, payload)
+        out = data.read(roff, rsize)
+        assert len(out) <= max(0, len(data) - roff) if roff < len(data) else out == b""
+
+
+class TestPageCacheProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=3),
+                              SMALL_OFFSET,
+                              st.integers(min_value=1, max_value=16384)),
+                    min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_second_access_is_always_a_hit(self, accesses):
+        cache = PageCache()          # unbounded
+        for ino, offset, size in accesses:
+            cache.access(ino, offset, size)
+            hits, misses = cache.access(ino, offset, size)
+            assert misses == 0, "a repeated access with no eviction must hit"
+
+    @given(st.integers(min_value=1, max_value=64),
+           st.lists(st.tuples(SMALL_OFFSET, st.integers(min_value=1, max_value=16384)),
+                    min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_capacity_is_never_exceeded(self, max_pages, accesses):
+        cache = PageCache(max_bytes=max_pages * 4096)
+        for offset, size in accesses:
+            cache.access(1, offset, size)
+            assert len(cache) <= max_pages
+
+
+class TestLockTableProperties:
+    lock_requests = st.lists(
+        st.tuples(st.integers(min_value=1, max_value=4),              # owner
+                  st.sampled_from([LockType.F_RDLCK, LockType.F_WRLCK,
+                                   LockType.F_UNLCK]),
+                  st.integers(min_value=0, max_value=1000),           # start
+                  st.integers(min_value=0, max_value=500)),           # length
+        max_size=25)
+
+    @given(lock_requests)
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_granted_locks_never_conflict(self, requests):
+        """Invariant: the set of granted locks is always conflict-free."""
+        table = LockTable()
+        for owner, lock_type, start, length in requests:
+            try:
+                table.acquire(owner, lock_type, start, length)
+            except FsError:
+                pass
+            held = table.held_locks()
+            for i, a in enumerate(held):
+                for b in held[i + 1:]:
+                    assert not a.conflicts_with(b), f"conflicting locks granted: {a} {b}"
+
+    @given(st.integers(min_value=0, max_value=100), st.integers(min_value=0, max_value=50),
+           st.integers(min_value=0, max_value=100), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=60, deadline=None)
+    def test_range_overlap_symmetry(self, s1, l1, s2, l2):
+        a, b = LockRange(s1, l1), LockRange(s2, l2)
+        assert a.overlaps(b) == b.overlaps(a)
+
+
+class TestVfsPathProperties:
+    name_strategy = st.text(alphabet="abcdefgh", min_size=1, max_size=8)
+
+    @given(st.lists(name_strategy, min_size=1, max_size=4), st.binary(max_size=256))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_write_read_roundtrip_at_any_depth(self, components, payload):
+        """Whatever is written at a path is read back, regardless of nesting."""
+        from repro.fs.ext4 import Ext4Fs
+        from repro.fs.mount import MountNamespace
+        from repro.fs.vfs import Credentials, PathContext, VFS, VNode
+
+        from repro.sim import CostModel, VirtualClock
+        fs = Ext4Fs("prop", VirtualClock(), CostModel())
+        ns = MountNamespace(fs)
+        vfs = VFS()
+        root = VNode(ns.root_mount, fs.root_ino)
+        ctx = PathContext(ns=ns, root=root, cwd=root, creds=Credentials())
+        directory = "/" + "/".join(components[:-1]) if len(components) > 1 else "/"
+        if directory != "/":
+            vfs.makedirs(ctx, directory)
+        path = directory.rstrip("/") + "/" + components[-1]
+        handle = vfs.open(ctx, path, OpenFlags.O_CREAT | OpenFlags.O_RDWR, 0o644)
+        vfs.write(handle, payload)
+        handle.close()
+        handle = vfs.open(ctx, path, OpenFlags.O_RDONLY)
+        assert vfs.read(handle, len(payload) + 10) == payload
+        handle.close()
+        assert vfs.stat(ctx, path).st_size == len(payload)

@@ -1,0 +1,123 @@
+"""Tests for the virtual-time substrate (clock, cost model, tracer, RNG)."""
+
+import pytest
+
+from repro.sim import CostModel, DeterministicRandom, Tracer, VirtualClock
+from repro.sim.clock import StopwatchRegion
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now_ns == 0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(100)
+        clock.advance(250.7)
+        assert clock.now_ns == 350
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(start_ns=-5)
+
+    def test_seconds_property(self):
+        clock = VirtualClock()
+        clock.advance(2_500_000_000)
+        assert clock.now_s == pytest.approx(2.5)
+
+    def test_elapsed_since(self):
+        clock = VirtualClock()
+        t0 = clock.now_ns
+        clock.advance(42)
+        assert clock.elapsed_since(t0) == 42
+
+    def test_stopwatch_region(self):
+        clock = VirtualClock()
+        with StopwatchRegion(clock) as region:
+            clock.advance(1234)
+        assert region.elapsed_ns == 1234
+
+
+class TestCostModel:
+    def test_copy_cost_scales_with_bytes(self):
+        costs = CostModel()
+        assert costs.copy_cost(2000) == pytest.approx(2 * costs.copy_cost(1000))
+
+    def test_splice_cheaper_than_copy_for_large_transfers(self):
+        costs = CostModel()
+        size = 1 << 20
+        assert costs.splice_cost(size) < costs.copy_cost(size)
+
+    def test_random_disk_read_pays_full_seek(self):
+        costs = CostModel()
+        assert costs.disk_read_cost(4096, sequential=False) > \
+            costs.disk_read_cost(4096, sequential=True)
+
+    def test_with_overrides_does_not_mutate_original(self):
+        costs = CostModel()
+        changed = costs.with_overrides(fuse_request_ns=1)
+        assert changed.fuse_request_ns == 1
+        assert costs.fuse_request_ns != 1
+
+
+class TestTracer:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record(0, "fs", "read", 100)
+        assert tracer.count("fs.read") == 0
+
+    def test_enabled_tracer_counts_and_costs(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(0, "fs", "read", 100)
+        tracer.record(10, "fs", "read", 50)
+        assert tracer.count("fs.read") == 2
+        assert tracer.total_cost("fs.read") == 150
+
+    def test_capacity_limits_event_storage_but_not_counts(self):
+        tracer = Tracer(enabled=True, capacity=2)
+        for i in range(5):
+            tracer.record(i, "fs", "write", 1)
+        assert tracer.count("fs.write") == 5
+        assert len(list(tracer.events())) == 2
+        assert tracer.dropped == 3
+
+    def test_summary_sorted_by_cost(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(0, "a", "cheap", 1)
+        tracer.record(0, "a", "expensive", 1000)
+        assert tracer.summary()[0][0] == "a.expensive"
+
+    def test_clear(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(0, "x", "y", 5)
+        tracer.clear()
+        assert tracer.count("x.y") == 0
+
+
+class TestDeterministicRandom:
+    def test_same_seed_same_stream(self):
+        a, b = DeterministicRandom("seed"), DeterministicRandom("seed")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a, b = DeterministicRandom("one"), DeterministicRandom("two")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_reseed_restarts_stream(self):
+        rng = DeterministicRandom(7)
+        first = [rng.random() for _ in range(3)]
+        rng.reseed()
+        assert [rng.random() for _ in range(3)] == first
+
+    def test_zipf_index_in_range(self):
+        rng = DeterministicRandom(1)
+        for _ in range(100):
+            assert 0 <= rng.zipf_index(10) < 10
+
+    def test_zipf_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            DeterministicRandom(1).zipf_index(0)

@@ -1,0 +1,113 @@
+"""Tests for the Docker-Slim analogue, the catalogue and the benchmark harness."""
+
+import pytest
+
+from repro.bench.harness import BenchEnvironment, figure5_docker_slim, run_comparison
+from repro.bench.phoronix import ALL_WORKLOADS, CompilebenchRead, Fio, workload_by_name
+from repro.container import DockerEngine
+from repro.slim import DockerSlim, TOP50_CATALOGUE, build_catalogue_image
+from repro.slim.catalogue import catalogue_summary, hot_paths_of
+from repro.slim.tracker import AccessTracker, TrackedSyscalls
+
+
+class TestCatalogue:
+    def test_fifty_images(self):
+        assert len(TOP50_CATALOGUE) == 50
+
+    def test_aggregate_statistics_match_paper(self):
+        stats = catalogue_summary()
+        assert stats["mean_reduction"] == pytest.approx(66.6, abs=1.5)
+        assert stats["below_10_percent"] == 6
+        assert stats["between_60_and_97"] / 50 >= 0.75
+
+    def test_catalogue_image_materialisation(self):
+        entry = TOP50_CATALOGUE[0]
+        image = build_catalogue_image(entry, max_files=200)
+        assert abs(image.size_bytes - entry.total_size_bytes) / entry.total_size_bytes < 0.05
+        assert image.config.entrypoint == (entry.entrypoint,)
+        assert hot_paths_of(image)
+
+
+class TestDockerSlim:
+    def test_static_analysis_matches_expected_reduction(self):
+        slimmer = DockerSlim()
+        for entry in TOP50_CATALOGUE[:5]:
+            image = build_catalogue_image(entry, max_files=300)
+            report = slimmer.analyze_static(image)
+            assert report.reduction_percent == pytest.approx(
+                entry.expected_reduction_percent, abs=3.0)
+
+    def test_slim_image_keeps_entrypoint_and_drops_tools(self):
+        slimmer = DockerSlim()
+        entry = next(e for e in TOP50_CATALOGUE if e.name == "nginx")
+        image = build_catalogue_image(entry, max_files=300)
+        report = slimmer.analyze_static(image)
+        slim_image = slimmer.build_slim_image(image, report.accessed_paths)
+        flat = slim_image.flatten()
+        assert entry.entrypoint in flat
+        assert report.slim_files < report.original_files
+        assert report.dropped_tools          # auxiliary tools were removed
+
+    def test_dynamic_analysis_through_container(self, machine):
+        docker = DockerEngine(machine)
+        entry = next(e for e in TOP50_CATALOGUE if e.name == "redis")
+        image = build_catalogue_image(entry, max_files=60)
+        slimmer = DockerSlim()
+        report = slimmer.analyze_dynamic(docker, image, container_name="slim-probe")
+        assert report.reduction_percent > 50
+        assert entry.entrypoint in report.accessed_paths
+
+    def test_access_tracker_records_reads(self, machine, syscalls):
+        tracker = AccessTracker()
+        tracked = TrackedSyscalls(syscalls, tracker)
+        tracked.touch_all(["/etc/hostname", "/etc/passwd", "/does/not/exist"])
+        assert "/etc/hostname" in tracker.accessed_paths()
+        assert "/does/not/exist" not in tracker.accessed_paths()
+        record = next(r for r in tracker.records() if r.path == "/etc/hostname")
+        assert record.reads >= 1 and record.bytes_read > 0
+
+
+class TestFigure5:
+    def test_figure5_reproduces_paper_aggregates(self):
+        result = figure5_docker_slim(max_files=120)
+        assert len(result.reports) == 50
+        assert result.mean_reduction == pytest.approx(66.6, abs=3.0)
+        assert result.count_below(10.0) == 6
+        assert result.count_between(60.0, 97.0) / 50 >= 0.75
+        assert sum(result.histogram().values()) == 50
+
+
+class TestBenchHarness:
+    def test_environment_provides_both_access_paths(self):
+        env = BenchEnvironment()
+        native_sc, native_base = env.native_access()
+        cntr_sc, cntr_base = env.cntr_access()
+        from repro.fs.constants import OpenFlags
+        fd = native_sc.open(f"{native_base}/shared.txt",
+                            OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        native_sc.write(fd, b"visible on both paths")
+        native_sc.close(fd)
+        # Benchmark environments run with store_data=False, so compare
+        # metadata rather than content: same file, same size, on both paths.
+        assert cntr_sc.stat(f"{cntr_base}/shared.txt").st_size == \
+            native_sc.stat(f"{native_base}/shared.txt").st_size == \
+            len(b"visible on both paths")
+
+    def test_workload_registry(self):
+        assert len(ALL_WORKLOADS) == 20
+        assert workload_by_name("PostMark").paper_overhead == pytest.approx(7.1)
+        with pytest.raises(KeyError):
+            workload_by_name("not-a-benchmark")
+
+    def test_lookup_heavy_workload_shows_large_overhead(self):
+        result = run_comparison(CompilebenchRead())
+        assert result.overhead > 2.0, "compilebench read-tree must be a worst case"
+        assert result.agrees_with_paper_direction()
+
+    def test_writeback_friendly_workload_is_not_slower(self):
+        result = run_comparison(Fio())
+        assert result.overhead < 1.6
+
+    def test_comparison_measures_positive_durations(self):
+        result = run_comparison(workload_by_name("Gzip"))
+        assert result.native_ns > 0 and result.cntr_ns > 0
