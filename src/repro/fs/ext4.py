@@ -74,8 +74,7 @@ class Ext4Fs(Filesystem):
             self._background_writeback()
 
     def _charge_fsync(self, ino: int, datasync: bool) -> None:
-        dirty = self.page_cache.dirty_pages(ino)
-        nbytes = len(dirty) * self.costs.page_size
+        nbytes = self.page_cache.dirty_page_count(ino) * self.costs.page_size
         if nbytes:
             self.device.write(0, nbytes)
             self.page_cache.clean(ino)
@@ -88,8 +87,7 @@ class Ext4Fs(Filesystem):
 
     def _background_writeback(self) -> None:
         """Flush all dirty pages, emulating the flusher threads."""
-        dirty = self.page_cache.dirty_pages()
-        nbytes = len(dirty) * self.costs.page_size
+        nbytes = self.page_cache.dirty_page_count() * self.costs.page_size
         if nbytes:
             self.device.write(0, nbytes)
             self.page_cache.clean()
@@ -107,3 +105,4 @@ class Ext4Fs(Filesystem):
         """Equivalent of ``echo 3 > /proc/sys/vm/drop_caches`` for experiments."""
         self._background_writeback()
         self.page_cache.invalidate_all()
+        self.invalidate_dentries()

@@ -47,6 +47,10 @@ class Filesystem:
     #: Whether the filesystem interprets POSIX ACLs during chmod; the FUSE
     #: client delegates ACLs to the backing store, reproducing failure #375.
     interprets_acls_on_chmod = True
+    #: Whether VFS path resolution may cache this filesystem's dentries.
+    #: Synthetic filesystems whose namespace changes without going through the
+    #: name-mutating API (procfs) opt out.
+    dcacheable = True
 
     def __init__(self, name: str, clock: VirtualClock, costs: CostModel,
                  tracer: Tracer | None = None, capacity_bytes: int = 64 << 30,
@@ -70,6 +74,27 @@ class Filesystem:
                               nlink=2, fs_name=self.name)
         self._inodes[root.ino] = root
         self.root_ino = root.ino
+        #: Bumped whenever an existing name binding is removed or rebound;
+        #: the VFS dentry cache treats entries from older generations as
+        #: stale.  Adding brand-new names does not bump it (positive entries
+        #: cannot go stale from a pure addition, and negatives are not cached).
+        self.dentry_gen = 0
+
+    def invalidate_dentries(self) -> None:
+        """Invalidate every VFS dentry-cache entry pointing into this filesystem."""
+        self.dentry_gen += 1
+
+    def charge_lookup_hit(self, dir_ino: int, name: str, ino: int) -> None:
+        """Charge the virtual cost of a VFS dentry-cache hit on ``name``.
+
+        Deliberately identical to what this filesystem's own warm ``lookup``
+        path charges, so resolving through the dcache never shifts simulated
+        results — the dcache removes interpreter work (wall-clock), not
+        modelled kernel work (virtual time).  Filesystems whose warm path has
+        extra preconditions (the FUSE client's attribute freshness) override
+        this to revalidate when those do not hold.
+        """
+        self._charge_metadata("lookup")
 
     # ------------------------------------------------------------------ hooks
     def _charge_metadata(self, op: str) -> None:
@@ -245,6 +270,7 @@ class Filesystem:
         if inode.is_dir:
             raise FsError.eisdir(name)
         directory.remove(name)
+        self.invalidate_dentries()
         inode.nlink -= 1
         inode.ctime_ns = self._now()
         directory.touch(self._now(), mtime=True, ctime=True)
@@ -264,6 +290,7 @@ class Filesystem:
         if not inode.is_empty():
             raise FsError.enotempty(name)
         directory.remove(name)
+        self.invalidate_dentries()
         directory.nlink -= 1
         directory.touch(self._now(), mtime=True, ctime=True)
         inode.nlink = 0
@@ -271,7 +298,12 @@ class Filesystem:
 
     def rename(self, old_dir: int, old_name: str, new_dir: int, new_name: str,
                flags: int = 0) -> None:
-        """Rename/move an entry, honouring ``RENAME_NOREPLACE``/``RENAME_EXCHANGE``."""
+        """Rename/move an entry, honouring ``RENAME_NOREPLACE``/``RENAME_EXCHANGE``.
+
+        The dentry invalidation happens after the name rebinding succeeds
+        (every failure path raises before the first mutation), so failed
+        renames do not wipe the dentry cache.
+        """
         self._require_writable()
         self._charge_metadata("rename")
         src_dir = self._require_dir(old_dir)
@@ -287,6 +319,7 @@ class Filesystem:
             dst_ino = dst_dir.entries[new_name]
             src_dir.replace(old_name, dst_ino)
             dst_dir.replace(new_name, src_ino)
+            self.invalidate_dentries()
             now = self._now()
             src_dir.touch(now, mtime=True, ctime=True)
             dst_dir.touch(now, mtime=True, ctime=True)
@@ -313,6 +346,7 @@ class Filesystem:
                     self._drop_inode(dst_inode)
         src_dir.remove(old_name)
         dst_dir.replace(new_name, src_ino)
+        self.invalidate_dentries()
         if src_inode.is_dir and src_dir is not dst_dir:
             src_dir.nlink -= 1
             dst_dir.nlink += 1

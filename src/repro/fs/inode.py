@@ -91,7 +91,11 @@ class FileData:
         self._size = size
 
     def punch_hole(self, offset: int, length: int) -> None:
-        """Zero a byte range without changing the file size."""
+        """Zero a byte range without changing the file size.
+
+        Fully covered pages are dropped from the sparse store (restoring the
+        hole) instead of being overwritten with zeros.
+        """
         if not self.store:
             return
         end = min(offset + length, self._size)
@@ -99,9 +103,12 @@ class FileData:
         while pos < end:
             page_idx, page_off = divmod(pos, PAGE_SIZE)
             chunk = min(end - pos, PAGE_SIZE - page_off)
-            page = self._pages.get(page_idx)
-            if page is not None:
-                page[page_off:page_off + chunk] = b"\x00" * chunk
+            if chunk == PAGE_SIZE:
+                self._pages.pop(page_idx, None)
+            else:
+                page = self._pages.get(page_idx)
+                if page is not None:
+                    page[page_off:page_off + chunk] = b"\x00" * chunk
             pos += chunk
         return
 

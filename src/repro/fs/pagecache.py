@@ -1,4 +1,4 @@
-"""Page cache model.
+"""Extent-based page cache model.
 
 The page cache does not hold file data (data always lives on the inode); it
 tracks which pages are *resident* and which are *dirty*, because residency and
@@ -6,11 +6,44 @@ dirtiness are what determine the virtual-time cost of an access and the number
 of FUSE/disk requests issued.  This is the same modelling choice throughout
 the reproduction: correctness state is exact, performance state is a cost
 model.
+
+Representation
+--------------
+Residency is stored as **extents** — per-inode sorted lists of disjoint
+``[start, end)`` page intervals — instead of one dict entry per page, so every
+operation costs O(extents touched), not O(pages touched).  A GB-sized
+sequential access touches a handful of intervals where the seed implementation
+iterated over 260k dict keys.
+
+LRU semantics are *exactly* equivalent to the historical per-page
+``OrderedDict`` implementation: every access/write appends the touched range
+at the MRU end (splitting whatever it overlapped), extents carry monotonically
+increasing sequence numbers, and eviction trims pages from the start of the
+globally oldest extent — which is the same order a per-page LRU dict would
+produce, because a batch access always left its pages contiguous at the MRU
+end in ascending page order.
+
+Two deliberate semantic choices (see PERFORMANCE.md):
+
+* ``access``/``write`` are *batch* operations: hits and misses for the whole
+  range are determined before any insertion or eviction happens.  The seed
+  interleaved per-page inserts with evictions, which only diverges when a
+  single access spans a significant fraction of the whole cache capacity.
+* An eviction charges **one writeback per maximal run of contiguous dirty
+  pages** (per inode) evicted in a single eviction pass, modelling the kernel
+  coalescing neighbouring dirty pages into one writeback bio.  The seed
+  charged one writeback per dirty page evicted.  ``clean()`` still counts one
+  writeback per flush, as before.
+
+The per-page double LRU bookkeeping of the seed (``is_resident`` moving a key
+to the MRU end and ``_insert`` immediately moving it again on a miss) is gone:
+each operation touches the LRU structure once per extent.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import heapq
+from bisect import bisect_right
 from dataclasses import dataclass
 
 PAGE_SIZE = 4096
@@ -41,94 +74,358 @@ class PageCacheStats:
         return self.hits / total if total else 0.0
 
 
+class _Extent:
+    """A run of contiguous resident pages of one inode with one dirty flag."""
+
+    __slots__ = ("ino", "start", "end", "dirty", "seq", "eid")
+
+    def __init__(self, ino: int, start: int, end: int, dirty: bool,
+                 seq: int, eid: int) -> None:
+        self.ino = ino
+        self.start = start
+        self.end = end
+        self.dirty = dirty
+        self.seq = seq
+        self.eid = eid
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = "D" if self.dirty else "c"
+        return f"<ext ino={self.ino} [{self.start},{self.end}) {flag} seq={self.seq}>"
+
+
+def _start(ext: _Extent) -> int:
+    return ext.start
+
+
 class PageCache:
-    """LRU page cache tracking residency and dirtiness per ``(ino, page)`` key."""
+    """LRU page cache tracking residency and dirtiness in per-inode extents."""
 
     def __init__(self, max_bytes: int | None = None, page_size: int = PAGE_SIZE) -> None:
         self.page_size = page_size
         self.max_pages = None if max_bytes is None else max(1, max_bytes // page_size)
-        self._resident: OrderedDict[tuple[int, int], bool] = OrderedDict()  # value = dirty
         self.stats = PageCacheStats()
+        #: ino -> list of disjoint extents sorted by start.
+        self._by_ino: dict[int, list[_Extent]] = {}
+        #: eid -> live extent (heap entries not found here are stale).
+        self._live: dict[int, _Extent] = {}
+        #: (seq, start, eid) min-heap: the LRU order, oldest extent first.
+        #: Same-seq entries are fragments of one original segment (so same
+        #: ino, disjoint ranges); tie-breaking by start page reproduces the
+        #: per-page dict order no matter how the segment was split later.
+        #: The start recorded at push time can go stale when the heap top is
+        #: partially evicted, but only by growing within its own range, which
+        #: never reorders it relative to its disjoint same-seq siblings.
+        self._heap: list[tuple[int, int, int]] = []
+        #: Per-inode dirty index: ino -> {eid: extent} holding only dirty
+        #: extents, so ``clean``/``dirty_pages`` never scan clean state.
+        self._dirty_exts: dict[int, dict[int, _Extent]] = {}
+        #: ino -> dirty page count (kept in lockstep with ``_dirty_exts``).
+        self._dirty_count: dict[int, int] = {}
+        self._pages = 0
+        self._next_seq = 0
+        self._next_eid = 0
 
+    # ------------------------------------------------------------- inspection
     def __len__(self) -> int:
-        return len(self._resident)
+        return self._pages
 
     @property
     def resident_bytes(self) -> int:
         """Bytes currently resident."""
-        return len(self._resident) * self.page_size
+        return self._pages * self.page_size
+
+    def extent_count(self) -> int:
+        """Number of live extents (the quantity hot-path work scales with)."""
+        return len(self._live)
+
+    def dirty_extent_count(self, ino: int | None = None) -> int:
+        """Number of dirty extents, optionally restricted to one inode."""
+        if ino is not None:
+            return len(self._dirty_exts.get(ino, ()))
+        return sum(len(d) for d in self._dirty_exts.values())
+
+    def dirty_page_count(self, ino: int | None = None) -> int:
+        """Dirty pages, in O(1), from the per-inode dirty index."""
+        if ino is not None:
+            return self._dirty_count.get(ino, 0)
+        return sum(self._dirty_count.values())
 
     def is_resident(self, ino: int, page: int) -> bool:
         """True when the page is cached (and refresh its LRU position)."""
-        key = (ino, page)
-        if key in self._resident:
-            self._resident.move_to_end(key)
-            return True
-        return False
+        lst = self._by_ino.get(ino)
+        if not lst:
+            return False
+        i = bisect_right(lst, page, key=_start) - 1
+        if i < 0 or lst[i].end <= page:
+            return False
+        removed = self._remove_range(ino, page, page + 1)
+        self._insert_segments(ino, removed)
+        return True
 
+    def resident_pages(self) -> dict[tuple[int, int], bool]:
+        """``(ino, page) -> dirty`` snapshot (tests / debugging only)."""
+        out: dict[tuple[int, int], bool] = {}
+        for ino, lst in self._by_ino.items():
+            for ext in lst:
+                for page in range(ext.start, ext.end):
+                    out[(ino, page)] = ext.dirty
+        return out
+
+    def lru_order(self) -> list[tuple[int, int]]:
+        """``(ino, page)`` keys from LRU to MRU (tests / debugging only)."""
+        live = sorted(self._live.values(), key=lambda e: (e.seq, e.start))
+        out = []
+        for ext in live:
+            out.extend((ext.ino, page) for page in range(ext.start, ext.end))
+        return out
+
+    # ------------------------------------------------------------- operations
     def access(self, ino: int, offset: int, size: int) -> tuple[int, int]:
         """Record a read access; returns ``(hit_pages, miss_pages)`` and caches misses."""
-        hits = misses = 0
-        for page in page_span(offset, size, self.page_size):
-            if self.is_resident(ino, page):
-                hits += 1
-            else:
-                misses += 1
-                self._insert(ino, page, dirty=False)
+        span = page_span(offset, size, self.page_size)
+        if not len(span):
+            return 0, 0
+        a, b = span.start, span.stop
+        removed = self._remove_range(ino, a, b)
+        hits = sum(hi - lo for lo, hi, _ in removed)
+        misses = (b - a) - hits
+        self._insert_segments(ino, self._fill_gaps(a, b, removed))
         self.stats.hits += hits
         self.stats.misses += misses
+        self._evict_to_capacity()
         return hits, misses
 
     def write(self, ino: int, offset: int, size: int) -> int:
         """Record a buffered write; returns the number of pages dirtied."""
-        dirtied = 0
-        for page in page_span(offset, size, self.page_size):
-            key = (ino, page)
-            if key in self._resident:
-                if not self._resident[key]:
-                    dirtied += 1
-                self._resident[key] = True
-                self._resident.move_to_end(key)
-            else:
-                self._insert(ino, page, dirty=True)
-                dirtied += 1
-        return dirtied
+        span = page_span(offset, size, self.page_size)
+        if not len(span):
+            return 0
+        a, b = span.start, span.stop
+        removed = self._remove_range(ino, a, b)
+        already_dirty = sum(hi - lo for lo, hi, dirty in removed if dirty)
+        self._insert_segments(ino, [(a, b, True)])
+        self._evict_to_capacity()
+        return (b - a) - already_dirty
 
     def dirty_pages(self, ino: int | None = None) -> list[tuple[int, int]]:
-        """All dirty ``(ino, page)`` keys, optionally restricted to one inode."""
-        return [k for k, dirty in self._resident.items()
-                if dirty and (ino is None or k[0] == ino)]
+        """All dirty ``(ino, page)`` keys (sorted), optionally for one inode."""
+        targets = [ino] if ino is not None else sorted(self._dirty_exts)
+        out: list[tuple[int, int]] = []
+        for target in targets:
+            for ext in sorted(self._dirty_exts.get(target, {}).values(), key=_start):
+                out.extend((target, page) for page in range(ext.start, ext.end))
+        return out
 
     def clean(self, ino: int | None = None) -> int:
-        """Mark dirty pages clean (after writeback); returns pages cleaned."""
+        """Mark dirty pages clean (after writeback); returns pages cleaned.
+
+        O(dirty extents touched): the per-inode dirty index means neither the
+        whole cache nor even one inode's clean extents are scanned.
+        """
+        targets = [ino] if ino is not None else list(self._dirty_exts)
         cleaned = 0
-        for key, dirty in list(self._resident.items()):
-            if dirty and (ino is None or key[0] == ino):
-                self._resident[key] = False
-                cleaned += 1
+        for target in targets:
+            dirty = self._dirty_exts.pop(target, None)
+            if not dirty:
+                continue
+            for ext in dirty.values():
+                ext.dirty = False
+                cleaned += len(ext)
+            self._dirty_count.pop(target, None)
         if cleaned:
             self.stats.writebacks += 1
         return cleaned
 
     def invalidate(self, ino: int) -> int:
         """Drop every page of ``ino`` from the cache; returns pages dropped."""
-        victims = [k for k in self._resident if k[0] == ino]
-        for key in victims:
-            del self._resident[key]
-        return len(victims)
+        lst = self._by_ino.pop(ino, None)
+        if not lst:
+            return 0
+        dropped = 0
+        for ext in lst:
+            dropped += len(ext)
+            del self._live[ext.eid]
+        self._pages -= dropped
+        self._dirty_exts.pop(ino, None)
+        self._dirty_count.pop(ino, None)
+        self._maybe_compact_heap()
+        return dropped
 
     def invalidate_all(self) -> None:
         """Drop the whole cache (used when a FUSE mount does not keep caches)."""
-        self._resident.clear()
+        self._by_ino.clear()
+        self._live.clear()
+        self._heap.clear()
+        self._dirty_exts.clear()
+        self._dirty_count.clear()
+        self._pages = 0
 
-    def _insert(self, ino: int, page: int, dirty: bool) -> None:
-        key = (ino, page)
-        self._resident[key] = dirty
-        self._resident.move_to_end(key)
-        if self.max_pages is not None:
-            while len(self._resident) > self.max_pages:
-                old_key, old_dirty = self._resident.popitem(last=False)
-                self.stats.evictions += 1
-                if old_dirty:
-                    # An eviction of a dirty page implies a writeback.
+    # ------------------------------------------------------------- internals
+    def _remove_range(self, ino: int, a: int, b: int) -> list[tuple[int, int, bool]]:
+        """Carve ``[a, b)`` out of the inode's extents.
+
+        Returns the removed pieces as ``(start, end, dirty)`` in page order.
+        Partially overlapped extents are trimmed in place (keeping their LRU
+        age); an extent straddling both edges is split, the right remainder
+        inheriting the original sequence number.
+        """
+        lst = self._by_ino.get(ino)
+        if not lst:
+            return []
+        removed: list[tuple[int, int, bool]] = []
+        i = bisect_right(lst, a, key=_start) - 1
+        if i < 0 or lst[i].end <= a:
+            i += 1
+        while i < len(lst):
+            ext = lst[i]
+            if ext.start >= b:
+                break
+            lo = max(ext.start, a)
+            hi = min(ext.end, b)
+            removed.append((lo, hi, ext.dirty))
+            self._pages -= hi - lo
+            if ext.dirty:
+                self._note_dirty_pages(ino, -(hi - lo))
+            left = ext.start < lo
+            right = ext.end > hi
+            if left and right:
+                rest = self._new_extent(ino, hi, ext.end, ext.dirty, seq=ext.seq)
+                if rest.dirty:
+                    # The remainder keeps its pages' dirty-index entry; the
+                    # page count was only adjusted for the removed middle.
+                    self._dirty_exts.setdefault(ino, {})[rest.eid] = rest
+                ext.end = lo
+                lst.insert(i + 1, rest)
+                break
+            if left:
+                ext.end = lo
+                i += 1
+            elif right:
+                ext.start = hi
+                break
+            else:
+                del self._live[ext.eid]
+                if ext.dirty:
+                    self._drop_dirty_ext(ino, ext.eid)
+                lst.pop(i)
+        if not lst:
+            del self._by_ino[ino]
+        self._maybe_compact_heap()
+        return removed
+
+    @staticmethod
+    def _fill_gaps(a: int, b: int, removed: list[tuple[int, int, bool]]
+                   ) -> list[tuple[int, int, bool]]:
+        """Cover ``[a, b)`` with the removed pieces plus clean gap segments,
+        coalescing neighbours with the same dirty flag."""
+        segments: list[tuple[int, int, bool]] = []
+
+        def push(lo: int, hi: int, dirty: bool) -> None:
+            if segments and segments[-1][2] == dirty and segments[-1][1] == lo:
+                segments[-1] = (segments[-1][0], hi, dirty)
+            else:
+                segments.append((lo, hi, dirty))
+
+        pos = a
+        for lo, hi, dirty in removed:
+            if lo > pos:
+                push(pos, lo, False)
+            push(lo, hi, dirty)
+            pos = hi
+        if pos < b:
+            push(pos, b, False)
+        return segments
+
+    def _insert_segments(self, ino: int, segments: list[tuple[int, int, bool]]) -> None:
+        """Append segments (disjoint, ascending) at the MRU end."""
+        if not segments:
+            return
+        lst = self._by_ino.setdefault(ino, [])
+        pos = bisect_right(lst, segments[0][0], key=_start)
+        new = []
+        dirty_index = None
+        for lo, hi, dirty in segments:
+            ext = self._new_extent(ino, lo, hi, dirty)
+            new.append(ext)
+            self._pages += hi - lo
+            if dirty:
+                self._note_dirty_pages(ino, hi - lo)
+                if dirty_index is None:
+                    dirty_index = self._dirty_exts.setdefault(ino, {})
+                dirty_index[ext.eid] = ext
+        lst[pos:pos] = new
+
+    def _new_extent(self, ino: int, start: int, end: int, dirty: bool,
+                    seq: int | None = None) -> _Extent:
+        if seq is None:
+            seq = self._next_seq
+            self._next_seq += 1
+        eid = self._next_eid
+        self._next_eid += 1
+        ext = _Extent(ino, start, end, dirty, seq, eid)
+        self._live[eid] = ext
+        heapq.heappush(self._heap, (seq, start, eid))
+        return ext
+
+    def _note_dirty_pages(self, ino: int, delta: int) -> None:
+        count = self._dirty_count.get(ino, 0) + delta
+        if count > 0:
+            self._dirty_count[ino] = count
+        else:
+            self._dirty_count.pop(ino, None)
+
+    def _drop_dirty_ext(self, ino: int, eid: int) -> None:
+        exts = self._dirty_exts.get(ino)
+        if exts is not None:
+            exts.pop(eid, None)
+            if not exts:
+                del self._dirty_exts[ino]
+
+    def _evict_to_capacity(self) -> None:
+        """Trim the LRU tail until within capacity.
+
+        Evictions are counted per page (as before); writebacks are charged
+        once per maximal contiguous dirty run evicted in this pass.
+        """
+        if self.max_pages is None or self._pages <= self.max_pages:
+            return
+        prev_ino: int | None = None
+        prev_end = -1
+        prev_dirty = False
+        while self._pages > self.max_pages:
+            eid = self._heap[0][2]
+            ext = self._live.get(eid)
+            if ext is None:
+                heapq.heappop(self._heap)
+                continue
+            lst = self._by_ino[ext.ino]
+            i = bisect_right(lst, ext.start, key=_start) - 1
+            take = min(len(ext), self._pages - self.max_pages)
+            self.stats.evictions += take
+            if ext.dirty:
+                contiguous = (prev_dirty and prev_ino == ext.ino
+                              and prev_end == ext.start)
+                if not contiguous:
                     self.stats.writebacks += 1
+                self._note_dirty_pages(ext.ino, -take)
+            prev_ino, prev_end, prev_dirty = ext.ino, ext.start + take, ext.dirty
+            self._pages -= take
+            ext.start += take
+            if ext.start >= ext.end:
+                heapq.heappop(self._heap)
+                del self._live[eid]
+                if ext.dirty:
+                    self._drop_dirty_ext(ext.ino, eid)
+                lst.pop(i)
+                if not lst:
+                    del self._by_ino[ext.ino]
+
+    def _maybe_compact_heap(self) -> None:
+        """Drop stale heap entries once they outnumber live extents 4:1."""
+        if len(self._heap) > 64 and len(self._heap) > 4 * len(self._live):
+            self._heap = [(ext.seq, ext.start, eid)
+                          for eid, ext in self._live.items()]
+            heapq.heapify(self._heap)

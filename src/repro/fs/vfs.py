@@ -163,8 +163,70 @@ class OpenFile:
         return f"OpenFile({self.path!r}, ino={self.ino}, flags={self.flags:#o})"
 
 
+class DentryCache:
+    """The VFS dentry cache (dcache): ``(mount, parent_ino, name) -> ino``.
+
+    Path resolution used to re-walk every component through the concrete
+    filesystem's ``lookup`` on every syscall; the dcache makes repeated walks
+    O(components) dict probes, like ``fs/dcache.c``.  Correctness relies on
+    per-filesystem dentry generations (:attr:`Filesystem.dentry_gen`): any
+    operation that removes or rebinds an existing name — unlink, rmdir,
+    rename, ``drop_caches`` — bumps the generation, instantly invalidating
+    every cached entry of that filesystem.  Only positive entries are cached,
+    so pure name additions need no invalidation, and filesystems with
+    synthetic namespaces (procfs) opt out via ``dcacheable = False``.
+
+    Mount and unmount need no invalidation at all: entries are keyed by the
+    mount the walk is in and store the child inode *before* mount crossing,
+    which resolution applies afterwards against the live mount table.
+    """
+
+    def __init__(self, max_entries: int = 1 << 20) -> None:
+        self.max_entries = max_entries
+        self._entries: dict[tuple[int, int, str], tuple[int, int]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, mount: Mount, parent_ino: int, name: str) -> int | None:
+        """Cached child ino, or None on a miss or a stale generation."""
+        fs = mount.fs
+        if not fs.dcacheable:
+            return None
+        key = (mount.mount_id, parent_ino, name)
+        entry = self._entries.get(key)
+        if entry is not None:
+            ino, gen = entry
+            if gen == fs.dentry_gen:
+                self.hits += 1
+                return ino
+            del self._entries[key]
+        self.misses += 1
+        return None
+
+    def insert(self, mount: Mount, parent_ino: int, name: str, ino: int) -> None:
+        """Remember a positive lookup result."""
+        fs = mount.fs
+        if not fs.dcacheable:
+            return
+        if len(self._entries) >= self.max_entries:
+            # Wholesale shrink: crude, O(1) amortized, and safe — the cache
+            # refills from resolution traffic.
+            self._entries.clear()
+        self._entries[(mount.mount_id, parent_ino, name)] = (ino, fs.dentry_gen)
+
+    def clear(self) -> None:
+        """Drop every cached entry."""
+        self._entries.clear()
+
+
 class VFS:
     """Path-level filesystem operations over a mount namespace."""
+
+    def __init__(self) -> None:
+        self.dcache = DentryCache()
 
     # --------------------------------------------------------------- resolution
     def resolve(self, ctx: PathContext, path: str, *, follow: bool = True,
@@ -223,7 +285,15 @@ class VFS:
             return current
         if name == "..":
             return self._lookup_dotdot(ctx, current)
-        inode = current.fs.lookup(current.ino, name)
+        fs = current.fs
+        cached = self.dcache.lookup(current.mount, current.ino, name)
+        if cached is not None:
+            # Dentry-cache hit: skip the filesystem lookup but charge the same
+            # virtual cost its warm path would have, keeping figures invariant.
+            fs.charge_lookup_hit(current.ino, name, cached)
+            return VNode(current.mount, cached)
+        inode = fs.lookup(current.ino, name)
+        self.dcache.insert(current.mount, current.ino, name, inode.ino)
         return VNode(current.mount, inode.ino)
 
     def _lookup_dotdot(self, ctx: PathContext, current: VNode) -> VNode:

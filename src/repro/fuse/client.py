@@ -102,22 +102,39 @@ class FuseClientFs(Filesystem):
             self._update_proxy(1, reply.attr)
 
     def _request_overhead(self, dirop: bool, payload: int, received: int) -> float:
+        return self._batched_overhead(1, dirop, payload, received)
+
+    def _batched_overhead(self, nreq: int, dirop: bool, payload: int,
+                          received: int) -> float:
+        """Protocol cost of ``nreq`` requests transferring ``payload`` /
+        ``received`` bytes in total.
+
+        This is the arithmetic (O(1)) form of charging ``_request_overhead``
+        once per ``max_read``/``max_write``-sized chunk: the per-request fixed
+        costs (queueing, small reply, dirop serialization, thread contention,
+        splice pipe setup, splice header peek) scale with ``nreq``, the copy
+        and splice byte costs are linear in the totals, so the sum is exact.
+        """
         costs = self.costs
         options = self.options
-        overhead = costs.fuse_request_ns + costs.fuse_small_reply_ns
+        overhead = (costs.fuse_request_ns + costs.fuse_small_reply_ns) * nreq
         if dirop and not options.parallel_dirops:
-            overhead += costs.fuse_request_ns * 1.5
+            overhead += costs.fuse_request_ns * 1.5 * nreq
         if options.threads > 1:
-            overhead += costs.fuse_thread_contention_ns * math.log2(options.threads)
+            overhead += (costs.fuse_thread_contention_ns *
+                         math.log2(options.threads) * nreq)
         if payload:
             if options.splice_write:
                 # Splice writes need an extra context switch to peek the header.
-                overhead += costs.splice_cost(payload) + costs.context_switch_ns
+                overhead += (costs.fuse_splice_setup_ns +
+                             costs.context_switch_ns) * nreq
+                overhead += costs.splice_per_byte_ns * payload
             else:
                 overhead += costs.copy_cost(payload)
         if received:
             if options.splice_read:
-                overhead += costs.splice_cost(received)
+                overhead += costs.fuse_splice_setup_ns * nreq
+                overhead += costs.splice_per_byte_ns * received
             else:
                 overhead += costs.copy_cost(received)
         return overhead
@@ -131,6 +148,32 @@ class FuseClientFs(Filesystem):
         self.clock.advance(overhead)
         self.tracer.record(self.clock.now_ns, "fuse", opcode.name.lower(), int(overhead))
         request = FuseRequest(opcode, nodeid, args=args, payload=payload)
+        reply = self.connection.request(request)
+        if not reply.ok:
+            raise FsError(reply.error)
+        return reply
+
+    def _send_batched(self, opcode: FuseOpcode, nodeid: int, args: dict, nreq: int,
+                      payload: bytes = b"", expected_reply_bytes: int = 0,
+                      dirop: bool = False) -> FuseReply:
+        """Send one coalesced dispatch standing for ``nreq`` wire requests.
+
+        The protocol costs of all ``nreq`` requests are charged arithmetically
+        up front; the server handles the extent as a single operation but
+        accounts ``nreq`` requests (see :class:`repro.fuse.protocol.FuseRequest`).
+
+        Modelling choice: on an error reply the full batch has already been
+        charged and counted, whereas a chunked loop stopped at the first
+        failing wire request.  Error paths feed no figure, so the (cheaper)
+        arithmetic form keeps its one-shot charge there.
+        """
+        overhead = self._batched_overhead(nreq, dirop, len(payload),
+                                          expected_reply_bytes)
+        self.clock.advance(overhead)
+        self.tracer.record(self.clock.now_ns, "fuse", opcode.name.lower(),
+                           int(overhead), detail=f"coalesced={nreq}")
+        request = FuseRequest(opcode, nodeid, args=args, payload=payload,
+                              coalesced=nreq)
         reply = self.connection.request(request)
         if not reply.ok:
             raise FsError(reply.error)
@@ -191,25 +234,28 @@ class FuseClientFs(Filesystem):
         if self.options.batch_forget:
             self._pending_forgets.append(nodeid)
             if len(self._pending_forgets) >= FORGET_BATCH_SIZE:
-                self.clock.advance(self.costs.fuse_forget_batch_ns)
-                self.connection.request(FuseRequest(
-                    FuseOpcode.BATCH_FORGET, 0,
-                    args={"nodeids": list(self._pending_forgets)}))
-                self.connection.stats.forgets_batched += len(self._pending_forgets)
-                self._pending_forgets.clear()
+                self.flush_forgets()
         else:
             self.clock.advance(self.costs.fuse_forget_batch_ns)
             self.connection.request(FuseRequest(FuseOpcode.FORGET, nodeid, args={}))
 
     def flush_forgets(self) -> None:
-        """Flush any batched FORGET intents (called on unmount)."""
-        if self._pending_forgets:
-            self.clock.advance(self.costs.fuse_forget_batch_ns)
-            self.connection.request(FuseRequest(
-                FuseOpcode.BATCH_FORGET, 0,
-                args={"nodeids": list(self._pending_forgets)}))
-            self.connection.stats.forgets_batched += len(self._pending_forgets)
-            self._pending_forgets.clear()
+        """Flush batched FORGET intents (on batch overflow and at unmount).
+
+        However many nodeids accumulated, the cost is charged arithmetically
+        per FORGET_BATCH_SIZE-sized batch and the whole set goes out as one
+        coalesced BATCH_FORGET dispatch.
+        """
+        count = len(self._pending_forgets)
+        if not count:
+            return
+        batches = math.ceil(count / FORGET_BATCH_SIZE)
+        self.clock.advance(self.costs.fuse_forget_batch_ns * batches)
+        self.connection.request(FuseRequest(
+            FuseOpcode.BATCH_FORGET, 0,
+            args={"nodeids": list(self._pending_forgets)}, coalesced=batches))
+        self.connection.stats.forgets_batched += count
+        self._pending_forgets.clear()
 
     def drop_caches(self) -> None:
         """Invalidate the dentry, attribute and page caches (for experiments)."""
@@ -217,6 +263,7 @@ class FuseClientFs(Filesystem):
         self._entry_cache.clear()
         self._attr_fresh.clear()
         self.page_cache.invalidate_all()
+        self.invalidate_dentries()
 
     # ------------------------------------------------------------ open hooks
     def on_open(self, ino: int, flags: int) -> None:
@@ -234,6 +281,16 @@ class FuseClientFs(Filesystem):
         self.connection.request(FuseRequest(FuseOpcode.RELEASE, ino, args={}))
 
     # ------------------------------------------------------------ dir operations
+    def charge_lookup_hit(self, dir_ino: int, name: str, ino: int) -> None:
+        if ino in self._inodes and ino in self._attr_fresh:
+            # Matches the entry-cache hit path below: half an in-kernel tmpfs op.
+            self.clock.advance(self.costs.tmpfs_op_ns * 0.5)
+        else:
+            # Stale proxy attributes (e.g. after fallocate): the kernel
+            # revalidates with a full LOOKUP round trip, as the entry-cache
+            # miss path always did.
+            self.lookup(dir_ino, name)
+
     def lookup(self, dir_ino: int, name: str) -> Inode:
         cached = self._entry_cache.get((dir_ino, name))
         if cached is not None and cached in self._inodes and cached in self._attr_fresh:
@@ -297,12 +354,14 @@ class FuseClientFs(Filesystem):
 
     def unlink(self, dir_ino: int, name: str) -> None:
         self._send(FuseOpcode.UNLINK, dir_ino, {"name": name}, dirop=True)
+        self.invalidate_dentries()
         nodeid = self._entry_cache.pop((dir_ino, name), None)
         if nodeid is not None:
             self._forget(nodeid)
 
     def rmdir(self, dir_ino: int, name: str) -> None:
         self._send(FuseOpcode.RMDIR, dir_ino, {"name": name}, dirop=True)
+        self.invalidate_dentries()
         nodeid = self._entry_cache.pop((dir_ino, name), None)
         if nodeid is not None:
             self._forget(nodeid)
@@ -312,6 +371,7 @@ class FuseClientFs(Filesystem):
         self._send(FuseOpcode.RENAME2 if flags else FuseOpcode.RENAME, old_dir,
                    {"old_name": old_name, "new_dir": new_dir,
                     "new_name": new_name, "flags": flags}, dirop=True)
+        self.invalidate_dentries()
         nodeid = self._entry_cache.pop((old_dir, old_name), None)
         self._entry_cache.pop((new_dir, new_name), None)
         if nodeid is not None:
@@ -355,7 +415,6 @@ class FuseClientFs(Filesystem):
             if hits:
                 self.clock.advance(self.costs.page_cache_hit_per_byte_ns *
                                    hits * self.costs.page_size)
-        data = bytearray()
         if misses_bytes or self.options.direct_io:
             # Readahead: with FUSE_ASYNC_READ the kernel issues large
             # readahead-window requests, so subsequent sequential reads hit
@@ -368,17 +427,18 @@ class FuseClientFs(Filesystem):
                 fetch_size = size
                 granule = 4 * self.costs.page_size
             self.page_cache.access(ino, offset, fetch_size)
-            remaining = fetch_size
-            chunk_offset = offset
-            while remaining > 0:
-                chunk = min(granule, remaining)
-                reply = self._send(FuseOpcode.READ, ino,
-                                   {"offset": chunk_offset, "size": chunk},
-                                   expected_reply_bytes=chunk)
-                data.extend(reply.data)
-                chunk_offset += chunk
-                remaining -= chunk
-            return bytes(data[:size])
+            # The whole fetch extent goes out as one coalesced dispatch whose
+            # request count and transfer costs are computed arithmetically
+            # (ceil-div by the request granule) instead of looping per chunk.
+            # The granule travels with the request so the server charges its
+            # backing filesystem per wire request, exactly as a chunked
+            # dispatch loop would have.
+            nreq = max(1, -(-fetch_size // granule))
+            reply = self._send_batched(FuseOpcode.READ, ino,
+                                       {"offset": offset, "size": fetch_size,
+                                        "granule": granule},
+                                       nreq, expected_reply_bytes=fetch_size)
+            return bytes(reply.data[:size])
         # Full page-cache hit: fetch the bytes from the server without
         # charging a round trip (the data is already resident in the kernel;
         # the fetch below is only for simulation correctness).
@@ -419,15 +479,15 @@ class FuseClientFs(Filesystem):
                 payload=bytes(data)))
             if self._writeback_total >= self.costs.writeback_batch_bytes:
                 self.flush_writeback()
-        else:
-            granule = self.options.max_write
-            sent = 0
-            while sent < size:
-                chunk = min(granule, size - sent)
-                self._send(FuseOpcode.WRITE, ino,
-                           {"offset": offset + sent, "size": chunk},
-                           payload=bytes(data[sent:sent + chunk]))
-                sent += chunk
+        elif size:
+            # Synchronous writes: one coalesced dispatch per extent, with the
+            # max_write-sized request count computed by ceil-div; the granule
+            # lets the server charge its backing store per wire request.
+            nreq = -(-size // self.options.max_write)
+            self._send_batched(FuseOpcode.WRITE, ino,
+                               {"offset": offset, "size": size,
+                                "granule": self.options.max_write}, nreq,
+                               payload=bytes(data))
             self.page_cache.write(ino, offset, size)
         inode.data.truncate(max(inode.size, offset + size))
         inode.mtime_ns = self.clock.now_ns
@@ -443,15 +503,14 @@ class FuseClientFs(Filesystem):
         for node, pending in pending_items:
             if pending <= 0:
                 continue
+            # The aggregated flush is charged arithmetically: ceil-div the
+            # pending bytes by max_write for the request count, then one
+            # linear transfer cost for the whole extent.
             requests = max(1, math.ceil(pending / self.options.max_write))
-            for _ in range(requests):
-                chunk = min(self.options.max_write, pending)
-                overhead = self._request_overhead(False, chunk, 0)
-                self.clock.advance(overhead)
-                pending -= chunk
+            self.clock.advance(self._batched_overhead(requests, False, pending, 0))
             self.clock.advance(self.costs.fuse_writeback_flush_ns)
-            flushed += self._writeback_pending.get(node, 0)
-            self._writeback_total -= self._writeback_pending.get(node, 0)
+            flushed += pending
+            self._writeback_total -= pending
             self._writeback_pending[node] = 0
             self.page_cache.clean(node)
         self._writeback_total = max(0, self._writeback_total)

@@ -40,10 +40,11 @@ class FuseConnectionStats:
     forgets_batched: int = 0
 
     def record(self, request: FuseRequest, reply: FuseReply | None) -> None:
-        """Record one round trip."""
-        self.requests_total += 1
+        """Record one round trip (a coalesced dispatch counts all its requests)."""
+        self.requests_total += request.coalesced
         name = request.opcode.name
-        self.requests_by_opcode[name] = self.requests_by_opcode.get(name, 0) + 1
+        self.requests_by_opcode[name] = \
+            self.requests_by_opcode.get(name, 0) + request.coalesced
         self.bytes_to_server += request.payload_size
         if reply is not None:
             self.bytes_from_server += reply.data_size

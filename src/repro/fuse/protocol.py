@@ -85,13 +85,22 @@ class FuseAttr:
 
 @dataclass
 class FuseRequest:
-    """One request sent from the kernel driver to the userspace server."""
+    """One request sent from the kernel driver to the userspace server.
+
+    ``coalesced`` is the number of wire-protocol requests this object stands
+    for: the kernel driver batches a large extent transfer (e.g. a readahead
+    window split into ``max_read``-sized READs, or a writeback flush split
+    into ``max_write``-sized WRITEs) into a single dispatch whose protocol
+    costs were charged arithmetically.  Accounting layers (connection stats,
+    server stats) count ``coalesced`` requests; handlers see one operation.
+    """
 
     opcode: FuseOpcode
     nodeid: int
     args: dict = field(default_factory=dict)
     payload: bytes = b""
     unique: int = field(default_factory=lambda: next(_unique_counter))
+    coalesced: int = 1
 
     @property
     def payload_size(self) -> int:

@@ -74,11 +74,18 @@ class FuseServer:
 
     # --------------------------------------------------------------- dispatch
     def handle(self, request: FuseRequest) -> FuseReply:
-        """Dispatch one request to its handler, mapping FsError to an errno reply."""
+        """Dispatch one request to its handler, mapping FsError to an errno reply.
+
+        A coalesced dispatch (``request.coalesced > 1``) stands for a batch of
+        identical wire requests over one extent; it is handled once but
+        accounted at its full request count, so server-side statistics remain
+        comparable with a per-request dispatch loop.
+        """
         handler = self._handlers.get(request.opcode)
-        self.stats.handled += 1
+        self.stats.handled += request.coalesced
         name = request.opcode.name
-        self.stats.by_opcode[name] = self.stats.by_opcode.get(name, 0) + 1
+        self.stats.by_opcode[name] = \
+            self.stats.by_opcode.get(name, 0) + request.coalesced
         if handler is None:
             self.stats.errors += 1
             return FuseReply(unique=request.unique, error=38)  # ENOSYS

@@ -49,6 +49,9 @@ class ProcFS(Filesystem):
     fs_type = "proc"
     supports_direct_io = False
     supports_export_handles = False
+    #: Entries appear and disappear with processes, without any name-mutating
+    #: filesystem call the dentry generation could track — never dcache them.
+    dcacheable = False
 
     def __init__(self, name: str, kernel: "Kernel", pid_ns: PidNamespace) -> None:
         super().__init__(name, kernel.clock, kernel.costs, kernel.tracer,

@@ -54,6 +54,17 @@ class Syscalls:
     def _lsm_check(self, path: str, write: bool = False) -> None:
         self.process.lsm_profile.check_path(path, write)
 
+    def _write_creds(self):
+        """Credentials for the VFS write path, or None when they cannot matter.
+
+        The VFS consults them only to enforce ``RLIMIT_FSIZE``; building the
+        frozenset-heavy :class:`Credentials` object on every write is pure
+        hot-path overhead for the (default) unlimited case.
+        """
+        if self.process.rlimits.fsize_bytes is None:
+            return None
+        return self.process.credentials()
+
     def for_process(self, process: Process) -> "Syscalls":
         """A facade bound to another process (used after fork)."""
         return Syscalls(self.kernel, process)
@@ -169,7 +180,7 @@ class Syscalls:
         self._charge()
         obj = self.process.get_fd(fd)
         if isinstance(obj, OpenFile):
-            return self.vfs.write(obj, data, creds=self.process.credentials())
+            return self.vfs.write(obj, data, creds=self._write_creds())
         assert isinstance(obj, KernelObject)
         written = obj.write(data)
         self.kernel.clock.advance(self.kernel.costs.copy_cost(written))
@@ -184,7 +195,7 @@ class Syscalls:
         """``pwrite(2)``."""
         self._charge()
         return self.vfs.pwrite(self._file(fd), data, offset,
-                               creds=self.process.credentials())
+                               creds=self._write_creds())
 
     def lseek(self, fd: int, offset: int, whence: SeekWhence = SeekWhence.SEEK_SET) -> int:
         """``lseek(2)``."""
@@ -635,7 +646,7 @@ class Syscalls:
         if not data:
             return 0
         if isinstance(dst, OpenFile):
-            written = self.vfs.write(dst, data, creds=self.process.credentials())
+            written = self.vfs.write(dst, data, creds=self._write_creds())
         else:
             assert isinstance(dst, KernelObject)
             written = dst.write(data)

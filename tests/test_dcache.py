@@ -1,0 +1,178 @@
+"""VFS dentry-cache correctness: no operation may be served a stale entry.
+
+The dcache (``repro.fs.vfs.DentryCache``) caches positive path components and
+invalidates through per-filesystem dentry generations.  Every test here first
+*warms* the cache by resolving a path, then mutates the namespace through the
+operation under test, and finally asserts that resolution observes the new
+truth — for local filesystems, FUSE mounts, bind mounts and stacked mounts.
+"""
+
+import errno
+
+import pytest
+
+from repro.fs.constants import OpenFlags
+from repro.fs.errors import FsError
+from repro.fs.tmpfs import TmpFS
+from repro.xfstests.harness import cntrfs_environment
+
+
+def _create(sc, path, content=b"x"):
+    fd = sc.open(path, OpenFlags.O_CREAT | OpenFlags.O_WRONLY, 0o644)
+    try:
+        sc.write(fd, content)
+    finally:
+        sc.close(fd)
+
+
+class TestDcacheHits:
+    def test_repeated_walks_hit_the_dcache(self, machine, syscalls):
+        syscalls.makedirs("/srv/app/data")
+        _create(syscalls, "/srv/app/data/file")
+        dcache = machine.kernel.vfs.dcache
+        syscalls.stat("/srv/app/data/file")
+        hits_before = dcache.hits
+        for _ in range(5):
+            syscalls.stat("/srv/app/data/file")
+        # Every component of every repeated walk must come from the dcache.
+        assert dcache.hits >= hits_before + 5 * 4
+
+    def test_dcache_hit_charges_the_same_virtual_cost(self, machine, syscalls):
+        """A cold and a warm walk of the same path must cost the same virtual
+        time as the seed model, where the fs charged its warm-lookup cost."""
+        syscalls.makedirs("/srv/costs")
+        _create(syscalls, "/srv/costs/file")
+        syscalls.stat("/srv/costs/file")          # warm the dcache
+        before = machine.clock.now_ns
+        syscalls.stat("/srv/costs/file")
+        first = machine.clock.now_ns - before
+        before = machine.clock.now_ns
+        syscalls.stat("/srv/costs/file")
+        second = machine.clock.now_ns - before
+        assert first == second
+
+
+class TestDcacheInvalidation:
+    def test_unlink_invalidates(self, machine, syscalls):
+        _create(syscalls, "/tmp/doomed")
+        assert syscalls.exists("/tmp/doomed")     # warm the dcache
+        syscalls.unlink("/tmp/doomed")
+        assert not syscalls.exists("/tmp/doomed")
+        with pytest.raises(FsError) as exc:
+            syscalls.stat("/tmp/doomed")
+        assert exc.value.errno == errno.ENOENT
+
+    def test_unlink_and_recreate_resolves_to_new_inode(self, machine, syscalls):
+        _create(syscalls, "/tmp/reborn", b"old")
+        old_ino = syscalls.stat("/tmp/reborn").st_ino
+        syscalls.unlink("/tmp/reborn")
+        _create(syscalls, "/tmp/reborn", b"new")
+        assert syscalls.stat("/tmp/reborn").st_ino != old_ino
+        assert syscalls.read(syscalls.open("/tmp/reborn"), 16) == b"new"
+
+    def test_rmdir_invalidates(self, machine, syscalls):
+        syscalls.makedirs("/srv/gone")
+        assert syscalls.stat("/srv/gone").st_ino   # warm the dcache
+        syscalls.rmdir("/srv/gone")
+        assert not syscalls.exists("/srv/gone")
+
+    def test_rename_invalidates_both_names(self, machine, syscalls):
+        _create(syscalls, "/tmp/before", b"payload")
+        _create(syscalls, "/tmp/target", b"will be replaced")
+        syscalls.stat("/tmp/before")
+        target_old_ino = syscalls.stat("/tmp/target").st_ino
+        syscalls.rename("/tmp/before", "/tmp/target")
+        assert not syscalls.exists("/tmp/before")
+        stat = syscalls.stat("/tmp/target")
+        assert stat.st_ino != target_old_ino
+        assert syscalls.read(syscalls.open("/tmp/target"), 32) == b"payload"
+
+    def test_rename_of_directory_keeps_children_resolvable(self, machine, syscalls):
+        syscalls.makedirs("/srv/olddir")
+        _create(syscalls, "/srv/olddir/child", b"c")
+        syscalls.stat("/srv/olddir/child")
+        syscalls.rename("/srv/olddir", "/srv/newdir")
+        assert not syscalls.exists("/srv/olddir/child")
+        assert syscalls.read(syscalls.open("/srv/newdir/child"), 8) == b"c"
+
+    def test_mount_shadows_cached_directory(self, machine, syscalls):
+        """Mounting over a dcached directory must immediately shadow it."""
+        syscalls.makedirs("/srv/mnt")
+        _create(syscalls, "/srv/mnt/underneath")
+        assert syscalls.exists("/srv/mnt/underneath")   # warm the dcache
+        overlay = TmpFS("overlay", machine.kernel.clock, machine.kernel.costs)
+        syscalls.mount(overlay, "/srv/mnt")
+        assert not syscalls.exists("/srv/mnt/underneath")
+        _create(syscalls, "/srv/mnt/on-top")
+        assert syscalls.listdir("/srv/mnt") == ["on-top"]
+
+    def test_umount_reveals_cached_directory_again(self, machine, syscalls):
+        syscalls.makedirs("/srv/peek")
+        _create(syscalls, "/srv/peek/underneath")
+        overlay = TmpFS("overlay2", machine.kernel.clock, machine.kernel.costs)
+        syscalls.mount(overlay, "/srv/peek")
+        _create(syscalls, "/srv/peek/on-top")
+        assert syscalls.listdir("/srv/peek") == ["on-top"]  # warm via the overlay
+        syscalls.umount("/srv/peek")
+        assert syscalls.listdir("/srv/peek") == ["underneath"]
+
+    def test_symlink_loop_still_detected_after_warming(self, machine, syscalls):
+        syscalls.makedirs("/srv/loop")
+        syscalls.symlink("/srv/loop/b", "/srv/loop/a")
+        syscalls.symlink("/srv/loop/a", "/srv/loop/b")
+        for _ in range(2):   # repeated walks must keep failing with ELOOP
+            with pytest.raises(FsError) as exc:
+                syscalls.stat("/srv/loop/a")
+            assert exc.value.errno == errno.ELOOP
+
+    def test_symlink_retarget_via_rename(self, machine, syscalls):
+        syscalls.makedirs("/srv/link")
+        _create(syscalls, "/srv/link/v1", b"one")
+        _create(syscalls, "/srv/link/v2", b"two")
+        syscalls.symlink("/srv/link/v1", "/srv/link/current")
+        assert syscalls.read(syscalls.open("/srv/link/current"), 8) == b"one"
+        syscalls.symlink("/srv/link/v2", "/srv/link/current.new")
+        syscalls.rename("/srv/link/current.new", "/srv/link/current")
+        assert syscalls.read(syscalls.open("/srv/link/current"), 8) == b"two"
+
+    def test_procfs_entries_are_never_cached(self, machine, syscalls):
+        """/proc names come and go with processes; resolution must see exits."""
+        child = machine.spawn_host_process(["/usr/bin/short-lived"])
+        pid = child.getpid()
+        assert syscalls.exists(f"/proc/{pid}")
+        child.exit(0)
+        assert not syscalls.exists(f"/proc/{pid}")
+
+
+class TestDcacheThroughFuse:
+    def test_fuse_unlink_invalidates(self):
+        env = cntrfs_environment()
+        sc = env.sc
+        path = f"{env.test_dir}/fuse-doomed"
+        _create(sc, path)
+        assert sc.exists(path)
+        sc.unlink(path)
+        assert not sc.exists(path)
+
+    def test_fuse_rename_invalidates(self):
+        env = cntrfs_environment()
+        sc = env.sc
+        src = f"{env.test_dir}/fuse-src"
+        dst = f"{env.test_dir}/fuse-dst"
+        _create(sc, src, b"fuse payload")
+        sc.stat(src)
+        sc.rename(src, dst)
+        assert not sc.exists(src)
+        assert sc.read(sc.open(dst), 32) == b"fuse payload"
+
+    def test_fuse_drop_caches_invalidates_dentries(self):
+        env = cntrfs_environment()
+        sc = env.sc
+        client = env.fs_under_test
+        path = f"{env.test_dir}/fuse-cold"
+        _create(sc, path)
+        sc.stat(path)
+        gen_before = client.dentry_gen
+        client.drop_caches()
+        assert client.dentry_gen > gen_before
+        assert sc.exists(path)   # re-resolves through fresh LOOKUPs

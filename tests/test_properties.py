@@ -84,6 +84,179 @@ class TestPageCacheProperties:
             assert len(cache) <= max_pages
 
 
+class _ReferencePageCache:
+    """Naive per-page model of the extent page cache's batch semantics.
+
+    Residency/dirtiness is one ``OrderedDict`` entry per ``(ino, page)`` key.
+    ``access``/``write`` are batch operations (hits and misses counted for the
+    whole range before insertion), eviction pops the LRU front one page at a
+    time, and an eviction pass charges one writeback per maximal contiguous
+    dirty run evicted — the semantics documented in PERFORMANCE.md.
+    """
+
+    def __init__(self, max_pages=None, page_size=4096):
+        from collections import OrderedDict
+        from repro.fs.pagecache import PageCacheStats
+
+        self.page_size = page_size
+        self.max_pages = max_pages
+        self.pages = OrderedDict()       # (ino, page) -> dirty
+        self.stats = PageCacheStats()
+
+    def __len__(self):
+        return len(self.pages)
+
+    def _evict(self):
+        prev = None
+        while self.max_pages is not None and len(self.pages) > self.max_pages:
+            (ino, page), dirty = self.pages.popitem(last=False)
+            self.stats.evictions += 1
+            if dirty:
+                contiguous = (prev is not None and prev[2]
+                              and prev[0] == ino and prev[1] == page - 1)
+                if not contiguous:
+                    self.stats.writebacks += 1
+            prev = (ino, page, dirty)
+
+    def access(self, ino, offset, size):
+        from repro.fs.pagecache import page_span
+        span = page_span(offset, size, self.page_size)
+        hits = sum(1 for p in span if (ino, p) in self.pages)
+        misses = len(span) - hits
+        for p in span:
+            key = (ino, p)
+            dirty = self.pages.pop(key, False)
+            self.pages[key] = dirty
+        self.stats.hits += hits
+        self.stats.misses += misses
+        self._evict()
+        return hits, misses
+
+    def write(self, ino, offset, size):
+        from repro.fs.pagecache import page_span
+        span = page_span(offset, size, self.page_size)
+        dirtied = sum(1 for p in span if not self.pages.get((ino, p), False))
+        for p in span:
+            self.pages.pop((ino, p), None)
+            self.pages[(ino, p)] = True
+        self._evict()
+        return dirtied
+
+    def is_resident(self, ino, page):
+        key = (ino, page)
+        if key in self.pages:
+            self.pages.move_to_end(key)
+            return True
+        return False
+
+    def clean(self, ino=None):
+        cleaned = 0
+        for key, dirty in self.pages.items():
+            if dirty and (ino is None or key[0] == ino):
+                self.pages[key] = False
+                cleaned += 1
+        if cleaned:
+            self.stats.writebacks += 1
+        return cleaned
+
+    def invalidate(self, ino):
+        victims = [k for k in self.pages if k[0] == ino]
+        for key in victims:
+            del self.pages[key]
+        return len(victims)
+
+    def dirty_pages(self, ino=None):
+        return sorted(k for k, dirty in self.pages.items()
+                      if dirty and (ino is None or k[0] == ino))
+
+    def resident_pages(self):
+        return dict(self.pages)
+
+    def lru_order(self):
+        return list(self.pages)
+
+
+# One operation: (kind, ino, offset, size) over a handful of inodes.  Sizes up
+# to 16 pages keep runs fast while still splitting/merging extents heavily.
+_pc_ops = st.lists(
+    st.tuples(st.sampled_from(["access", "write", "clean", "clean_all",
+                               "invalidate", "probe"]),
+              st.integers(min_value=1, max_value=3),
+              st.integers(min_value=0, max_value=48 * 4096),
+              st.integers(min_value=0, max_value=16 * 4096)),
+    min_size=1, max_size=40)
+
+
+class TestPageCacheExtentEquivalence:
+    """The extent engine must be observationally equivalent to the per-page
+    reference model: same return values, same stats, same resident/dirty
+    state, same LRU order — for any operation sequence."""
+
+    def _run(self, ops, max_pages):
+        from repro.fs.pagecache import PageCache
+
+        max_bytes = None if max_pages is None else max_pages * 4096
+        cache = PageCache(max_bytes=max_bytes)
+        ref = _ReferencePageCache(max_pages=max_pages)
+        for kind, ino, offset, size in ops:
+            if kind == "access":
+                assert cache.access(ino, offset, size) == ref.access(ino, offset, size)
+            elif kind == "write":
+                assert cache.write(ino, offset, size) == ref.write(ino, offset, size)
+            elif kind == "clean":
+                assert cache.clean(ino) == ref.clean(ino)
+            elif kind == "clean_all":
+                assert cache.clean() == ref.clean()
+            elif kind == "invalidate":
+                assert cache.invalidate(ino) == ref.invalidate(ino)
+            elif kind == "probe":
+                page = offset // 4096
+                assert cache.is_resident(ino, page) == ref.is_resident(ino, page)
+            assert len(cache) == len(ref)
+            assert cache.resident_pages() == ref.resident_pages()
+            assert cache.dirty_pages() == ref.dirty_pages()
+            assert cache.dirty_page_count() == len(ref.dirty_pages())
+            assert (cache.stats.hits, cache.stats.misses, cache.stats.evictions,
+                    cache.stats.writebacks) == \
+                   (ref.stats.hits, ref.stats.misses, ref.stats.evictions,
+                    ref.stats.writebacks)
+        assert cache.lru_order() == ref.lru_order()
+
+    @given(_pc_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_unbounded_cache_matches_reference(self, ops):
+        self._run(ops, max_pages=None)
+
+    @given(_pc_ops, st.integers(min_value=1, max_value=24))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_cache_matches_reference(self, ops, max_pages):
+        self._run(ops, max_pages=max_pages)
+
+    # Nested interior carves of a single large extent are where split
+    # bookkeeping can misorder same-age fragments; hammer that shape.
+    _carve_ops = st.lists(
+        st.tuples(st.sampled_from(["access", "write", "probe"]),
+                  st.just(1),
+                  st.integers(min_value=0, max_value=12 * 4096),
+                  st.integers(min_value=1, max_value=3 * 4096)),
+        min_size=1, max_size=25)
+
+    @given(_carve_ops, st.one_of(st.none(), st.integers(min_value=4, max_value=14)))
+    @settings(max_examples=60, deadline=None)
+    def test_nested_interior_carves_match_reference(self, ops, max_pages):
+        self._run([("access", 1, 0, 12 * 4096)] + ops, max_pages=max_pages)
+
+    def test_nested_split_fragments_keep_page_order(self):
+        """Regression: two interior carves of one extent must leave the
+        untouched fragments in page order at their original LRU age, exactly
+        like the per-page model (same-seq heap ties break by start page)."""
+        self._run([("access", 1, 0, 10 * 4096),        # pages 0-9
+                   ("access", 1, 4 * 4096, 2 * 4096),  # carve [4,6)
+                   ("access", 1, 2 * 4096, 4096),      # carve [2,3)
+                   ("access", 2, 0, 3 * 4096)],        # force eviction order out
+                  max_pages=10)
+
+
 class TestLockTableProperties:
     lock_requests = st.lists(
         st.tuples(st.integers(min_value=1, max_value=4),              # owner
