@@ -6,7 +6,6 @@ consistency trade-off of the writeback cache, and the missing kernel-side
 xattr cache that causes the small-write overhead.
 """
 
-import pytest
 
 from repro.bench.harness import BenchEnvironment, _run_in
 from repro.bench.phoronix import IoZoneWrite, Sqlite

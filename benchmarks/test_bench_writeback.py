@@ -1,0 +1,114 @@
+"""Writeback-subsystem guard: tunables must steer flushes, defaults must not.
+
+Two contracts are enforced here (see PERFORMANCE.md "The unified writeback
+contract"):
+
+* **Default equivalence** — with untouched ``vm.dirty_*`` knobs the unified
+  engine reproduces the seed's flush points exactly, pinned as exact
+  ``virtual_ms`` values of the hot-path smoke workload (the simulation is
+  deterministic, so exact equality is meaningful and portable).
+* **Tunability** — lowering ``vm.dirty_bytes`` (or the background threshold)
+  yields more, smaller flushes and monotonically more virtual time, because
+  each flush pays the fixed ``fuse_writeback_flush_ns`` while byte costs are
+  constant.  Asserted live at smoke scale and against the committed
+  ``BENCH_writeback.json``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.writeback import run_dirty_workload
+
+BENCH_JSON = os.path.join(os.path.dirname(__file__), "..", "BENCH_writeback.json")
+
+#: Exact seed-era virtual times of the 16 MiB hot-path smoke phases.  The
+#: unified writeback engine (PR 2) must leave them untouched under default
+#: tunables; update ONLY for a deliberate cost-model change.
+SEED_HOTPATH_16MB_VIRTUAL_MS = {
+    "seq_write": 14.026,
+    "seq_read_cold": 7.932804,
+    "seq_read_warm": 4.283004,
+}
+
+
+def test_default_tunables_reproduce_seed_flush_points():
+    from repro.bench.hotpath import run_hotpath
+
+    results = run_hotpath(size_mb=16, record_kb=64, page_cache_mb=256)
+    measured = {r.workload: round(r.virtual_ms, 6) for r in results}
+    assert measured == SEED_HOTPATH_16MB_VIRTUAL_MS
+
+
+@pytest.fixture(scope="module")
+def dirty_bytes_sweep():
+    """8 MiB of dirty writes under a falling vm.dirty_bytes hard limit."""
+    return [
+        run_dirty_workload("dirty_bytes",
+                           {"dirty_background_bytes": 0, "dirty_bytes": limit},
+                           size_mb=8, page_cache_mb=256)
+        for limit in (512 << 10, 2 << 20, 8 << 20)
+    ]
+
+
+def test_lower_dirty_bytes_means_more_smaller_flushes(dirty_bytes_sweep):
+    flushes = [r.flushes for r in dirty_bytes_sweep]
+    mean_kb = [r.mean_flush_kb for r in dirty_bytes_sweep]
+    assert flushes == sorted(flushes, reverse=True) and flushes[0] > flushes[-1]
+    assert mean_kb == sorted(mean_kb) and mean_kb[0] < mean_kb[-1]
+    for r in dirty_bytes_sweep:
+        assert set(r.flushes_by_reason) == {"dirty_limit"}
+
+
+def test_flush_count_deltas_explain_virtual_time(dirty_bytes_sweep):
+    """The virtual-time delta between two settings is exactly the fixed
+    per-flush cost times the flush-count delta: byte-proportional costs
+    (copies, page-cache accounting, per-request overheads) are identical
+    because the same bytes travel in the same total number of max_write-sized
+    requests either way.  Each extra flush costs the client its
+    ``fuse_writeback_flush_ns`` and — because /proc/sys/vm retunes every
+    mounted filesystem — one random-access seek on the backing ext4, whose
+    flusher catches up at the same cadence with a device write at offset 0."""
+    from repro.sim.costs import DEFAULT_COST_MODEL as costs
+
+    virtual = [r.virtual_ms for r in dirty_bytes_sweep]
+    assert virtual == sorted(virtual, reverse=True) and virtual[0] > virtual[-1]
+    per_flush_ns = costs.fuse_writeback_flush_ns + costs.disk_seek_ns
+    for a, b in zip(dirty_bytes_sweep, dirty_bytes_sweep[1:]):
+        expected_delta_ms = (a.flushes - b.flushes) * per_flush_ns / 1e6
+        assert (a.virtual_ms - b.virtual_ms) == \
+            pytest.approx(expected_delta_ms, rel=1e-3)
+
+
+def test_fsync_cadence_drives_flushes_when_thresholds_idle():
+    runs = [run_dirty_workload("fsync_storm", {"dirty_background_bytes": 0},
+                               size_mb=8, fsync_every=every, page_cache_mb=256)
+            for every in (16, 64)]
+    assert runs[0].flushes > runs[1].flushes
+    for r in runs:
+        assert set(r.flushes_by_reason) == {"fsync"}
+
+
+def test_committed_bench_json_shows_tunable_flush_behaviour():
+    with open(BENCH_JSON) as fh:
+        data = json.load(fh)
+    scenarios = data["scenarios"]
+    # Every swept scenario is ordered from the most aggressive setting to the
+    # laziest: flush counts fall, flush sizes grow, virtual time falls.
+    for name in ("dirty_bytes", "dirty_background_bytes",
+                 "dirty_expire_centisecs", "fsync_storm"):
+        runs = scenarios[name]
+        assert len(runs) >= 2, name
+        flushes = [r["flushes"] for r in runs]
+        mean_kb = [r["mean_flush_kb"] for r in runs]
+        virtual = [r["virtual_ms"] for r in runs]
+        assert flushes == sorted(flushes, reverse=True) and flushes[0] > flushes[-1]
+        assert mean_kb == sorted(mean_kb) and mean_kb[0] < mean_kb[-1]
+        assert virtual == sorted(virtual, reverse=True), name
+    # The default run flushes at the seed's aggregation points: one
+    # background flush per writeback_batch_bytes of dirty data.
+    default = scenarios["defaults"][0]
+    assert default["tunables"] == {}
+    assert default["mean_flush_kb"] == 128.0
+    assert set(default["flushes_by_reason"]) == {"background"}

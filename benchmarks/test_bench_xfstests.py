@@ -1,6 +1,5 @@
 """Section 5.1: the xfstests generic-group correctness table."""
 
-import pytest
 
 from repro.xfstests import (
     PAPER_FAILING_TESTS,

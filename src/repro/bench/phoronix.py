@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.fs.constants import OpenFlags, SeekWhence
+from repro.fs.constants import OpenFlags
 from repro.kernel.syscalls import Syscalls
 from repro.sim.rng import DeterministicRandom
 

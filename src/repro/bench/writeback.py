@@ -1,0 +1,194 @@
+"""Dirty-heavy writeback benchmark: ``vm.dirty_*`` tunables vs flush behaviour.
+
+The unified writeback subsystem (:mod:`repro.fs.writeback`) makes the flush
+policy of every filesystem a function of three knobs.  This harness opens the
+dirty-heavy workload family the ROADMAP calls for — log writers, database
+commit patterns, fsync storms — and sweeps the knobs *through the procfs
+surface* (``/proc/sys/vm/*``), exactly the way an operator would tune a real
+host, recording how flush count, flush size and virtual time respond.
+
+Run it directly::
+
+    PYTHONPATH=src python -m repro.bench.writeback --out BENCH_writeback.json
+
+The committed ``BENCH_writeback.json`` is asserted by
+``benchmarks/test_bench_writeback.py``: lower ``vm.dirty_bytes`` must mean
+more, smaller flushes and (monotonically) more virtual time, because each
+extra flush pays the fixed ``fuse_writeback_flush_ns`` cost while the byte
+costs stay constant.  Under *default* tunables the engine reproduces the
+seed's flush points exactly, so the hot-path `virtual_ms` pins in that test
+double as the default-equivalence guarantee.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.harness import BenchEnvironment
+from repro.fs.constants import OpenFlags
+
+
+@dataclass
+class WritebackRunResult:
+    """One measured workload run under one tunable setting."""
+
+    scenario: str
+    tunables: dict = field(default_factory=dict)
+    bytes_written: int = 0
+    virtual_ms: float = 0.0
+    wall_seconds: float = 0.0
+    flushes: int = 0
+    mean_flush_kb: float = 0.0
+    flushes_by_reason: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "tunables": dict(self.tunables),
+            "bytes_written": self.bytes_written,
+            "virtual_ms": round(self.virtual_ms, 3),
+            "wall_seconds": round(self.wall_seconds, 3),
+            "flushes": self.flushes,
+            "mean_flush_kb": round(self.mean_flush_kb, 1),
+            "flushes_by_reason": dict(self.flushes_by_reason),
+        }
+
+
+def apply_vm_tunables(env: BenchEnvironment, settings: dict[str, int]) -> None:
+    """Write the knobs through ``/proc/sys/vm`` (the operator path)."""
+    sc = env.host_sc
+    for knob, value in settings.items():
+        fd = sc.open(f"/proc/sys/vm/{knob}", OpenFlags.O_WRONLY)
+        sc.write(fd, f"{value}\n".encode())
+        sc.close(fd)
+
+
+def run_dirty_workload(scenario: str, settings: dict[str, int] | None = None,
+                       size_mb: int = 16, record_kb: int = 64,
+                       fsync_every: int = 0, think_ns: int = 0,
+                       page_cache_mb: int = 512) -> WritebackRunResult:
+    """Write ``size_mb`` MiB sequentially through a CntrFS mount.
+
+    ``fsync_every`` issues an fsync every N records (database commit /
+    fsync-storm shapes); ``think_ns`` advances the virtual clock between
+    records (a log writer with application think time, which is what makes
+    ``dirty_expire_centisecs`` bite).
+    """
+    env = BenchEnvironment(page_cache_mb=page_cache_mb)
+    if settings:
+        apply_vm_tunables(env, settings)
+    sc, base = env.cntr_access()
+    sc.makedirs(f"{base}/wb")
+    total = size_mb << 20
+    record = record_kb << 10
+    chunk = b"w" * record
+    clock = env.machine.clock
+    engine = env.client.writeback
+
+    start_virtual = clock.now_ns
+    start_wall = time.perf_counter()
+    fd = sc.open(f"{base}/wb/dirty.dat", OpenFlags.O_CREAT | OpenFlags.O_WRONLY, 0o644)
+    try:
+        written = 0
+        records = 0
+        while written < total:
+            sc.write(fd, chunk)
+            written += record
+            records += 1
+            if think_ns:
+                clock.advance(think_ns)
+            if fsync_every and records % fsync_every == 0:
+                sc.fsync(fd)
+    finally:
+        sc.close(fd)
+    wall = time.perf_counter() - start_wall
+    virtual_ns = clock.now_ns - start_virtual
+
+    stats = engine.stats
+    return WritebackRunResult(
+        scenario=scenario,
+        tunables=dict(settings or {}),
+        bytes_written=total,
+        virtual_ms=virtual_ns / 1e6,
+        wall_seconds=wall,
+        flushes=stats.flushes,
+        mean_flush_kb=stats.mean_flush_bytes / 1024,
+        flushes_by_reason=dict(stats.flushes_by_reason),
+    )
+
+
+def sweep(size_mb: int = 16) -> dict[str, list[WritebackRunResult]]:
+    """The full tunables sweep recorded in ``BENCH_writeback.json``."""
+    scenarios: dict[str, list[WritebackRunResult]] = {}
+
+    # Baseline: per-filesystem defaults (the seed-equivalent flush points).
+    scenarios["defaults"] = [run_dirty_workload("defaults", size_mb=size_mb)]
+
+    # Hard dirty limit: background flusher disabled, writers block at
+    # vm.dirty_bytes.  Lower limit => more, smaller, costlier flushes.
+    scenarios["dirty_bytes"] = [
+        run_dirty_workload("dirty_bytes",
+                           {"dirty_background_bytes": 0, "dirty_bytes": limit},
+                           size_mb=size_mb)
+        for limit in (256 << 10, 1 << 20, 4 << 20, 16 << 20)
+    ]
+
+    # Background threshold: raising it batches more per flush.
+    scenarios["dirty_background_bytes"] = [
+        run_dirty_workload("dirty_background_bytes",
+                           {"dirty_background_bytes": threshold},
+                           size_mb=size_mb)
+        for threshold in (64 << 10, 128 << 10, 512 << 10, 2 << 20, 8 << 20)
+    ]
+
+    # Age-based expiry: a log writer with ~1ms of think time per 64 KiB
+    # record; dirty data older than the expiry is flushed by the periodic
+    # flusher wakeup.  Shorter expiry => more flushes.
+    scenarios["dirty_expire_centisecs"] = [
+        run_dirty_workload("dirty_expire_centisecs",
+                           {"dirty_background_bytes": 0, "dirty_bytes": 0,
+                            "dirty_expire_centisecs": expire},
+                           size_mb=size_mb, think_ns=1_000_000)
+        for expire in (2, 8, 32)
+    ]
+
+    # fsync storm: the database commit shape.  The background flusher is
+    # disabled so the application's fsync cadence alone drives the flushes.
+    scenarios["fsync_storm"] = [
+        run_dirty_workload("fsync_storm", {"dirty_background_bytes": 0},
+                           size_mb=size_mb, fsync_every=every)
+        for every in (8, 32, 128)
+    ]
+    return scenarios
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size-mb", type=int, default=16)
+    parser.add_argument("--out", default="BENCH_writeback.json")
+    args = parser.parse_args(argv)
+
+    scenarios = sweep(size_mb=args.size_mb)
+    payload = {
+        "workload": f"{args.size_mb}MiB sequential dirty writes through "
+                    "FuseClientFs, tunables applied via /proc/sys/vm",
+        "scenarios": {name: [r.to_dict() for r in runs]
+                      for name, runs in scenarios.items()},
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name, runs in scenarios.items():
+        for r in runs:
+            knobs = ",".join(f"{k}={v}" for k, v in r.tunables.items()) or "defaults"
+            print(f"{name:<26} {knobs:<60} flushes={r.flushes:<5} "
+                  f"mean={r.mean_flush_kb:8.1f}KiB virtual={r.virtual_ms:10.3f}ms")
+    print(f"-> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

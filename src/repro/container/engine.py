@@ -17,7 +17,6 @@ from dataclasses import dataclass, field
 
 from repro.container.image import FileSpec, Image
 from repro.fs.constants import FileMode, OpenFlags
-from repro.fs.errors import FsError
 from repro.fs.mount import MountNamespace
 from repro.fs.tmpfs import TmpFS
 from repro.fs.vfs import VNode

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.container.engine import Container, ContainerEngine, ContainerError
+from repro.container.engine import ContainerEngine, ContainerError
 from repro.container.image import Image
 
 

@@ -9,7 +9,7 @@ union-filesystem argument of §2.2.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.container.image import Image
 from repro.fs.errors import FsError

@@ -24,7 +24,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
-from repro.container.engine import Container, ContainerEngine
+from repro.container.engine import Container
 from repro.core.cntrfs import CntrFS
 from repro.core.context import (
     ContainerContext,
@@ -36,7 +36,6 @@ from repro.core.pty_forward import PtyForwarder
 from repro.core.socket_proxy import SocketProxy
 from repro.fs.constants import OpenFlags
 from repro.fs.errors import FsError
-from repro.fs.vfs import VNode
 from repro.fuse.client import FuseClientFs
 from repro.fuse.device import FuseDeviceHandle
 from repro.fuse.options import FuseMountOptions
@@ -177,7 +176,7 @@ def attach(machine: Machine, engines, name_or_id: str | None = None,
             raise CntrAttachError("either a container name or a pid is required")
         pid = resolve_container(engines, name_or_id)
     context = gather_context(machine, pid)
-    target_namespaces = open_namespace_handles(machine, pid)
+    open_namespace_handles(machine, pid)
     container = _find_container(engines, name_or_id) if name_or_id else None
 
     # The Cntr process itself: a host process holding the /dev/fuse fd and the

@@ -18,11 +18,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.fs.constants import FileMode, OpenFlags
 from repro.fs.errors import FsError
-from repro.fs.inode import DirectoryInode, RegularInode, SymlinkInode
+from repro.fs.inode import RegularInode, SymlinkInode
 from repro.fs.vfs import VNode, VFS
-from repro.fuse.protocol import FuseOpcode, FuseReply, FuseRequest
+from repro.fuse.protocol import FuseReply, FuseRequest
 from repro.fuse.server import FuseServer
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import Process

@@ -10,11 +10,10 @@ in the fat container (X11, D-Bus).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.fs.errors import FsError
 from repro.kernel.kernel import Kernel
-from repro.kernel.objects import SocketEndpoint, UnixListener
 from repro.kernel.syscalls import Syscalls
 
 _PUMP_CHUNK = 64 * 1024

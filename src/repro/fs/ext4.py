@@ -14,9 +14,14 @@ from __future__ import annotations
 from repro.fs.blockdev import BlockDevice
 from repro.fs.filesystem import Filesystem
 from repro.fs.pagecache import PageCache
+from repro.fs.writeback import WB_REASON_FSYNC, VmTunables, WritebackEngine
 from repro.sim.clock import VirtualClock
 from repro.sim.costs import CostModel
 from repro.sim.trace import Tracer
+
+#: Dirty bytes at which the background flusher threads historically kicked
+#: in; now the default ``vm.dirty_background_bytes`` of an ext4 instance.
+EXT4_DIRTY_BACKGROUND_BYTES = 256 << 20
 
 
 class Ext4Fs(Filesystem):
@@ -30,15 +35,24 @@ class Ext4Fs(Filesystem):
     def __init__(self, name: str, clock: VirtualClock, costs: CostModel,
                  tracer: Tracer | None = None, capacity_bytes: int = 100 << 30,
                  page_cache_bytes: int = 12 << 30,
-                 device: BlockDevice | None = None) -> None:
+                 device: BlockDevice | None = None,
+                 writeback_tunables: VmTunables | None = None) -> None:
         super().__init__(name, clock, costs, tracer, capacity_bytes=capacity_bytes)
         self.device = device or BlockDevice(f"{name}-dev", capacity_bytes, clock, costs)
         self.page_cache = PageCache(max_bytes=page_cache_bytes, page_size=costs.page_size)
         self._dirty_metadata = 0
-        self._dirty_bytes = 0
-        #: Dirty bytes accumulated before the background writeback kicks in,
-        #: mirroring vm.dirty_bytes-style thresholds.
-        self.writeback_threshold_bytes = 256 << 20
+        #: The unified writeback engine (vm.dirty_*-driven flusher threads).
+        self.writeback = WritebackEngine(
+            name,
+            writeback_tunables or VmTunables(
+                dirty_background_bytes=EXT4_DIRTY_BACKGROUND_BYTES),
+            self._writeback_flush, clock=clock)
+
+    def _inode_released(self, ino: int) -> None:
+        # Inode eviction, as in the kernel: an unlinked file's pages —
+        # including dirty ones — are discarded, never written back.
+        self.page_cache.invalidate(ino)
+        self.writeback.discard(ino)
 
     # ------------------------------------------------------------------ costs
     def _charge_metadata(self, op: str) -> None:
@@ -67,42 +81,56 @@ class Ext4Fs(Filesystem):
         dirtied = self.page_cache.write(ino, offset, size)
         cost = self.costs.page_cache_hit_per_byte_ns * size + self.costs.metadata_op_ns * 0.1
         self.clock.advance(cost)
-        self._dirty_bytes += dirtied * self.costs.page_size
         self.tracer.record(self.clock.now_ns, self.fs_type, "write", int(cost),
                            detail=f"dirtied={dirtied}")
-        if self._dirty_bytes >= self.writeback_threshold_bytes:
-            self._background_writeback()
+        # The engine accounts newly dirtied bytes and runs the flusher
+        # threads against the vm.dirty_* thresholds.
+        self.writeback.note_dirty(ino, dirtied * self.costs.page_size)
 
     def _charge_fsync(self, ino: int, datasync: bool) -> None:
         nbytes = self.page_cache.dirty_page_count(ino) * self.costs.page_size
-        if nbytes:
-            self.device.write(0, nbytes)
-            self.page_cache.clean(ino)
-            self._dirty_bytes = max(0, self._dirty_bytes - nbytes)
+        self.writeback.flush(ino, reason=WB_REASON_FSYNC)
         if not datasync or self._dirty_metadata:
             self.clock.advance(self.costs.journal_commit_ns)
             self._dirty_metadata = 0
         self.device.flush()
         self.tracer.record(self.clock.now_ns, self.fs_type, "fsync", nbytes)
 
-    def _background_writeback(self) -> None:
-        """Flush all dirty pages, emulating the flusher threads."""
+    def _writeback_flush(self, items, reason: str) -> None:
+        """Writeback price of this filesystem, paid when the engine flushes.
+
+        fsync writes back one inode's dirty pages; every other reason models
+        the flusher threads catching up in one sequential device write (the
+        bytes charged come from the page cache — the authoritative count of
+        what is actually dirty — not from the pending counters).
+        """
+        if reason == WB_REASON_FSYNC:
+            for ino, _pending in items:
+                nbytes = self.page_cache.dirty_page_count(ino) * self.costs.page_size
+                if nbytes:
+                    self.device.write(0, nbytes)
+                    self.page_cache.clean(ino)
+            return
         nbytes = self.page_cache.dirty_page_count() * self.costs.page_size
         if nbytes:
             self.device.write(0, nbytes)
             self.page_cache.clean()
-        self._dirty_bytes = 0
         self.tracer.record(self.clock.now_ns, self.fs_type, "writeback", nbytes)
+
+    def _flush_all(self, reason: str) -> None:
+        """Flush everything, recording a writeback trace line even when idle."""
+        if self.writeback.flush(reason=reason) == 0:
+            self.tracer.record(self.clock.now_ns, self.fs_type, "writeback", 0)
 
     def sync(self) -> None:
         """``sync(2)``: flush dirty pages and commit the journal."""
-        self._background_writeback()
+        self._flush_all("sync")
         self.clock.advance(self.costs.journal_commit_ns)
         self.device.flush()
         self._dirty_metadata = 0
 
     def drop_caches(self) -> None:
         """Equivalent of ``echo 3 > /proc/sys/vm/drop_caches`` for experiments."""
-        self._background_writeback()
+        self._flush_all("drop_caches")
         self.page_cache.invalidate_all()
         self.invalidate_dentries()

@@ -524,6 +524,7 @@ class Filesystem:
             if inode is not None and inode.nlink <= 0:
                 self._inodes.pop(ino, None)
                 self._locks.pop(ino, None)
+                self._inode_released(ino)
         else:
             self._pins[ino] = count
 
@@ -533,6 +534,13 @@ class Filesystem:
             return
         self._inodes.pop(inode.ino, None)
         self._locks.pop(inode.ino, None)
+        self._inode_released(inode.ino)
+
+    def _inode_released(self, ino: int) -> None:
+        """Hook: the inode is gone (unlinked and unpinned).  Filesystems with
+        caches or writeback state drop the dead inode's entries here, as the
+        kernel's inode eviction discards an unlinked file's dirty pages
+        instead of writing them back."""
 
     # -------------------------------------------------------------- helpers
     def walk_tree(self, dir_ino: int | None = None) -> Iterable[tuple[str, Inode]]:

@@ -254,6 +254,21 @@ class PageCache:
         self._maybe_compact_heap()
         return dropped
 
+    def invalidate_range(self, ino: int, start_page: int,
+                         end_page: int | None = None) -> int:
+        """Drop resident pages of ``ino`` in ``[start_page, end_page)``.
+
+        ``end_page=None`` means "to the end of the address space" (the
+        truncate case: Linux only drops pages wholly beyond the new EOF, and
+        extending a file drops nothing).  Returns pages dropped.
+        """
+        if end_page is None:
+            end_page = 1 << 62
+        if end_page <= start_page:
+            return 0
+        removed = self._remove_range(ino, start_page, end_page)
+        return sum(hi - lo for lo, hi, _ in removed)
+
     def invalidate_all(self) -> None:
         """Drop the whole cache (used when a FUSE mount does not keep caches)."""
         self._by_ino.clear()

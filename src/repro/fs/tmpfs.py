@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.fs.filesystem import Filesystem
+from repro.fs.writeback import WB_REASON_FSYNC, VmTunables, WritebackEngine
 from repro.sim.clock import VirtualClock
 from repro.sim.costs import CostModel
 from repro.sim.trace import Tracer
@@ -23,8 +24,34 @@ class TmpFS(Filesystem):
     def __init__(self, name: str, clock: VirtualClock, costs: CostModel,
                  tracer: Tracer | None = None, capacity_bytes: int = 8 << 30) -> None:
         super().__init__(name, clock, costs, tracer, capacity_bytes=capacity_bytes)
+        #: Dirty accounting lives on the unified engine like every other
+        #: filesystem, but tmpfs pages have no backing store to write to:
+        #: all thresholds are disabled, flushing costs nothing, and the
+        #: vm.dirty_* sysctls do not retune it (as in Linux, where tmpfs is
+        #: outside the writeback control).
+        self.writeback = WritebackEngine(name, VmTunables(),
+                                         self._writeback_flush, clock=clock,
+                                         sysctl_tunable=False)
+
+    def _writeback_flush(self, items, reason: str) -> None:
+        # Nothing to write back to: the data already lives in memory.
+        pass
+
+    def _charge_write(self, ino: int, offset: int, size: int) -> None:
+        super()._charge_write(ino, offset, size)
+        self.writeback.note_dirty(ino, size)
 
     def _charge_fsync(self, ino: int, datasync: bool) -> None:
         # Nothing to persist: charge only the syscall-ish bookkeeping cost.
+        self.writeback.flush(ino, reason=WB_REASON_FSYNC)
         self.clock.advance(self.costs.tmpfs_op_ns)
         self.tracer.record(self.clock.now_ns, self.fs_type, "fsync", self.costs.tmpfs_op_ns)
+
+    def sync(self) -> None:
+        self.writeback.flush()
+        super().sync()
+
+    def _inode_released(self, ino: int) -> None:
+        # A dead inode's dirty bytes vanish with it; without this the
+        # pending map would grow forever across create/delete churn.
+        self.writeback.discard(ino)

@@ -10,7 +10,7 @@ check whose absence in CntrFS reproduces xfstests failure #228.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.fs.constants import (
     AccessMode,

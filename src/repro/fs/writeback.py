@@ -1,0 +1,280 @@
+"""Unified writeback subsystem: one engine for every filesystem's dirty data.
+
+Before this module existed the repository carried three divergent ad-hoc
+writeback paths — the FUSE client's ``_writeback_pending`` byte counters, the
+ext4 model's ``_dirty_bytes`` / ``_background_writeback`` pair and the page
+cache's own flush counting — with no shared threshold model and no way to
+*tune* flush behaviour.  ``WritebackEngine`` centralises the three things they
+all did separately:
+
+* **dirty accounting** — per-inode pending byte counters (what has been
+  written but whose writeback cost has not been charged yet),
+* **flush thresholds** — the ``vm.dirty_background_bytes`` /
+  ``vm.dirty_bytes`` / ``vm.dirty_expire_centisecs`` policy deciding *when*
+  the simulated flusher threads run,
+* **writeback cost charging** — the engine is the only component that decides
+  to flush; the *price* of a flush stays filesystem-specific and is paid in
+  the ``flush_fn`` callback each filesystem provides (FUSE protocol costs for
+  the client, device writes for ext4, nothing for tmpfs).
+
+Default tunables are chosen per filesystem so that the engine reproduces the
+seed's flush points *exactly* (the hot-path benchmark's ``virtual_ms``
+invariance depends on it): the FUSE client flushes when total pending crosses
+``CostModel.writeback_batch_bytes`` and ext4 when it crosses 256 MiB, exactly
+as their hand-rolled counters did.
+
+Tunables are exposed kernel-wide through ``/proc/sys/vm/*`` (see
+:class:`VmSysctl` and :mod:`repro.kernel.procfs`): writing a value applies it
+to every registered engine, the way Linux's global writeback control applies
+to all mounted filesystems.  A value of ``0`` disables that trigger (the
+simulation's analogue of Linux's "fall back to the ratio knobs"; ratios are
+not modelled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.fs.errors import FsError
+from repro.sim.clock import VirtualClock
+
+#: Flush reasons, in the order the simulated flusher evaluates them.
+WB_REASON_EXPIRED = "expired"          # dirty data older than dirty_expire_centisecs
+WB_REASON_DIRTY_LIMIT = "dirty_limit"  # total pending crossed vm.dirty_bytes
+WB_REASON_BACKGROUND = "background"    # total pending crossed vm.dirty_background_bytes
+WB_REASON_SYNC = "sync"                # explicit flush (sync(2), drop_caches, release)
+WB_REASON_FSYNC = "fsync"              # fsync(2)/fdatasync(2) on one inode
+
+#: Centisecond, in virtual nanoseconds.
+CENTISEC_NS = 10_000_000
+
+
+@dataclass
+class VmTunables:
+    """The ``vm.dirty_*`` knobs driving one writeback engine.
+
+    All three follow the same convention: ``0`` disables the trigger.  Each
+    filesystem picks defaults that reproduce its historical flush points;
+    :class:`VmSysctl` overrides them kernel-wide when an experiment writes to
+    ``/proc/sys/vm/*``.
+    """
+
+    #: Pending bytes at which the background flusher threads kick in and
+    #: write everything back (Linux starts writing *some* data back here; the
+    #: simulated flushers always catch up fully, matching the seed).
+    dirty_background_bytes: int = 0
+    #: Hard limit: a writer crossing it blocks and writes back synchronously.
+    dirty_bytes: int = 0
+    #: Dirty data older than this (virtual centiseconds) is written back by
+    #: the periodic flusher wakeup (piggybacked on write activity).
+    dirty_expire_centisecs: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The knobs as a plain dict (reports, benchmarks)."""
+        return {
+            "dirty_background_bytes": self.dirty_background_bytes,
+            "dirty_bytes": self.dirty_bytes,
+            "dirty_expire_centisecs": self.dirty_expire_centisecs,
+        }
+
+
+@dataclass
+class WritebackStats:
+    """Flush accounting for one engine (benchmarks and tests read this)."""
+
+    flushes: int = 0                 # flush() calls that flushed at least one inode
+    flushed_bytes: int = 0           # pending bytes drained by flushes
+    discarded_bytes: int = 0         # pending bytes dropped without a flush
+    flushes_by_reason: dict = field(default_factory=dict)
+
+    @property
+    def mean_flush_bytes(self) -> float:
+        """Average pending bytes drained per flush."""
+        return self.flushed_bytes / self.flushes if self.flushes else 0.0
+
+
+class WritebackEngine:
+    """Per-filesystem dirty accounting plus simulated flusher threads.
+
+    The engine never charges virtual time itself: when a threshold decides a
+    flush must happen, it pops the pending counters and hands the
+    ``(ino, pending_bytes)`` batch to ``flush_fn(items, reason)``, which
+    charges whatever that filesystem's writeback costs are and cleans the
+    filesystem's page cache.  Keeping the *decision* here and the *price*
+    there is what lets three very different filesystems share one subsystem.
+    """
+
+    def __init__(self, name: str, tunables: VmTunables,
+                 flush_fn: Callable[[list[tuple[int, int]], str], None],
+                 clock: VirtualClock | None = None,
+                 sysctl_tunable: bool = True) -> None:
+        self.name = name
+        self.tunables = tunables
+        self.flush_fn = flush_fn
+        self.clock = clock
+        #: tmpfs-style engines keep dirty accounting but have no backing
+        #: store; /proc/sys/vm writes do not retune them (as in Linux, where
+        #: tmpfs pages are not subject to the writeback control).
+        self.sysctl_tunable = sysctl_tunable
+        self.stats = WritebackStats()
+        #: ino -> unflushed dirty bytes.  Flushed/discarded inodes are popped,
+        #: never left behind as zero entries.
+        self._pending: dict[int, int] = {}
+        self._total = 0
+        #: ino -> virtual timestamp of the oldest unflushed dirty byte.
+        self._first_dirty_ns: dict[int, int] = {}
+        #: Re-entrancy latch: a flush_fn must not trigger nested flushes.
+        self._flushing = False
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def total_pending(self) -> int:
+        """Unflushed dirty bytes across all inodes."""
+        return self._total
+
+    def pending(self, ino: int | None = None) -> int:
+        """Unflushed dirty bytes, optionally for one inode."""
+        if ino is None:
+            return self._total
+        return self._pending.get(ino, 0)
+
+    def pending_inodes(self) -> list[int]:
+        """Inodes with unflushed dirty bytes (tests / debugging)."""
+        return list(self._pending)
+
+    # ------------------------------------------------------------- accounting
+    def note_dirty(self, ino: int, nbytes: int) -> None:
+        """Account ``nbytes`` of freshly written data, then let the simulated
+        flusher threads react to the thresholds."""
+        if nbytes <= 0:
+            return
+        self._pending[ino] = self._pending.get(ino, 0) + nbytes
+        self._total += nbytes
+        if self.clock is not None and ino not in self._first_dirty_ns:
+            self._first_dirty_ns[ino] = self.clock.now_ns
+        self._run_flushers()
+
+    def discard(self, ino: int, nbytes: int | None = None) -> int:
+        """Drop pending accounting without charging a flush.
+
+        Used by invalidation paths: when an inode's dirty pages are dropped
+        from the page cache without writeback (truncate, hole punching), the
+        corresponding flush obligation disappears with them — otherwise the
+        next flush would charge WRITE requests for pages that no longer
+        exist.  Returns the bytes discarded.
+        """
+        pending = self._pending.get(ino, 0)
+        if pending <= 0:
+            return 0
+        dropped = pending if nbytes is None else min(pending, nbytes)
+        remaining = pending - dropped
+        if remaining > 0:
+            self._pending[ino] = remaining
+        else:
+            del self._pending[ino]
+            self._first_dirty_ns.pop(ino, None)
+        self._total -= dropped
+        self.stats.discarded_bytes += dropped
+        return dropped
+
+    # ------------------------------------------------------------- flushing
+    def flush(self, ino: int | None = None, reason: str = WB_REASON_SYNC) -> int:
+        """Write back pending data (all inodes, or just ``ino``).
+
+        Pops the pending counters first — a flushed inode leaves no zero
+        entry behind — then pays the filesystem's writeback price through
+        ``flush_fn``.  Returns the pending bytes drained.
+        """
+        if ino is None:
+            items = [(node, pending) for node, pending in self._pending.items()
+                     if pending > 0]
+        else:
+            pending = self._pending.get(ino, 0)
+            items = [(ino, pending)] if pending > 0 else []
+        if not items:
+            return 0
+        flushed = 0
+        for node, pending in items:
+            flushed += pending
+            del self._pending[node]
+            self._first_dirty_ns.pop(node, None)
+        self._total -= flushed
+        self.stats.flushes += 1
+        self.stats.flushed_bytes += flushed
+        self.stats.flushes_by_reason[reason] = \
+            self.stats.flushes_by_reason.get(reason, 0) + 1
+        self._flushing = True
+        try:
+            self.flush_fn(items, reason)
+        finally:
+            self._flushing = False
+        return flushed
+
+    def _run_flushers(self) -> None:
+        """Evaluate the thresholds, oldest-first: expiry, hard limit, background."""
+        if self._flushing:
+            return
+        knobs = self.tunables
+        if (knobs.dirty_expire_centisecs > 0 and self.clock is not None
+                and self._first_dirty_ns):
+            deadline = self.clock.now_ns - knobs.dirty_expire_centisecs * CENTISEC_NS
+            expired = [node for node, born in self._first_dirty_ns.items()
+                       if born <= deadline]
+            for node in expired:
+                self.flush(node, reason=WB_REASON_EXPIRED)
+        if knobs.dirty_bytes > 0 and self._total >= knobs.dirty_bytes:
+            self.flush(reason=WB_REASON_DIRTY_LIMIT)
+        elif (knobs.dirty_background_bytes > 0
+                and self._total >= knobs.dirty_background_bytes):
+            self.flush(reason=WB_REASON_BACKGROUND)
+
+
+class VmSysctl:
+    """The kernel-wide ``/proc/sys/vm`` writeback knobs.
+
+    Mounting a filesystem with a writeback engine registers the engine here
+    (see ``Syscalls.mount``); writing a knob applies it to every registered
+    tunable engine at once, like Linux's single global writeback control.
+    Until a knob is written it reads as ``0``, meaning "each filesystem uses
+    its own default thresholds".
+    """
+
+    KNOBS = ("dirty_background_bytes", "dirty_bytes", "dirty_expire_centisecs")
+
+    def __init__(self) -> None:
+        self._engines: list[WritebackEngine] = []
+        self._overrides: dict[str, int] = {}
+
+    def register(self, engine: WritebackEngine) -> None:
+        """Attach an engine to the kernel-wide knobs (idempotent)."""
+        if not engine.sysctl_tunable or engine in self._engines:
+            return
+        self._engines.append(engine)
+        for knob, value in self._overrides.items():
+            setattr(engine.tunables, knob, value)
+
+    def unregister(self, engine: WritebackEngine) -> None:
+        """Detach an engine (unmount)."""
+        if engine in self._engines:
+            self._engines.remove(engine)
+
+    def engines(self) -> list[WritebackEngine]:
+        """The registered engines (reports / debugging)."""
+        return list(self._engines)
+
+    def get(self, knob: str) -> int:
+        """Current kernel-wide value (0 = per-filesystem defaults in effect)."""
+        if knob not in self.KNOBS:
+            raise FsError.enoent(f"vm.{knob}")
+        return self._overrides.get(knob, 0)
+
+    def set(self, knob: str, value: int) -> None:
+        """Write a knob, retuning every registered engine."""
+        if knob not in self.KNOBS:
+            raise FsError.enoent(f"vm.{knob}")
+        if value < 0:
+            raise FsError.einval(f"vm.{knob} = {value}")
+        self._overrides[knob] = value
+        for engine in self._engines:
+            setattr(engine.tunables, knob, value)

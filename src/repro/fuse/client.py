@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 
-from repro.fs.constants import FileMode
+from repro.fs.constants import FallocateMode, FileMode
 from repro.fs.errors import FsError
 from repro.fs.filesystem import Filesystem
 from repro.fs.inode import (
@@ -42,6 +42,7 @@ from repro.fs.inode import (
 )
 from repro.fs.pagecache import PageCache
 from repro.fs.stat import StatVfs
+from repro.fs.writeback import WB_REASON_FSYNC, VmTunables, WritebackEngine
 from repro.fuse.device import FuseConnection
 from repro.fuse.options import FuseMountOptions
 from repro.fuse.protocol import FuseAttr, FuseOpcode, FuseReply, FuseRequest
@@ -72,15 +73,21 @@ class FuseClientFs(Filesystem):
     def __init__(self, name: str, clock: VirtualClock, costs: CostModel,
                  connection: FuseConnection, options: FuseMountOptions | None = None,
                  tracer: Tracer | None = None,
-                 page_cache_bytes: int = 12 << 30) -> None:
+                 page_cache_bytes: int = 12 << 30,
+                 writeback_tunables: VmTunables | None = None) -> None:
         super().__init__(name, clock, costs, tracer, capacity_bytes=1 << 50)
         self.connection = connection
         self.options = options or FuseMountOptions()
         self.page_cache = PageCache(max_bytes=page_cache_bytes, page_size=costs.page_size)
         self._entry_cache: dict[tuple[int, str], int] = {}
         self._attr_fresh: set[int] = set()
-        self._writeback_pending: dict[int, int] = {}
-        self._writeback_total = 0
+        #: The unified writeback engine; the default background threshold is
+        #: the seed's aggregation limit, so flush points are byte-identical.
+        self.writeback = WritebackEngine(
+            name,
+            writeback_tunables or VmTunables(
+                dirty_background_bytes=costs.writeback_batch_bytes),
+            self._writeback_flush, clock=clock)
         self._pending_forgets: list[int] = []
         #: When True (the default, as in Linux) every write triggers an
         #: uncached security.capability xattr lookup round trip.
@@ -272,11 +279,17 @@ class FuseClientFs(Filesystem):
         if not self.options.keep_cache:
             # Without FOPEN_KEEP_CACHE the kernel invalidates the inode's page
             # cache on every open, so the cache is never shared across opens.
+            # Dirty pages are written back first (invalidate_inode_pages2
+            # semantics): dropping them while their bytes still sat in the
+            # writeback engine would make the next flush charge WRITE
+            # requests for pages that no longer exist.
+            if self.writeback.pending(ino):
+                self.flush_writeback(ino)
             self.page_cache.invalidate(ino)
 
     def on_release(self, ino: int) -> None:
         """Called by the VFS when the last descriptor for an inode is closed."""
-        if self._writeback_pending.get(ino):
+        if self.writeback.pending(ino):
             self.flush_writeback(ino)
         self.connection.request(FuseRequest(FuseOpcode.RELEASE, ino, args={}))
 
@@ -468,8 +481,6 @@ class FuseClientFs(Filesystem):
         if self.options.writeback_cache:
             self.page_cache.write(ino, offset, size)
             self.clock.advance(self.costs.page_cache_hit_per_byte_ns * size)
-            self._writeback_pending[ino] = self._writeback_pending.get(ino, 0) + size
-            self._writeback_total += size
             # Data still has to reach the server for correctness; the request
             # below carries no protocol cost because the writeback flush
             # accounts for it in aggregated form.
@@ -477,8 +488,9 @@ class FuseClientFs(Filesystem):
                 FuseOpcode.WRITE, ino,
                 args={"offset": offset, "size": size, "writeback": True},
                 payload=bytes(data)))
-            if self._writeback_total >= self.costs.writeback_batch_bytes:
-                self.flush_writeback()
+            # The engine accounts the dirty bytes and runs the simulated
+            # flusher threads against the vm.dirty_* thresholds.
+            self.writeback.note_dirty(ino, size)
         elif size:
             # Synchronous writes: one coalesced dispatch per extent, with the
             # max_write-sized request count computed by ceil-div; the granule
@@ -495,40 +507,64 @@ class FuseClientFs(Filesystem):
 
     def flush_writeback(self, ino: int | None = None) -> int:
         """Flush the writeback buffer, charging the aggregated WRITE requests."""
-        if ino is None:
-            pending_items = list(self._writeback_pending.items())
-        else:
-            pending_items = [(ino, self._writeback_pending.get(ino, 0))]
-        flushed = 0
-        for node, pending in pending_items:
-            if pending <= 0:
-                continue
-            # The aggregated flush is charged arithmetically: ceil-div the
-            # pending bytes by max_write for the request count, then one
-            # linear transfer cost for the whole extent.
+        return self.writeback.flush(ino)
+
+    def _writeback_flush(self, items: list[tuple[int, int]], reason: str) -> None:
+        """Writeback price of this filesystem, paid when the engine flushes.
+
+        The aggregated flush is charged arithmetically: ceil-div each inode's
+        pending bytes by max_write for the request count, then one linear
+        transfer cost for the whole extent.
+        """
+        for node, pending in items:
             requests = max(1, math.ceil(pending / self.options.max_write))
             self.clock.advance(self._batched_overhead(requests, False, pending, 0))
             self.clock.advance(self.costs.fuse_writeback_flush_ns)
-            flushed += pending
-            self._writeback_total -= pending
-            self._writeback_pending[node] = 0
             self.page_cache.clean(node)
-        self._writeback_total = max(0, self._writeback_total)
-        return flushed
+
+    def _drop_pagecache_range(self, ino: int, start_page: int,
+                              end_page: int | None = None) -> int:
+        """Invalidate a page range, keeping the writeback engine in lockstep.
+
+        Pages dropped here disappear *without* writeback (Linux semantics for
+        truncated / hole-punched data), so once an inode has no dirty pages
+        left its pending bytes are discarded rather than charged later.
+        While dirty pages remain, the pending bytes stay: the eventual flush
+        cleans and pays for them.
+        """
+        dropped = self.page_cache.invalidate_range(ino, start_page, end_page)
+        if dropped and self.page_cache.dirty_page_count(ino) == 0:
+            self.writeback.discard(ino)
+        return dropped
 
     def truncate(self, ino: int, size: int) -> None:
         reply = self._send(FuseOpcode.SETATTR, ino, {"size": size})
         if reply.attr is not None:
             self._update_proxy(ino, reply.attr)
-        self.page_cache.invalidate(ino)
+        self._truncate_pagecache(ino, size)
+
+    def _truncate_pagecache(self, ino: int, size: int) -> None:
+        """Linux ``truncate_pagecache``: only pages wholly beyond the new EOF
+        are dropped (the partial page at EOF stays resident, zeroed by the
+        server); extending a file drops nothing."""
+        first_dropped = -(-size // self.costs.page_size)
+        self._drop_pagecache_range(ino, first_dropped)
 
     def fallocate(self, ino: int, mode: int, offset: int, length: int) -> None:
-        reply = self._send(FuseOpcode.FALLOCATE, ino,
-                           {"mode": mode, "offset": offset, "length": length})
+        self._send(FuseOpcode.FALLOCATE, ino,
+                   {"mode": mode, "offset": offset, "length": length})
         self._attr_fresh.discard(ino)
+        if mode & FallocateMode.PUNCH_HOLE:
+            # Linux truncate_pagecache_range: pages wholly inside the hole
+            # are dropped, so reads of the hole are not page-cache hits; the
+            # partial pages at the edges stay (the server zeroes them).
+            page = self.costs.page_size
+            first = -(-offset // page)
+            last = (offset + length) // page
+            self._drop_pagecache_range(ino, first, last)
 
     def fsync(self, ino: int, datasync: bool = False) -> None:
-        self.flush_writeback(ino)
+        self.writeback.flush(ino, reason=WB_REASON_FSYNC)
         self._send(FuseOpcode.FSYNC, ino, {"datasync": datasync})
 
     def sync(self) -> None:
@@ -553,7 +589,7 @@ class FuseClientFs(Filesystem):
         if reply.attr is not None:
             self._update_proxy(ino, reply.attr)
         if size is not None:
-            self.page_cache.invalidate(ino)
+            self._truncate_pagecache(ino, size)
 
     # ------------------------------------------------------------ xattrs
     def setxattr(self, ino: int, name: str, value: bytes, flags: int = 0) -> None:

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.fs.errors import FsError
-from repro.fuse.protocol import FuseOpcode, FuseReply, FuseRequest, NO_REPLY_OPCODES
+from repro.fuse.protocol import FuseReply, FuseRequest, NO_REPLY_OPCODES
 from repro.kernel.objects import KernelObject
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

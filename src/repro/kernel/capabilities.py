@@ -7,7 +7,7 @@ privilege the container had (design §3.2.3, property (1)).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.fs.vfs import ALL_CAPS, DEFAULT_CONTAINER_CAPS
 

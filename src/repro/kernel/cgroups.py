@@ -7,7 +7,7 @@ subject to the container's resource limits (design §3.2.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.fs.errors import FsError
 

@@ -14,15 +14,15 @@ from typing import Callable
 from repro.fs.errors import FsError
 from repro.fs.mount import MountNamespace
 from repro.fs.vfs import VFS, VNode
+from repro.fs.writeback import VmSysctl
 from repro.kernel.capabilities import CapabilitySet
 from repro.kernel.cgroups import CgroupHierarchy
-from repro.kernel.lsm import LsmProfile, LsmRegistry, UNCONFINED
+from repro.kernel.lsm import LsmRegistry, UNCONFINED
 from repro.kernel.namespaces import (
     MntNamespace,
     Namespace,
     NamespaceKind,
     PidNamespace,
-    UserNamespace,
     make_host_namespaces,
 )
 from repro.kernel.objects import KernelObject
@@ -95,6 +95,9 @@ class Kernel:
         self.vfs = VFS()
         self.cgroups = CgroupHierarchy()
         self.lsm = LsmRegistry()
+        #: Kernel-wide vm.dirty_* writeback knobs (/proc/sys/vm); mounting a
+        #: filesystem with a writeback engine registers it here.
+        self.vm = VmSysctl()
         self.processes: dict[int, Process] = {}
         self._next_pid = 1
         self._pty_index = 0

@@ -8,7 +8,7 @@ deny list that the syscall layer consults.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.fs.errors import FsError
 

@@ -22,7 +22,6 @@ from repro.kernel.kernel import (
     DEV_ZERO_RDEV,
     Kernel,
 )
-from repro.kernel.namespaces import NamespaceKind
 from repro.kernel.procfs import ProcFS
 from repro.kernel.process import Process
 from repro.kernel.syscalls import Syscalls
@@ -173,6 +172,7 @@ def boot(cost_model: CostModel | None = None, tracer: Tracer | None = None,
 
     rootfs = Ext4Fs("rootfs", clock, costs, trace, page_cache_bytes=page_cache_bytes)
     rootfs.store_data = store_data
+    kernel.vm.register(rootfs.writeback)
     mounts = MountNamespace(rootfs)
     init = kernel.create_init_process(mounts)
     sc = Syscalls(kernel, init)

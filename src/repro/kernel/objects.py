@@ -10,7 +10,6 @@ implementation does with epoll.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
 
 from repro.fs.errors import FsError
 

@@ -18,6 +18,7 @@ from repro.fs.constants import FileMode
 from repro.fs.errors import FsError
 from repro.fs.filesystem import Filesystem
 from repro.fs.inode import DirectoryInode, Inode, RegularInode, SymlinkInode
+from repro.fs.writeback import VmSysctl
 from repro.kernel.namespaces import NamespaceKind, PidNamespace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -32,13 +33,16 @@ PID_LINKS = ("root", "cwd", "exe")
 NS_LINKS = tuple(kind.value for kind in NamespaceKind)
 #: Top-level non-pid entries.
 TOP_FILES = ("mounts", "filesystems", "uptime", "version", "cpuinfo", "meminfo")
+#: Writable ``/proc/sys/vm`` knobs, driving the unified writeback subsystem.
+SYS_VM_FILES = VmSysctl.KNOBS
 
 
 @dataclass(frozen=True)
 class ProcEntry:
     """What a synthetic procfs inode refers to."""
 
-    kind: str          # "root" | "piddir" | "nsdir" | "attrdir" | "file" | "link"
+    kind: str          # "root" | "piddir" | "nsdir" | "attrdir" | "file" |
+                       # "link" | "sysdir" | "sysvmdir" | "sysctl"
     pid: int | None
     name: str
 
@@ -68,11 +72,13 @@ class ProcFS(Filesystem):
         ino = self._path_to_ino.get(key)
         if ino is not None and ino in self._inodes:
             return self._inodes[ino]
-        if entry.kind in ("piddir", "nsdir", "attrdir"):
+        if entry.kind in ("piddir", "nsdir", "attrdir", "sysdir", "sysvmdir"):
             inode = DirectoryInode(ino=self._alloc_ino(), mode=FileMode.S_IFDIR | 0o555)
         elif entry.kind == "link":
             inode = SymlinkInode(ino=self._alloc_ino(), mode=FileMode.S_IFLNK | 0o777,
                                  target=self._link_target(entry))
+        elif entry.kind == "sysctl":
+            inode = RegularInode(ino=self._alloc_ino(), mode=FileMode.S_IFREG | 0o644)
         else:
             inode = RegularInode(ino=self._alloc_ino(), mode=FileMode.S_IFREG | 0o444)
         inode.fs_name = self.name
@@ -105,11 +111,21 @@ class ProcFS(Filesystem):
         if entry.kind == "root":
             if name == "self":
                 raise FsError.enoent("/proc/self (reader identity not modelled)")
+            if name == "sys":
+                return self._synthetic_inode(ProcEntry("sysdir", None, "sys"))
             if name in TOP_FILES:
                 return self._synthetic_inode(ProcEntry("file", None, name))
             pid = self._resolve_pid(name)
             if pid is not None:
                 return self._synthetic_inode(ProcEntry("piddir", pid, name))
+            raise FsError.enoent(name)
+        if entry.kind == "sysdir":
+            if name == "vm":
+                return self._synthetic_inode(ProcEntry("sysvmdir", None, "vm"))
+            raise FsError.enoent(name)
+        if entry.kind == "sysvmdir":
+            if name in SYS_VM_FILES:
+                return self._synthetic_inode(ProcEntry("sysctl", None, name))
             raise FsError.enoent(name)
         if entry.kind == "piddir":
             if name == "ns":
@@ -139,6 +155,8 @@ class ProcFS(Filesystem):
             for name in TOP_FILES:
                 inode = self._synthetic_inode(ProcEntry("file", None, name))
                 out.append((name, inode.ino, int(FileMode.S_IFREG)))
+            inode = self._synthetic_inode(ProcEntry("sysdir", None, "sys"))
+            out.append(("sys", inode.ino, int(FileMode.S_IFDIR)))
             for global_pid in self.pid_ns.member_pids():
                 if global_pid not in self.kernel.processes:
                     continue
@@ -163,11 +181,18 @@ class ProcFS(Filesystem):
             for name in ("current", "exec"):
                 inode = self._synthetic_inode(ProcEntry("file", entry.pid, f"attr/{name}"))
                 out.append((name, inode.ino, int(FileMode.S_IFREG)))
+        elif entry.kind == "sysdir":
+            inode = self._synthetic_inode(ProcEntry("sysvmdir", None, "vm"))
+            out.append(("vm", inode.ino, int(FileMode.S_IFDIR)))
+        elif entry.kind == "sysvmdir":
+            for name in SYS_VM_FILES:
+                inode = self._synthetic_inode(ProcEntry("sysctl", None, name))
+                out.append((name, inode.ino, int(FileMode.S_IFREG)))
         return out
 
     def read(self, ino: int, offset: int, size: int) -> bytes:
         entry = self.entry_of(ino)
-        if entry.kind != "file":
+        if entry.kind not in ("file", "sysctl"):
             raise FsError.eisdir(entry.name)
         content = self._generate(entry)
         self._charge_read(ino, offset, min(size, len(content)))
@@ -184,14 +209,31 @@ class ProcFS(Filesystem):
         self._charge_metadata("getattr")
         inode = self.iget(ino)
         entry = self._entries.get(ino)
-        if entry is not None and entry.kind == "file" and isinstance(inode, RegularInode):
+        if entry is not None and entry.kind in ("file", "sysctl") \
+                and isinstance(inode, RegularInode):
             content = self._generate(entry)
             inode.data.truncate(0)
             inode.data.write(0, content)
         return inode.stat(st_dev=self.fs_id)
 
     def write(self, ino: int, offset: int, data: bytes) -> int:
-        raise FsError.eacces("procfs is read-only in this simulation")
+        entry = self._entries.get(ino)
+        if entry is None or entry.kind != "sysctl":
+            raise FsError.eacces("procfs is read-only in this simulation")
+        text = data.decode("ascii", errors="replace").strip()
+        try:
+            value = int(text.split()[0]) if text else 0
+        except ValueError:
+            raise FsError.einval(f"vm.{entry.name}: {text!r}") from None
+        self._charge_metadata("sysctl")
+        self.kernel.vm.set(entry.name, value)
+        return len(data)
+
+    def truncate(self, ino: int, size: int) -> None:
+        # O_TRUNC on a sysctl file (shell `echo N >` idiom) is a no-op.
+        entry = self._entries.get(ino)
+        if entry is None or entry.kind != "sysctl":
+            raise FsError.eacces("procfs is read-only in this simulation")
 
     # ------------------------------------------------------------- content
     def _proc(self, pid: int):
@@ -216,6 +258,8 @@ class ProcFS(Filesystem):
         return ""
 
     def _generate(self, entry: ProcEntry) -> bytes:
+        if entry.kind == "sysctl":
+            return f"{self.kernel.vm.get(entry.name)}\n".encode()
         if entry.pid is None:
             return self._generate_top(entry.name)
         proc = self._proc(entry.pid)
@@ -237,7 +281,7 @@ class ProcFS(Filesystem):
             caps = proc.caps.to_proc_status()
             lines = [
                 f"Name:\t{proc.comm}",
-                f"State:\tS (sleeping)" if proc.state == "running" else f"State:\tZ (zombie)",
+                "State:\tS (sleeping)" if proc.state == "running" else "State:\tZ (zombie)",
                 f"Pid:\t{proc.vpid()}",
                 f"PPid:\t{proc.ppid}",
                 f"Uid:\t{proc.uid}\t{proc.uid}\t{proc.uid}\t{proc.uid}",
@@ -245,7 +289,7 @@ class ProcFS(Filesystem):
                 f"Groups:\t{' '.join(str(g) for g in sorted(proc.groups))}",
                 f"NStgid:\t{proc.vpid()}",
             ] + [f"{k}:\t{v}" for k, v in caps.items()] + [
-                f"Seccomp:\t0",
+                "Seccomp:\t0",
             ]
             return ("\n".join(lines) + "\n").encode()
         if name == "limits":

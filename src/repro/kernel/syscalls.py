@@ -14,19 +14,14 @@ from repro.fs.constants import FileMode, OpenFlags, SeekWhence
 from repro.fs.errors import FsError
 from repro.fs.filesystem import Filesystem
 from repro.fs.inode import DeviceInode, SocketInode
-from repro.fs.mount import Mount, MountNamespace
+from repro.fs.mount import Mount
 from repro.fs.stat import FileStat, StatVfs
-from repro.fs.vfs import OpenFile, PathContext, VNode
+from repro.fs.vfs import OpenFile, PathContext
 from repro.kernel.kernel import Kernel
 from repro.kernel.namespaces import NamespaceKind, UtsNamespace
 from repro.kernel.objects import (
     EpollInstance,
     KernelObject,
-    PipeReadEnd,
-    PipeWriteEnd,
-    PtyMaster,
-    PtySlave,
-    SocketEndpoint,
     UnixListener,
     make_pipe,
     make_pty,
@@ -429,8 +424,15 @@ class Syscalls:
             raise FsError.eperm("mount")
         ctx = self._ctx()
         vnode = self.vfs.resolve(ctx, target)
-        return self.process.mnt_ns.mount(fs, (vnode.mount, vnode.ino), target,
-                                         read_only=read_only)
+        mount = self.process.mnt_ns.mount(fs, (vnode.mount, vnode.ino), target,
+                                          read_only=read_only)
+        # A mounted filesystem's writeback engine comes under the kernel-wide
+        # vm.dirty_* control (/proc/sys/vm), like Linux's writeback control
+        # spanning all mounted filesystems.
+        engine = getattr(fs, "writeback", None)
+        if engine is not None:
+            self.kernel.vm.register(engine)
+        return mount
 
     def bind_mount(self, source: str, target: str, read_only: bool = False,
                    recursive: bool = False) -> Mount:
@@ -466,7 +468,15 @@ class Syscalls:
         vnode = self.vfs.resolve(self._ctx(), target)
         if vnode.ino != vnode.mount.root_ino:
             raise FsError.einval(f"{target} is not a mountpoint")
+        fs = vnode.mount.fs
         self.process.mnt_ns.umount(vnode.mount, force=force)
+        # Once the filesystem has no mounts left in this namespace its
+        # writeback engine leaves the kernel-wide vm.dirty_* control (the
+        # inverse of the registration in ``mount``).
+        engine = getattr(fs, "writeback", None)
+        if engine is not None and \
+                not any(m.fs is fs for m in self.process.mnt_ns.mounts):
+            self.kernel.vm.unregister(engine)
 
     def mount_make_rprivate(self, target: str = "/") -> None:
         """``mount --make-rprivate``."""

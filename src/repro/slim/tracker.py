@@ -8,7 +8,7 @@ opened, stat-ed, executed or read through it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.fs.errors import FsError
 from repro.kernel.syscalls import Syscalls

@@ -24,7 +24,7 @@ from repro.fs.constants import (
 from repro.fs.errors import FsError
 from repro.kernel.capabilities import CapabilitySet, KNOWN_CAPABILITIES
 from repro.kernel.syscalls import Syscalls
-from repro.xfstests.harness import TestCase, TestEnvironment, TestFailure, TestNotSupported
+from repro.xfstests.harness import TestCase, TestEnvironment, TestFailure
 
 #: Registry filled by the @generic decorator.
 GENERIC_TESTS: list[TestCase] = []

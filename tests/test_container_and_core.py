@@ -14,7 +14,6 @@ from repro.container.engine import ContainerError
 from repro.core import AttachOptions, attach, gather_context
 from repro.core.attach import APPLICATION_MOUNTPOINT
 from repro.core.inventory import component_inventory
-from repro.fs.constants import OpenFlags
 from repro.kernel.namespaces import NamespaceKind
 
 

@@ -148,10 +148,84 @@ class TestFuseStack:
         path = f"{cntr_env.test_dir}/writeback"
         fd = sc.open(path, OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
         sc.write(fd, b"w" * 8192)
-        assert client._writeback_total > 0 or client.options.writeback_cache is False
+        assert client.writeback.total_pending > 0 \
+            or client.options.writeback_cache is False
         sc.fsync(fd)
-        assert client._writeback_pending.get(client._entry_cache.get(
-            (0, "ignored"), 0), 0) == 0 or client._writeback_total == 0
+        assert client.writeback.total_pending == 0
+        # Flushed inodes are popped, not left behind as zero entries.
+        assert client.writeback.pending_inodes() == []
+        sc.close(fd)
+
+    def test_writeback_flush_pops_every_inode(self):
+        """Many-file churn must not grow the pending map without bound."""
+        env = cntrfs_environment()
+        sc = env.sc
+        client = env.fs_under_test
+        base = f"{env.test_dir}/many"
+        sc.makedirs(base)
+        for i in range(20):
+            fd = sc.open(f"{base}/f{i}", OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+            sc.write(fd, b"w" * 4096)
+            sc.close(fd)
+        assert client.writeback.pending_inodes() == []
+        assert client.writeback.total_pending == 0
+
+    def test_truncate_keeps_pages_below_new_eof(self, cntr_env):
+        sc = cntr_env.sc
+        client = cntr_env.fs_under_test
+        path = f"{cntr_env.test_dir}/trunc"
+        fd = sc.open(path, OpenFlags.O_CREAT | OpenFlags.O_RDWR)
+        sc.write(fd, b"w" * (8 * 4096))
+        sc.fsync(fd)
+        resident = len(client.page_cache)
+        # Shrink to 4.5 pages: only pages 5..7 go; the partial page 4 stays.
+        sc.ftruncate(fd, 4 * 4096 + 2048)
+        assert len(client.page_cache) == resident - 3
+        hits_before = client.page_cache.stats.hits
+        misses_before = client.page_cache.stats.misses
+        sc.lseek(fd, 0, 0)
+        sc.read(fd, 4 * 4096)
+        assert client.page_cache.stats.hits == hits_before + 4
+        assert client.page_cache.stats.misses == misses_before
+        # Extending drops nothing.
+        resident = len(client.page_cache)
+        sc.ftruncate(fd, 64 * 4096)
+        assert len(client.page_cache) == resident
+        sc.close(fd)
+
+    def test_truncate_discards_writeback_for_dropped_pages(self, cntr_env):
+        sc = cntr_env.sc
+        client = cntr_env.fs_under_test
+        path = f"{cntr_env.test_dir}/trunc-dirty"
+        fd = sc.open(path, OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        sc.write(fd, b"w" * 8192)
+        ino = sc.stat(path).st_ino
+        assert client.writeback.pending(ino) > 0
+        sc.ftruncate(fd, 0)
+        # All dirty pages vanished without writeback: no pending bytes may
+        # survive to be charged by the next flush.
+        assert client.writeback.pending(ino) == 0
+        assert client.page_cache.dirty_page_count(ino) == 0
+        sc.close(fd)
+
+    def test_punch_hole_invalidates_hole_pages(self, cntr_env):
+        from repro.fs.constants import FallocateMode
+
+        sc = cntr_env.sc
+        client = cntr_env.fs_under_test
+        path = f"{cntr_env.test_dir}/punch"
+        fd = sc.open(path, OpenFlags.O_CREAT | OpenFlags.O_RDWR)
+        sc.write(fd, b"w" * (8 * 4096))
+        sc.fsync(fd)
+        resident = len(client.page_cache)
+        sc.fallocate(fd, FallocateMode.PUNCH_HOLE | FallocateMode.KEEP_SIZE,
+                     2 * 4096, 3 * 4096)
+        assert len(client.page_cache) == resident - 3
+        misses_before = client.page_cache.stats.misses
+        sc.lseek(fd, 2 * 4096, 0)
+        assert sc.read(fd, 4096) == b"\x00" * 4096
+        # Reading the hole is not a page-cache hit.
+        assert client.page_cache.stats.misses > misses_before
         sc.close(fd)
 
     def test_unknown_opcode_returns_enosys(self, cntr_env):

@@ -178,6 +178,96 @@ class TestProcfs:
         assert str(syscalls.process.pid) in names
 
 
+class TestProcSysVm:
+    def test_listing_and_defaults(self, machine):
+        sc = machine.syscalls
+        assert "sys" in sc.listdir("/proc")
+        assert sc.listdir("/proc/sys") == ["vm"]
+        names = sc.listdir("/proc/sys/vm")
+        assert set(names) == {"dirty_background_bytes", "dirty_bytes",
+                              "dirty_expire_centisecs"}
+        # 0 means "per-filesystem defaults in effect".
+        for name in names:
+            assert sc.read(sc.open(f"/proc/sys/vm/{name}"), 64) == b"0\n"
+
+    def test_write_retunes_mounted_filesystems(self, machine):
+        from repro.fs.constants import OpenFlags
+
+        sc = machine.syscalls
+        fd = sc.open("/proc/sys/vm/dirty_bytes", OpenFlags.O_WRONLY)
+        sc.write(fd, b"1048576\n")
+        sc.close(fd)
+        assert sc.read(sc.open("/proc/sys/vm/dirty_bytes"), 64) == b"1048576\n"
+        # The rootfs ext4 engine is registered at boot and follows the knob;
+        # its background threshold keeps its per-fs default.
+        assert machine.rootfs.writeback.tunables.dirty_bytes == 1 << 20
+        assert machine.rootfs.writeback.tunables.dirty_background_bytes == 256 << 20
+
+    def test_mounting_registers_engine(self, machine, syscalls):
+        from repro.fs.constants import OpenFlags
+        from repro.fs.ext4 import Ext4Fs
+
+        kernel = machine.kernel
+        fd = machine.syscalls.open("/proc/sys/vm/dirty_background_bytes",
+                                   OpenFlags.O_WRONLY)
+        machine.syscalls.write(fd, b"65536\n")
+        machine.syscalls.close(fd)
+        extra = Ext4Fs("extra", kernel.clock, kernel.costs)
+        syscalls.makedirs("/mnt/extra")
+        syscalls.mount(extra, "/mnt/extra")
+        # Registration applies the already-written kernel-wide knob.
+        assert extra.writeback.tunables.dirty_background_bytes == 65536
+
+    def test_umount_unregisters_engine(self, machine, syscalls):
+        from repro.fs.ext4 import Ext4Fs
+
+        kernel = machine.kernel
+        extra = Ext4Fs("ephemeral", kernel.clock, kernel.costs)
+        syscalls.makedirs("/mnt/ephemeral")
+        syscalls.mount(extra, "/mnt/ephemeral")
+        assert extra.writeback in kernel.vm.engines()
+        syscalls.umount("/mnt/ephemeral")
+        assert extra.writeback not in kernel.vm.engines()
+        # The rootfs engine (still mounted) is untouched.
+        assert machine.rootfs.writeback in kernel.vm.engines()
+
+    def test_unlinked_inode_releases_writeback_state(self, machine, syscalls):
+        from repro.fs.constants import OpenFlags
+
+        rootfs = machine.rootfs
+        pending_before = len(rootfs.writeback.pending_inodes())
+        dirty_before = rootfs.page_cache.dirty_page_count()
+        syscalls.makedirs("/var/churn")
+        for i in range(20):
+            fd = syscalls.open(f"/var/churn/f{i}",
+                               OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+            syscalls.write(fd, b"x" * 8192)
+            syscalls.close(fd)
+            syscalls.unlink(f"/var/churn/f{i}")
+        # Inode eviction discarded the deleted files' dirty pages and pending
+        # bytes: create/delete churn must not grow either map.
+        assert len(rootfs.writeback.pending_inodes()) == pending_before
+        assert rootfs.page_cache.dirty_page_count() == dirty_before
+
+    def test_invalid_value_rejected(self, machine):
+        from repro.fs.constants import OpenFlags
+
+        sc = machine.syscalls
+        for payload in (b"not-a-number", b"-5"):
+            fd = sc.open("/proc/sys/vm/dirty_bytes", OpenFlags.O_WRONLY)
+            with pytest.raises(FsError):
+                sc.write(fd, payload)
+            sc.close(fd)
+
+    def test_other_proc_files_stay_read_only(self, machine):
+        from repro.fs.constants import OpenFlags
+
+        sc = machine.syscalls
+        with pytest.raises(FsError):
+            fd = sc.open("/proc/version", OpenFlags.O_WRONLY)
+            sc.write(fd, b"nope")
+
+
 class TestIpcObjects:
     def test_pipe_roundtrip(self):
         read_end, write_end = make_pipe()

@@ -6,7 +6,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.fs.constants import LockType, OpenFlags
 from repro.fs.inode import FileData
-from repro.fs.locks import FileLock, LockRange, LockTable
+from repro.fs.locks import LockRange, LockTable
 from repro.fs.pagecache import PageCache
 from repro.fs.errors import FsError
 
@@ -165,6 +165,15 @@ class _ReferencePageCache:
             del self.pages[key]
         return len(victims)
 
+    def invalidate_range(self, ino, start_page, end_page=None):
+        if end_page is None:
+            end_page = 1 << 62
+        victims = [k for k in self.pages
+                   if k[0] == ino and start_page <= k[1] < end_page]
+        for key in victims:
+            del self.pages[key]
+        return len(victims)
+
     def dirty_pages(self, ino=None):
         return sorted(k for k, dirty in self.pages.items()
                       if dirty and (ino is None or k[0] == ino))
@@ -180,7 +189,8 @@ class _ReferencePageCache:
 # to 16 pages keep runs fast while still splitting/merging extents heavily.
 _pc_ops = st.lists(
     st.tuples(st.sampled_from(["access", "write", "clean", "clean_all",
-                               "invalidate", "probe"]),
+                               "invalidate", "invalidate_range",
+                               "invalidate_tail", "probe"]),
               st.integers(min_value=1, max_value=3),
               st.integers(min_value=0, max_value=48 * 4096),
               st.integers(min_value=0, max_value=16 * 4096)),
@@ -209,6 +219,14 @@ class TestPageCacheExtentEquivalence:
                 assert cache.clean() == ref.clean()
             elif kind == "invalidate":
                 assert cache.invalidate(ino) == ref.invalidate(ino)
+            elif kind == "invalidate_range":
+                start, end = offset // 4096, (offset + size) // 4096
+                assert cache.invalidate_range(ino, start, end) == \
+                    ref.invalidate_range(ino, start, end)
+            elif kind == "invalidate_tail":
+                start = offset // 4096
+                assert cache.invalidate_range(ino, start) == \
+                    ref.invalidate_range(ino, start)
             elif kind == "probe":
                 page = offset // 4096
                 assert cache.is_resident(ino, page) == ref.is_resident(ino, page)
@@ -255,6 +273,214 @@ class TestPageCacheExtentEquivalence:
                    ("access", 1, 2 * 4096, 4096),      # carve [2,3)
                    ("access", 2, 0, 3 * 4096)],        # force eviction order out
                   max_pages=10)
+
+
+class TestWritebackEngineProperties:
+    """Threshold, conservation and pop-on-flush invariants of the engine."""
+
+    _engine_ops = st.lists(
+        st.tuples(st.sampled_from(["note", "note", "note", "flush", "flush_all",
+                                   "discard", "discard_part", "tick"]),
+                  st.integers(min_value=1, max_value=4),           # ino
+                  st.integers(min_value=1, max_value=64 * 1024)),  # nbytes
+        min_size=1, max_size=50)
+
+    @given(_engine_ops,
+           st.integers(min_value=0, max_value=128 * 1024),   # background
+           st.integers(min_value=0, max_value=128 * 1024),   # dirty limit
+           st.integers(min_value=0, max_value=20))           # expire centisecs
+    @settings(max_examples=80, deadline=None)
+    def test_invariants_hold_for_any_interleaving(self, ops, background,
+                                                  dirty, expire):
+        from repro.fs.writeback import VmTunables, WritebackEngine
+        from repro.sim.clock import VirtualClock
+
+        clock = VirtualClock()
+        flushed_items: list[tuple[int, int]] = []
+
+        def flush_fn(items, reason):
+            flushed_items.extend(items)
+
+        engine = WritebackEngine(
+            "prop", VmTunables(dirty_background_bytes=background,
+                               dirty_bytes=dirty,
+                               dirty_expire_centisecs=expire),
+            flush_fn, clock=clock)
+        noted = 0
+        for kind, ino, nbytes in ops:
+            if kind == "note":
+                engine.note_dirty(ino, nbytes)
+                noted += nbytes
+                # The flushers ran: no enabled threshold may stay exceeded.
+                if background:
+                    assert engine.total_pending < background
+                if dirty:
+                    assert engine.total_pending < dirty
+            elif kind == "flush":
+                before = engine.pending(ino)
+                assert engine.flush(ino) == before
+            elif kind == "flush_all":
+                before = engine.total_pending
+                assert engine.flush() == before
+                assert engine.total_pending == 0
+            elif kind == "discard":
+                engine.discard(ino)
+            elif kind == "discard_part":
+                engine.discard(ino, nbytes)
+            elif kind == "tick":
+                clock.advance(nbytes * 1_000)   # up to ~65ms of idle time
+            # Universal invariants, checked after every operation:
+            pending_map = {i: engine.pending(i) for i in engine.pending_inodes()}
+            assert all(v > 0 for v in pending_map.values()), \
+                "flushed/discarded inodes must be popped, not zeroed"
+            assert engine.total_pending == sum(pending_map.values())
+            assert noted == (engine.stats.flushed_bytes +
+                             engine.stats.discarded_bytes + engine.total_pending)
+        # Every byte handed to flush_fn is a byte the stats account for.
+        assert sum(p for _, p in flushed_items) == engine.stats.flushed_bytes
+
+    @given(st.integers(min_value=1, max_value=10),
+           st.integers(min_value=1, max_value=16 * 1024))
+    @settings(max_examples=40, deadline=None)
+    def test_expiry_flushes_aged_inodes(self, expire_cs, nbytes):
+        from repro.fs.writeback import CENTISEC_NS, VmTunables, WritebackEngine
+        from repro.sim.clock import VirtualClock
+
+        clock = VirtualClock()
+        engine = WritebackEngine(
+            "prop", VmTunables(dirty_expire_centisecs=expire_cs),
+            lambda items, reason: None, clock=clock)
+        engine.note_dirty(1, nbytes)
+        clock.advance(expire_cs * CENTISEC_NS)
+        # The next write activity wakes the flusher, which must expire ino 1.
+        engine.note_dirty(2, 1)
+        assert engine.pending(1) == 0
+        assert engine.stats.flushes_by_reason.get("expired", 0) >= 1
+
+
+class _ClientWritebackModel:
+    """The FuseClientFs coupling between page cache and writeback engine,
+    reduced to its accounting skeleton (same rules, no FUSE plumbing)."""
+
+    MAX_WRITE = 4 * 4096
+
+    def __init__(self, max_pages=None, background=128 * 1024):
+        import math
+
+        from repro.fs.pagecache import PageCache
+        from repro.fs.writeback import VmTunables, WritebackEngine
+
+        self._math = math
+        max_bytes = None if max_pages is None else max_pages * 4096
+        self.cache = PageCache(max_bytes=max_bytes)
+        self.charged_requests = 0
+        self.flushed_inodes = 0
+        self.engine = WritebackEngine(
+            "model", VmTunables(dirty_background_bytes=background),
+            self._flush_fn)
+
+    def _flush_fn(self, items, reason):
+        for ino, pending in items:
+            self.charged_requests += max(
+                1, self._math.ceil(pending / self.MAX_WRITE))
+            self.flushed_inodes += 1
+            self.cache.clean(ino)
+
+    # -- the exact coupling rules FuseClientFs implements ------------------
+    def write(self, ino, offset, size):
+        self.cache.write(ino, offset, size)
+        self.engine.note_dirty(ino, size)
+
+    def fsync(self, ino):
+        self.engine.flush(ino, reason="fsync")
+
+    def open_no_keep_cache(self, ino):
+        if self.engine.pending(ino):
+            self.engine.flush(ino)
+        self.cache.invalidate(ino)
+
+    def _drop_range(self, ino, start_page, end_page=None):
+        dropped = self.cache.invalidate_range(ino, start_page, end_page)
+        if dropped and self.cache.dirty_page_count(ino) == 0:
+            self.engine.discard(ino)
+
+    def truncate(self, ino, size):
+        self._drop_range(ino, -(-size // 4096))
+
+    def punch_hole(self, ino, offset, length):
+        first = -(-offset // 4096)
+        last = (offset + length) // 4096
+        self._drop_range(ino, first, last)
+
+
+_client_ops = st.lists(
+    st.tuples(st.sampled_from(["write", "write", "write", "fsync", "reopen",
+                               "truncate", "punch", "read"]),
+              st.integers(min_value=1, max_value=3),
+              st.integers(min_value=0, max_value=24 * 4096),
+              st.integers(min_value=1, max_value=8 * 4096)),
+    min_size=1, max_size=40)
+
+
+class TestWritebackAccountingProperties:
+    """Issue invariant: pending-byte counters, ``dirty_page_count`` and
+    charged writebacks stay in lockstep across write/flush/invalidate/evict
+    interleavings."""
+
+    def _run(self, ops, max_pages, background):
+        model = _ClientWritebackModel(max_pages=max_pages, background=background)
+        cache, engine = model.cache, model.engine
+        for kind, ino, offset, size in ops:
+            if kind == "write":
+                model.write(ino, offset, size)
+            elif kind == "fsync":
+                model.fsync(ino)
+                assert engine.pending(ino) == 0
+                assert cache.dirty_page_count(ino) == 0
+            elif kind == "reopen":
+                model.open_no_keep_cache(ino)
+                assert engine.pending(ino) == 0
+                assert cache.dirty_page_count(ino) == 0
+            elif kind == "truncate":
+                model.truncate(ino, offset)
+            elif kind == "punch":
+                model.punch_hole(ino, offset, size)
+            elif kind == "read":
+                cache.access(ino, offset, size)
+            # Lockstep invariants after every operation:
+            pending_map = {i: engine.pending(i) for i in engine.pending_inodes()}
+            assert all(v > 0 for v in pending_map.values())
+            assert engine.total_pending == sum(pending_map.values())
+            for node in (1, 2, 3):
+                if cache.dirty_page_count(node) > 0:
+                    assert engine.pending(node) > 0, \
+                        "dirty pages with no pending bytes would never flush"
+                if max_pages is None and engine.pending(node) > 0:
+                    assert cache.dirty_page_count(node) > 0, \
+                        "pending bytes for vanished pages would be overcharged"
+        # Charged writebacks in lockstep: every flushed inode cleaned dirty
+        # pages (one PageCache writeback each); evictions account the rest.
+        if max_pages is None:
+            assert cache.stats.writebacks == model.flushed_inodes
+        else:
+            assert cache.stats.writebacks >= model.flushed_inodes
+        # Request charging is exact per flush: ceil(pending / max_write).
+        assert model.charged_requests >= model.flushed_inodes
+
+    @given(_client_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_unbounded_cache_lockstep(self, ops):
+        self._run(ops, max_pages=None, background=128 * 1024)
+
+    @given(_client_ops, st.integers(min_value=4, max_value=32))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_cache_lockstep(self, ops, max_pages):
+        self._run(ops, max_pages=max_pages, background=128 * 1024)
+
+    @given(_client_ops, st.integers(min_value=4096, max_value=64 * 1024))
+    @settings(max_examples=40, deadline=None)
+    def test_lockstep_for_any_background_threshold(self, ops, background):
+        self._run(ops, max_pages=None, background=background)
 
 
 class TestLockTableProperties:
