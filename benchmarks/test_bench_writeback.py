@@ -90,14 +90,54 @@ def test_fsync_cadence_drives_flushes_when_thresholds_idle():
         assert set(r.flushes_by_reason) == {"fsync"}
 
 
+def test_dirty_ratio_resolves_like_dirty_bytes():
+    """A ratio over a shrunk modelled memory must act exactly like the byte
+    threshold it resolves to: same flush count, same flush sizes, same
+    virtual time (the deterministic simulation makes equality exact)."""
+    ratio_run = run_dirty_workload(
+        "dirty_ratio", {"dirty_background_bytes": 0, "dirty_ratio": 4},
+        size_mb=8, page_cache_mb=256, mem_total_mb=64)
+    bytes_run = run_dirty_workload(
+        "dirty_bytes",
+        {"dirty_background_bytes": 0, "dirty_bytes": (64 << 20) * 4 // 100},
+        size_mb=8, page_cache_mb=256)
+    assert ratio_run.flushes == bytes_run.flushes
+    assert ratio_run.mean_flush_kb == bytes_run.mean_flush_kb
+    assert ratio_run.virtual_ms == bytes_run.virtual_ms
+    # Threshold crossings flush as "dirty_limit"; the sub-threshold residue
+    # is written back at release ("sync") — identically in both runs.
+    assert ratio_run.flushes_by_reason == bytes_run.flushes_by_reason
+    assert ratio_run.flushes_by_reason.get("dirty_limit", 0) > 0
+
+
+def test_bdi_bandwidth_shapes_flush_cost():
+    """Lower modelled write bandwidth => more virtual time, with the delta
+    exactly the BDI busy time; bytes flushed are conserved."""
+    runs = [run_dirty_workload(
+                "bdi", {"dirty_background_bytes": 0, "dirty_bytes": 1 << 20},
+                size_mb=8, page_cache_mb=256, bdi_write_mb_s=bandwidth)
+            for bandwidth in (0, 400, 100)]
+    base = runs[0]
+    assert base.bdi_busy_ms == 0.0
+    for run in runs[1:]:
+        assert run.flushes == base.flushes
+        assert run.flushed_kb == base.flushed_kb
+        assert run.virtual_ms - base.virtual_ms == \
+            pytest.approx(run.bdi_busy_ms, abs=1e-6)
+    virtual = [r.virtual_ms for r in runs]
+    assert virtual == sorted(virtual) and virtual[0] < virtual[-1]
+
+
 def test_committed_bench_json_shows_tunable_flush_behaviour():
     with open(BENCH_JSON) as fh:
         data = json.load(fh)
     scenarios = data["scenarios"]
     # Every swept scenario is ordered from the most aggressive setting to the
-    # laziest: flush counts fall, flush sizes grow, virtual time falls.
+    # laziest: flush counts fall, flush sizes grow, virtual time falls.  The
+    # ratio sweep behaves exactly like a bytes sweep because the ratios
+    # resolve to byte thresholds against the modelled memory.
     for name in ("dirty_bytes", "dirty_background_bytes",
-                 "dirty_expire_centisecs", "fsync_storm"):
+                 "dirty_expire_centisecs", "fsync_storm", "dirty_ratio"):
         runs = scenarios[name]
         assert len(runs) >= 2, name
         flushes = [r["flushes"] for r in runs]
@@ -106,6 +146,19 @@ def test_committed_bench_json_shows_tunable_flush_behaviour():
         assert flushes == sorted(flushes, reverse=True) and flushes[0] > flushes[-1]
         assert mean_kb == sorted(mean_kb) and mean_kb[0] < mean_kb[-1]
         assert virtual == sorted(virtual, reverse=True), name
+    # The BDI sweep conserves flush behaviour and grows only the bandwidth
+    # term: virtual-time deltas against the unshaped baseline decompose to
+    # the BDI busy time exactly.
+    bdi_runs = scenarios["bdi_write_bandwidth"]
+    base = bdi_runs[0]
+    assert base["bdi_write_mb_s"] == 0 and base["bdi_busy_ms"] == 0.0
+    for run in bdi_runs[1:]:
+        assert run["flushes"] == base["flushes"]
+        assert run["flushed_kb"] == base["flushed_kb"]
+        assert run["virtual_ms"] - base["virtual_ms"] == \
+            pytest.approx(run["bdi_busy_ms"], abs=2e-3)
+    bdi_virtual = [r["virtual_ms"] for r in bdi_runs]
+    assert bdi_virtual == sorted(bdi_virtual) and bdi_virtual[0] < bdi_virtual[-1]
     # The default run flushes at the seed's aggregation points: one
     # background flush per writeback_batch_bytes of dirty data.
     default = scenarios["defaults"][0]

@@ -87,8 +87,26 @@ class BenchEnvironment:
         return self.client_sc, "/cntr"
 
     def drop_caches(self) -> None:
-        """Drop page/dentry caches on both sides (cold-cache experiments)."""
-        self.backing.drop_caches()
+        """Drop page/dentry caches machine-wide (cold-cache experiments).
+
+        Goes through ``/proc/sys/vm/drop_caches`` — the operator path — which
+        reaches every registered filesystem (the ext4 backing store *and* the
+        CntrFS client), exactly like ``echo 3 > /proc/sys/vm/drop_caches`` on
+        a real host.
+        """
+        fd = self.host_sc.open("/proc/sys/vm/drop_caches", OpenFlags.O_WRONLY)
+        self.host_sc.write(fd, b"3\n")
+        self.host_sc.close(fd)
+
+    def drop_fuse_caches(self) -> None:
+        """Invalidate only the FUSE-side caches, keeping the backing warm.
+
+        This is *narrower* than ``drop_caches`` on purpose: the paper's
+        cold-FUSE methodology measures a freshly mounted CntrFS against a
+        backing store that just produced the data, so only the client's
+        dentry/attribute/page caches are dropped (the simulation's stand-in
+        for umount+mount of the FUSE client).
+        """
         self.client.drop_caches()
 
     def measure(self, func) -> int:
@@ -110,7 +128,7 @@ def _run_in(env: BenchEnvironment, workload: Workload, through_cntr: bool) -> in
     # the input data, exactly as in the paper's methodology.  Only the
     # FUSE-side caches start cold.
     env.backing.sync()
-    env.client.drop_caches()
+    env.drop_fuse_caches()
     return env.measure(lambda: workload.run(run_sc, f"{run_base}/{workdir}"))
 
 

@@ -118,7 +118,7 @@ def run_hotpath(size_mb: int = 1024, record_kb: int = 64,
         return calls
 
     results.append(_measure(env, "seq_write", total, record, write_phase))
-    env.client.drop_caches()
+    env.drop_fuse_caches()
     results.append(_measure(env, "seq_read_cold", total, record, read_phase))
     results.append(_measure(env, "seq_read_warm", total, record, read_phase))
     return results
@@ -141,7 +141,7 @@ def run_scaled_figures(scale: int = 10) -> list[HotpathResult]:
         native_sc.makedirs(f"{native_base}/scaled")
         workload.prepare(native_sc, f"{native_base}/scaled")
         env.backing.sync()
-        env.client.drop_caches()
+        env.drop_fuse_caches()
         result = _measure(env, f"figure_scaled:{workload.name}", workload.size,
                           4096, lambda: workload.run(run_sc, f"{run_base}/scaled") or 0)
         results.append(result)

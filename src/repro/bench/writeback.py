@@ -18,6 +18,12 @@ extra flush pays the fixed ``fuse_writeback_flush_ns`` cost while the byte
 costs stay constant.  Under *default* tunables the engine reproduces the
 seed's flush points exactly, so the hot-path `virtual_ms` pins in that test
 double as the default-equivalence guarantee.
+
+The memory-pressure model added two sweeps: ``dirty_ratio`` (the ratio knob
+over a shrunk modelled memory, which must behave exactly like the byte
+threshold it resolves to) and ``bdi_write_bandwidth`` (per-device bandwidth
+shaping under a fixed flush cadence, whose virtual-time deltas are exactly
+the BDI busy time while flushed bytes are conserved).
 """
 
 from __future__ import annotations
@@ -43,6 +49,10 @@ class WritebackRunResult:
     flushes: int = 0
     mean_flush_kb: float = 0.0
     flushes_by_reason: dict = field(default_factory=dict)
+    flushed_kb: float = 0.0
+    mem_total_mb: int = 0
+    bdi_write_mb_s: int = 0
+    bdi_busy_ms: float = 0.0
 
     def to_dict(self) -> dict:
         return {
@@ -54,6 +64,10 @@ class WritebackRunResult:
             "flushes": self.flushes,
             "mean_flush_kb": round(self.mean_flush_kb, 1),
             "flushes_by_reason": dict(self.flushes_by_reason),
+            "flushed_kb": round(self.flushed_kb, 1),
+            "mem_total_mb": self.mem_total_mb,
+            "bdi_write_mb_s": self.bdi_write_mb_s,
+            "bdi_busy_ms": round(self.bdi_busy_ms, 3),
         }
 
 
@@ -69,15 +83,26 @@ def apply_vm_tunables(env: BenchEnvironment, settings: dict[str, int]) -> None:
 def run_dirty_workload(scenario: str, settings: dict[str, int] | None = None,
                        size_mb: int = 16, record_kb: int = 64,
                        fsync_every: int = 0, think_ns: int = 0,
-                       page_cache_mb: int = 512) -> WritebackRunResult:
+                       page_cache_mb: int = 512, mem_total_mb: int = 0,
+                       bdi_write_mb_s: int = 0) -> WritebackRunResult:
     """Write ``size_mb`` MiB sequentially through a CntrFS mount.
 
     ``fsync_every`` issues an fsync every N records (database commit /
     fsync-storm shapes); ``think_ns`` advances the virtual clock between
     records (a log writer with application think time, which is what makes
-    ``dirty_expire_centisecs`` bite).
+    ``dirty_expire_centisecs`` bite).  ``mem_total_mb`` shrinks the modelled
+    memory so the ``vm.dirty_*_ratio`` knobs resolve to thresholds the
+    workload can actually cross; ``bdi_write_mb_s`` caps the modelled write
+    bandwidth of the CntrFS mount's backing-device info (0 = unshaped).
     """
     env = BenchEnvironment(page_cache_mb=page_cache_mb)
+    if mem_total_mb:
+        # Machine configuration, not a sysctl: the modelled RAM size.  The
+        # MemInfo object is shared by reference, so /proc/meminfo and the
+        # ratio resolution follow immediately.
+        env.machine.kernel.mem.total_bytes = mem_total_mb << 20
+    if bdi_write_mb_s:
+        env.client.writeback.bdi.write_bandwidth_bytes_s = bdi_write_mb_s << 20
     if settings:
         apply_vm_tunables(env, settings)
     sc, base = env.cntr_access()
@@ -117,6 +142,10 @@ def run_dirty_workload(scenario: str, settings: dict[str, int] | None = None,
         flushes=stats.flushes,
         mean_flush_kb=stats.mean_flush_bytes / 1024,
         flushes_by_reason=dict(stats.flushes_by_reason),
+        flushed_kb=stats.flushed_bytes / 1024,
+        mem_total_mb=mem_total_mb,
+        bdi_write_mb_s=bdi_write_mb_s,
+        bdi_busy_ms=engine.bdi.stats.busy_ns / 1e6 if engine.bdi else 0.0,
     )
 
 
@@ -161,6 +190,27 @@ def sweep(size_mb: int = 16) -> dict[str, list[WritebackRunResult]]:
         run_dirty_workload("fsync_storm", {"dirty_background_bytes": 0},
                            size_mb=size_mb, fsync_every=every)
         for every in (8, 32, 128)
+    ]
+
+    # Ratio-driven hard limit: vm.dirty_ratio resolves against the modelled
+    # memory (shrunk to 64 MiB so single-digit percentages bite).  A lower
+    # ratio is a lower byte threshold, so the sweep mirrors dirty_bytes:
+    # more, smaller flushes and more virtual time.
+    scenarios["dirty_ratio"] = [
+        run_dirty_workload("dirty_ratio",
+                           {"dirty_background_bytes": 0, "dirty_ratio": ratio},
+                           size_mb=size_mb, mem_total_mb=64)
+        for ratio in (2, 8, 24)
+    ]
+
+    # BDI bandwidth shaping: same flush cadence (1 MiB hard limit) under a
+    # falling modelled write bandwidth of the CntrFS backing-device info.
+    # Bytes flushed are conserved; only the bandwidth term grows.
+    scenarios["bdi_write_bandwidth"] = [
+        run_dirty_workload("bdi_write_bandwidth",
+                           {"dirty_background_bytes": 0, "dirty_bytes": 1 << 20},
+                           size_mb=size_mb, bdi_write_mb_s=bandwidth)
+        for bandwidth in (0, 800, 200, 50)
     ]
     return scenarios
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.fs.writeback import BacklogDeviceInfo
 from repro.sim.clock import VirtualClock
 from repro.sim.costs import CostModel
 
@@ -36,6 +37,10 @@ class BlockDevice:
         self._costs = costs
         self._next_sequential_offset: int | None = None
         self.stats = BlockDeviceStats()
+        #: Per-device writeback state: the filesystem's writeback engine
+        #: flushes through this BDI, which shapes flushes by the device's
+        #: modelled write bandwidth (0 = unshaped, the historical behaviour).
+        self.bdi = BacklogDeviceInfo(name)
 
     def _is_sequential(self, offset: int) -> bool:
         seq = self._next_sequential_offset is not None and \

@@ -102,6 +102,8 @@ class SeekWhence(enum.IntEnum):
     SEEK_SET = 0
     SEEK_CUR = 1
     SEEK_END = 2
+    SEEK_DATA = 3
+    SEEK_HOLE = 4
 
 
 class XattrFlags(enum.IntFlag):

@@ -66,6 +66,11 @@ class FsError(OSError):
         return cls(_errno.EBADF, msg=msg)
 
     @classmethod
+    def enxio(cls, msg: str | None = None) -> "FsError":
+        """No such device or address (SEEK_DATA/SEEK_HOLE past EOF)."""
+        return cls(_errno.ENXIO, msg=msg)
+
+    @classmethod
     def enodata(cls, name: str | None = None) -> "FsError":
         """No data available (missing xattr)."""
         return cls(_errno.ENODATA, name)

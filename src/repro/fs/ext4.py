@@ -41,12 +41,13 @@ class Ext4Fs(Filesystem):
         self.device = device or BlockDevice(f"{name}-dev", capacity_bytes, clock, costs)
         self.page_cache = PageCache(max_bytes=page_cache_bytes, page_size=costs.page_size)
         self._dirty_metadata = 0
-        #: The unified writeback engine (vm.dirty_*-driven flusher threads).
+        #: The unified writeback engine (vm.dirty_*-driven flusher threads),
+        #: flushing through the block device's BDI for bandwidth shaping.
         self.writeback = WritebackEngine(
             name,
             writeback_tunables or VmTunables(
                 dirty_background_bytes=EXT4_DIRTY_BACKGROUND_BYTES),
-            self._writeback_flush, clock=clock)
+            self._writeback_flush, clock=clock, bdi=self.device.bdi)
 
     def _inode_released(self, ino: int) -> None:
         # Inode eviction, as in the kernel: an unlinked file's pages —
@@ -129,8 +130,11 @@ class Ext4Fs(Filesystem):
         self.device.flush()
         self._dirty_metadata = 0
 
-    def drop_caches(self) -> None:
-        """Equivalent of ``echo 3 > /proc/sys/vm/drop_caches`` for experiments."""
-        self._flush_all("drop_caches")
-        self.page_cache.invalidate_all()
-        self.invalidate_dentries()
+    def drop_caches(self, mode: int = 3) -> None:
+        """``echo mode > /proc/sys/vm/drop_caches`` for this filesystem:
+        1 drops the page cache (flushing dirty data first), 2 the dentries."""
+        if mode & 1:
+            self._flush_all("drop_caches")
+            self.page_cache.invalidate_all()
+        if mode & 2:
+            self.invalidate_dentries()

@@ -84,6 +84,19 @@ class Filesystem:
         """Invalidate every VFS dentry-cache entry pointing into this filesystem."""
         self.dentry_gen += 1
 
+    def drop_caches(self, mode: int = 3) -> None:
+        """Apply ``echo mode > /proc/sys/vm/drop_caches`` to this filesystem.
+
+        Mode bits follow Linux: 1 drops the page cache, 2 drops dentries and
+        inode caches, 3 both.  The base filesystem keeps no page cache, so
+        only the dentry half applies; filesystems with caches override this
+        (and, matching the long-standing behaviour of the experiments' direct
+        ``drop_caches()`` calls, flush dirty data before invalidating — the
+        ``sync; echo 3 > drop_caches`` idiom in one step).
+        """
+        if mode & 2:
+            self.invalidate_dentries()
+
     def charge_lookup_hit(self, dir_ino: int, name: str, ino: int) -> None:
         """Charge the virtual cost of a VFS dentry-cache hit on ``name``.
 

@@ -55,3 +55,10 @@ class TmpFS(Filesystem):
         # A dead inode's dirty bytes vanish with it; without this the
         # pending map would grow forever across create/delete churn.
         self.writeback.discard(ino)
+
+    def drop_caches(self, mode: int = 3) -> None:
+        """tmpfs pages cannot be dropped (they *are* the data, as in Linux);
+        only the dirty accounting is settled and the dentries invalidated."""
+        if mode & 1:
+            self.writeback.flush()
+        super().drop_caches(mode)

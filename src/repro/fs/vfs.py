@@ -474,16 +474,37 @@ class VFS:
             enforced = getattr(handle.fs, "enforces_fsize_limit", True)
             if enforced and offset + len(data) > creds.fsize_limit:
                 raise FsError.efbig(handle.path)
-        return handle.fs.write(handle.ino, offset, data)
+        written = handle.fs.write(handle.ino, offset, data)
+        # O_SYNC / O_DSYNC: every write is followed by the equivalent of
+        # fsync(2) / fdatasync(2) before it "returns" to the caller.
+        flags = handle.flags
+        if flags & OpenFlags.O_SYNC == OpenFlags.O_SYNC:
+            handle.fs.fsync(handle.ino, datasync=False)
+        elif flags & OpenFlags.O_DSYNC:
+            handle.fs.fsync(handle.ino, datasync=True)
+        return written
 
     def lseek(self, handle: OpenFile, offset: int, whence: SeekWhence) -> int:
-        """Reposition the file offset."""
+        """Reposition the file offset (``SEEK_DATA``/``SEEK_HOLE`` included).
+
+        The simulated filesystems expose the minimal conformant hole
+        geometry (the one Linux guarantees for filesystems without extent
+        enumeration): the whole file is one data extent with the implicit
+        hole at EOF.
+        """
         if whence == SeekWhence.SEEK_SET:
             new = offset
         elif whence == SeekWhence.SEEK_CUR:
             new = handle.offset + offset
         elif whence == SeekWhence.SEEK_END:
             new = handle.inode().size + offset
+        elif whence in (SeekWhence.SEEK_DATA, SeekWhence.SEEK_HOLE):
+            size = handle.inode().size
+            if offset < 0:
+                raise FsError.einval("negative seek")
+            if offset >= size:
+                raise FsError.enxio(f"offset {offset} beyond EOF {size}")
+            new = offset if whence == SeekWhence.SEEK_DATA else size
         else:
             raise FsError.einval(f"bad whence {whence}")
         if new < 0:

@@ -26,18 +26,34 @@ as their hand-rolled counters did.
 Tunables are exposed kernel-wide through ``/proc/sys/vm/*`` (see
 :class:`VmSysctl` and :mod:`repro.kernel.procfs`): writing a value applies it
 to every registered engine, the way Linux's global writeback control applies
-to all mounted filesystems.  A value of ``0`` disables that trigger (the
-simulation's analogue of Linux's "fall back to the ratio knobs"; ratios are
-not modelled).
+to all mounted filesystems.  A value of ``0`` disables that trigger.
+
+Since the memory-pressure model landed, three more pieces live here:
+
+* :class:`MemInfo` — the simulated kernel's modelled memory size, rendered as
+  ``/proc/meminfo`` and the base against which the ``vm.dirty_ratio`` /
+  ``vm.dirty_background_ratio`` knobs resolve to byte thresholds.  As in
+  Linux, the ``*_bytes`` knobs win whenever they are nonzero.
+* :class:`BacklogDeviceInfo` (BDI) — per-backing-device writeback state.
+  Each engine flushes *through* its device's BDI, which shapes the flush cost
+  by the device's modelled write bandwidth instead of leaving the whole price
+  to the per-fs ``flush_fn``.  The default bandwidth of ``0`` means
+  "unshaped", which reproduces the pre-BDI flush costs exactly.
+* ``/proc/sys/vm/drop_caches`` — a writable procfs file (1 = page cache,
+  2 = dentries/inodes, 3 = both) applied to every registered filesystem, so
+  experiments no longer reach around procfs to call ``fs.drop_caches()``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable, NamedTuple
 
 from repro.fs.errors import FsError
 from repro.sim.clock import VirtualClock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fs.filesystem import Filesystem
 
 #: Flush reasons, in the order the simulated flusher evaluates them.
 WB_REASON_EXPIRED = "expired"          # dirty data older than dirty_expire_centisecs
@@ -49,15 +65,47 @@ WB_REASON_FSYNC = "fsync"              # fsync(2)/fdatasync(2) on one inode
 #: Centisecond, in virtual nanoseconds.
 CENTISEC_NS = 10_000_000
 
+#: ``drop_caches`` mode bits, as in Linux's Documentation/sysctl/vm.txt.
+DROP_PAGECACHE = 1
+DROP_SLAB = 2          # dentries and inodes
+
+
+@dataclass
+class MemInfo:
+    """The simulated kernel's modelled memory size (``/proc/meminfo``).
+
+    ``total_bytes`` is the base against which the ``vm.dirty_ratio`` /
+    ``vm.dirty_background_ratio`` knobs resolve; ``reserved_bytes`` stands in
+    for the kernel text plus anonymous pages, so ``MemFree`` has a plausible
+    shape.  The object is shared by reference between :class:`VmSysctl` and
+    every registered engine — mutating ``total_bytes`` retunes ratio-driven
+    thresholds and the rendered ``/proc/meminfo`` at once, so the two can
+    never disagree.
+    """
+
+    #: Defaults chosen to reproduce the MemTotal/MemFree lines the static
+    #: /proc/meminfo reported before the model existed (16384000/12000000 kB).
+    total_bytes: int = 16_384_000 << 10
+    reserved_bytes: int = 4_384_000 << 10
+
+
+class ResolvedVmLimits(NamedTuple):
+    """One coherent snapshot of an engine's effective flush thresholds."""
+
+    dirty_background_bytes: int
+    dirty_bytes: int
+    dirty_expire_centisecs: int
+
 
 @dataclass
 class VmTunables:
     """The ``vm.dirty_*`` knobs driving one writeback engine.
 
-    All three follow the same convention: ``0`` disables the trigger.  Each
+    All knobs follow the same convention: ``0`` disables the trigger.  Each
     filesystem picks defaults that reproduce its historical flush points;
     :class:`VmSysctl` overrides them kernel-wide when an experiment writes to
-    ``/proc/sys/vm/*``.
+    ``/proc/sys/vm/*``.  The ratio knobs resolve against the modelled memory
+    size; the ``*_bytes`` knobs win whenever they are nonzero, as in Linux.
     """
 
     #: Pending bytes at which the background flusher threads kick in and
@@ -69,6 +117,29 @@ class VmTunables:
     #: Dirty data older than this (virtual centiseconds) is written back by
     #: the periodic flusher wakeup (piggybacked on write activity).
     dirty_expire_centisecs: int = 0
+    #: Percentage of modelled memory acting as the hard limit when
+    #: ``dirty_bytes`` is 0.
+    dirty_ratio: int = 0
+    #: Percentage of modelled memory acting as the background threshold when
+    #: ``dirty_background_bytes`` is 0.
+    dirty_background_ratio: int = 0
+
+    def resolve(self, mem_total_bytes: int) -> ResolvedVmLimits:
+        """Resolve ratios to byte thresholds against the modelled memory.
+
+        This is the *single* resolution point for every reader of the knobs
+        (the flusher threads, ``/proc/meminfo``, tests): bytes knobs win when
+        nonzero, ratios apply against ``mem_total_bytes`` otherwise.
+        """
+        background = self.dirty_background_bytes
+        if background == 0 and self.dirty_background_ratio > 0 and mem_total_bytes > 0:
+            background = mem_total_bytes * self.dirty_background_ratio // 100
+        dirty = self.dirty_bytes
+        if dirty == 0 and self.dirty_ratio > 0 and mem_total_bytes > 0:
+            dirty = mem_total_bytes * self.dirty_ratio // 100
+        return ResolvedVmLimits(dirty_background_bytes=background,
+                                dirty_bytes=dirty,
+                                dirty_expire_centisecs=self.dirty_expire_centisecs)
 
     def as_dict(self) -> dict[str, int]:
         """The knobs as a plain dict (reports, benchmarks)."""
@@ -76,7 +147,56 @@ class VmTunables:
             "dirty_background_bytes": self.dirty_background_bytes,
             "dirty_bytes": self.dirty_bytes,
             "dirty_expire_centisecs": self.dirty_expire_centisecs,
+            "dirty_ratio": self.dirty_ratio,
+            "dirty_background_ratio": self.dirty_background_ratio,
         }
+
+
+@dataclass
+class BdiStats:
+    """Bandwidth-shaping accounting for one backing device."""
+
+    shaped_flushes: int = 0          # flushes that paid a bandwidth cost
+    shaped_bytes: int = 0            # bytes pushed through the shaper
+    busy_ns: int = 0                 # virtual time spent in the shaper
+
+
+class BacklogDeviceInfo:
+    """Per-backing-device writeback state (the kernel's ``struct bdi``).
+
+    Every writeback engine flushes through a BDI; the BDI shapes the flush by
+    the device's modelled write bandwidth, charging ``bytes / bandwidth`` of
+    virtual time on top of whatever the filesystem's ``flush_fn`` paid.  A
+    bandwidth of ``0`` (the default) means "unshaped": the flush costs exactly
+    what the per-fs callback charged, which is how the pre-BDI engine behaved
+    and what keeps the default benchmarks byte-identical.
+    """
+
+    def __init__(self, name: str, write_bandwidth_bytes_s: int = 0) -> None:
+        self.name = name
+        #: Modelled device write bandwidth in bytes/second (0 = unshaped).
+        self.write_bandwidth_bytes_s = write_bandwidth_bytes_s
+        self.stats = BdiStats()
+
+    def write_cost_ns(self, nbytes: int) -> int:
+        """Virtual nanoseconds the shaper charges for flushing ``nbytes``."""
+        if self.write_bandwidth_bytes_s <= 0 or nbytes <= 0:
+            return 0
+        return nbytes * 1_000_000_000 // self.write_bandwidth_bytes_s
+
+    def charge(self, clock: VirtualClock | None, nbytes: int) -> int:
+        """Apply the bandwidth shaping for one flush of ``nbytes``."""
+        cost = self.write_cost_ns(nbytes)
+        if cost and clock is not None:
+            clock.advance(cost)
+            self.stats.shaped_flushes += 1
+            self.stats.shaped_bytes += nbytes
+            self.stats.busy_ns += cost
+        return cost
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BacklogDeviceInfo({self.name!r}, "
+                f"{self.write_bandwidth_bytes_s} B/s)")
 
 
 @dataclass
@@ -108,7 +228,9 @@ class WritebackEngine:
     def __init__(self, name: str, tunables: VmTunables,
                  flush_fn: Callable[[list[tuple[int, int]], str], None],
                  clock: VirtualClock | None = None,
-                 sysctl_tunable: bool = True) -> None:
+                 sysctl_tunable: bool = True,
+                 meminfo: MemInfo | None = None,
+                 bdi: BacklogDeviceInfo | None = None) -> None:
         self.name = name
         self.tunables = tunables
         self.flush_fn = flush_fn
@@ -117,6 +239,13 @@ class WritebackEngine:
         #: store; /proc/sys/vm writes do not retune them (as in Linux, where
         #: tmpfs pages are not subject to the writeback control).
         self.sysctl_tunable = sysctl_tunable
+        #: Modelled memory the ratio knobs resolve against; assigned by
+        #: :meth:`VmSysctl.register` so every engine shares the kernel's one
+        #: MemInfo.  Without it ratios read as disabled.
+        self.meminfo = meminfo
+        #: The backing device's writeback state; flushes are shaped by its
+        #: modelled write bandwidth (None or bandwidth 0 = unshaped).
+        self.bdi = bdi
         self.stats = WritebackStats()
         #: ino -> unflushed dirty bytes.  Flushed/discarded inodes are popped,
         #: never left behind as zero entries.
@@ -142,6 +271,17 @@ class WritebackEngine:
     def pending_inodes(self) -> list[int]:
         """Inodes with unflushed dirty bytes (tests / debugging)."""
         return list(self._pending)
+
+    def effective_limits(self) -> ResolvedVmLimits:
+        """One coherent snapshot of the thresholds currently in force.
+
+        Every threshold decision inside the engine reads this snapshot (never
+        the raw knobs twice), and it resolves through the same
+        :meth:`VmTunables.resolve` that ``/proc/meminfo`` readers use — so a
+        knob or memory-size change can never be half-applied mid-operation.
+        """
+        mem_total = self.meminfo.total_bytes if self.meminfo is not None else 0
+        return self.tunables.resolve(mem_total)
 
     # ------------------------------------------------------------- accounting
     def note_dirty(self, ino: int, nbytes: int) -> None:
@@ -209,48 +349,67 @@ class WritebackEngine:
             self.flush_fn(items, reason)
         finally:
             self._flushing = False
+        # Bandwidth shaping happens through the backing device's BDI, on top
+        # of whatever the filesystem-specific callback charged.
+        if self.bdi is not None:
+            self.bdi.charge(self.clock, flushed)
         return flushed
 
     def _run_flushers(self) -> None:
         """Evaluate the thresholds, oldest-first: expiry, hard limit, background."""
         if self._flushing:
             return
-        knobs = self.tunables
-        if (knobs.dirty_expire_centisecs > 0 and self.clock is not None
+        limits = self.effective_limits()
+        if (limits.dirty_expire_centisecs > 0 and self.clock is not None
                 and self._first_dirty_ns):
-            deadline = self.clock.now_ns - knobs.dirty_expire_centisecs * CENTISEC_NS
+            deadline = self.clock.now_ns - limits.dirty_expire_centisecs * CENTISEC_NS
             expired = [node for node, born in self._first_dirty_ns.items()
                        if born <= deadline]
             for node in expired:
                 self.flush(node, reason=WB_REASON_EXPIRED)
-        if knobs.dirty_bytes > 0 and self._total >= knobs.dirty_bytes:
+        if limits.dirty_bytes > 0 and self._total >= limits.dirty_bytes:
             self.flush(reason=WB_REASON_DIRTY_LIMIT)
-        elif (knobs.dirty_background_bytes > 0
-                and self._total >= knobs.dirty_background_bytes):
+        elif (limits.dirty_background_bytes > 0
+                and self._total >= limits.dirty_background_bytes):
             self.flush(reason=WB_REASON_BACKGROUND)
 
 
 class VmSysctl:
-    """The kernel-wide ``/proc/sys/vm`` writeback knobs.
+    """The kernel-wide ``/proc/sys/vm`` knobs and the memory model behind them.
 
-    Mounting a filesystem with a writeback engine registers the engine here
-    (see ``Syscalls.mount``); writing a knob applies it to every registered
-    tunable engine at once, like Linux's single global writeback control.
-    Until a knob is written it reads as ``0``, meaning "each filesystem uses
-    its own default thresholds".
+    Mounting a filesystem registers it here (see ``Syscalls.mount``): its
+    writeback engine comes under the kernel-wide ``vm.dirty_*`` knobs and the
+    filesystem itself becomes reachable from ``/proc/sys/vm/drop_caches``.
+    Writing a knob applies it to every registered tunable engine at once, like
+    Linux's single global writeback control.  Until a knob is written it reads
+    as ``0``, meaning "each filesystem uses its own default thresholds".
+
+    ``VmSysctl`` is also the single source of truth for the memory model:
+    ``/proc/meminfo`` is rendered from :meth:`meminfo_text` and the ratio
+    knobs resolve against the same shared :class:`MemInfo`, so no reader can
+    observe the two disagreeing.
     """
 
-    KNOBS = ("dirty_background_bytes", "dirty_bytes", "dirty_expire_centisecs")
+    KNOBS = ("dirty_background_bytes", "dirty_background_ratio", "dirty_bytes",
+             "dirty_expire_centisecs", "dirty_ratio")
+    #: Knobs expressed as a percentage of modelled memory.
+    RATIO_KNOBS = ("dirty_background_ratio", "dirty_ratio")
 
-    def __init__(self) -> None:
+    def __init__(self, meminfo: MemInfo | None = None) -> None:
+        self.meminfo = meminfo or MemInfo()
         self._engines: list[WritebackEngine] = []
+        self._filesystems: list["Filesystem"] = []
         self._overrides: dict[str, int] = {}
+        #: Last value written to /proc/sys/vm/drop_caches (Linux shows it back).
+        self.drop_caches_last = 0
 
+    # ------------------------------------------------------------ registration
     def register(self, engine: WritebackEngine) -> None:
         """Attach an engine to the kernel-wide knobs (idempotent)."""
         if not engine.sysctl_tunable or engine in self._engines:
             return
         self._engines.append(engine)
+        engine.meminfo = self.meminfo
         for knob, value in self._overrides.items():
             setattr(engine.tunables, knob, value)
 
@@ -259,10 +418,31 @@ class VmSysctl:
         if engine in self._engines:
             self._engines.remove(engine)
 
+    def register_fs(self, fs: "Filesystem") -> None:
+        """Register a mounted filesystem: drop_caches reach + engine knobs."""
+        if fs not in self._filesystems:
+            self._filesystems.append(fs)
+        engine = getattr(fs, "writeback", None)
+        if engine is not None:
+            self.register(engine)
+
+    def unregister_fs(self, fs: "Filesystem") -> None:
+        """Unregister a filesystem whose last mount went away."""
+        if fs in self._filesystems:
+            self._filesystems.remove(fs)
+        engine = getattr(fs, "writeback", None)
+        if engine is not None:
+            self.unregister(engine)
+
     def engines(self) -> list[WritebackEngine]:
         """The registered engines (reports / debugging)."""
         return list(self._engines)
 
+    def filesystems(self) -> list["Filesystem"]:
+        """The registered filesystems (reports / debugging)."""
+        return list(self._filesystems)
+
+    # ------------------------------------------------------------ knob access
     def get(self, knob: str) -> int:
         """Current kernel-wide value (0 = per-filesystem defaults in effect)."""
         if knob not in self.KNOBS:
@@ -273,8 +453,53 @@ class VmSysctl:
         """Write a knob, retuning every registered engine."""
         if knob not in self.KNOBS:
             raise FsError.enoent(f"vm.{knob}")
-        if value < 0:
+        if value < 0 or (knob in self.RATIO_KNOBS and value > 100):
             raise FsError.einval(f"vm.{knob} = {value}")
         self._overrides[knob] = value
         for engine in self._engines:
             setattr(engine.tunables, knob, value)
+
+    # ------------------------------------------------------------ drop_caches
+    def drop_caches(self, mode: int) -> None:
+        """``echo mode > /proc/sys/vm/drop_caches`` for every registered fs."""
+        if mode not in (DROP_PAGECACHE, DROP_SLAB, DROP_PAGECACHE | DROP_SLAB):
+            raise FsError.einval(f"vm.drop_caches = {mode}")
+        self.drop_caches_last = mode
+        for fs in list(self._filesystems):
+            fs.drop_caches(mode)
+
+    # ------------------------------------------------------------ /proc/meminfo
+    def dirty_bytes_total(self) -> int:
+        """Unflushed dirty bytes across every tunable engine (``Dirty:``)."""
+        return sum(engine.total_pending for engine in self._engines)
+
+    def cached_bytes_total(self) -> int:
+        """Resident page-cache bytes across registered filesystems."""
+        total = 0
+        for fs in self._filesystems:
+            cache = getattr(fs, "page_cache", None)
+            if cache is not None:
+                total += cache.resident_bytes
+        return total
+
+    def meminfo_text(self) -> str:
+        """Render ``/proc/meminfo`` from the shared memory model.
+
+        Readers of ``/proc/meminfo`` and the ratio-resolving flusher threads
+        go through the same object, so ``MemTotal`` here is — by construction,
+        not by synchronization — the base the ratios resolve against.
+        """
+        total = self.meminfo.total_bytes
+        dirty = self.dirty_bytes_total()
+        cached = self.cached_bytes_total()
+        free = max(0, total - self.meminfo.reserved_bytes - dirty - cached)
+        rows = [
+            ("MemTotal", total),
+            ("MemFree", free),
+            ("MemAvailable", free + cached),
+            ("Cached", cached),
+            ("Dirty", dirty),
+            ("Writeback", 0),   # flushes complete instantly in virtual time
+        ]
+        return "".join(f"{label + ':':<16}{value >> 10:>8} kB\n"
+                       for label, value in rows)

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 
-from repro.fs.constants import FallocateMode, FileMode
+from repro.fs.constants import FallocateMode, FileMode, RenameFlags
 from repro.fs.errors import FsError
 from repro.fs.filesystem import Filesystem
 from repro.fs.inode import (
@@ -42,7 +42,12 @@ from repro.fs.inode import (
 )
 from repro.fs.pagecache import PageCache
 from repro.fs.stat import StatVfs
-from repro.fs.writeback import WB_REASON_FSYNC, VmTunables, WritebackEngine
+from repro.fs.writeback import (
+    WB_REASON_FSYNC,
+    BacklogDeviceInfo,
+    VmTunables,
+    WritebackEngine,
+)
 from repro.fuse.device import FuseConnection
 from repro.fuse.options import FuseMountOptions
 from repro.fuse.protocol import FuseAttr, FuseOpcode, FuseReply, FuseRequest
@@ -81,13 +86,16 @@ class FuseClientFs(Filesystem):
         self.page_cache = PageCache(max_bytes=page_cache_bytes, page_size=costs.page_size)
         self._entry_cache: dict[tuple[int, str], int] = {}
         self._attr_fresh: set[int] = set()
+        #: The FUSE connection is this filesystem's "backing device"; its BDI
+        #: shapes writeback flushes when given a modelled bandwidth.
+        self.bdi = BacklogDeviceInfo(f"{name}-fuse-conn")
         #: The unified writeback engine; the default background threshold is
         #: the seed's aggregation limit, so flush points are byte-identical.
         self.writeback = WritebackEngine(
             name,
             writeback_tunables or VmTunables(
                 dirty_background_bytes=costs.writeback_batch_bytes),
-            self._writeback_flush, clock=clock)
+            self._writeback_flush, clock=clock, bdi=self.bdi)
         self._pending_forgets: list[int] = []
         #: When True (the default, as in Linux) every write triggers an
         #: uncached security.capability xattr lookup round trip.
@@ -264,13 +272,17 @@ class FuseClientFs(Filesystem):
         self.connection.stats.forgets_batched += count
         self._pending_forgets.clear()
 
-    def drop_caches(self) -> None:
-        """Invalidate the dentry, attribute and page caches (for experiments)."""
-        self.flush_writeback()
-        self._entry_cache.clear()
-        self._attr_fresh.clear()
-        self.page_cache.invalidate_all()
-        self.invalidate_dentries()
+    def drop_caches(self, mode: int = 3) -> None:
+        """``echo mode > /proc/sys/vm/drop_caches`` for this mount: 1 drops
+        the page cache (flushing the writeback buffer first), 2 the dentry
+        and attribute caches (the FUSE analogue of the slab caches)."""
+        if mode & 1:
+            self.flush_writeback()
+            self.page_cache.invalidate_all()
+        if mode & 2:
+            self._entry_cache.clear()
+            self._attr_fresh.clear()
+            self.invalidate_dentries()
 
     # ------------------------------------------------------------ open hooks
     def on_open(self, ino: int, flags: int) -> None:
@@ -386,7 +398,14 @@ class FuseClientFs(Filesystem):
                     "new_name": new_name, "flags": flags}, dirop=True)
         self.invalidate_dentries()
         nodeid = self._entry_cache.pop((old_dir, old_name), None)
-        self._entry_cache.pop((new_dir, new_name), None)
+        overwritten = self._entry_cache.pop((new_dir, new_name), None)
+        if overwritten is not None and overwritten != nodeid \
+                and not (flags & RenameFlags.RENAME_EXCHANGE):
+            # Rename over an existing entry: the replaced inode's proxy
+            # attributes (nlink above all) are stale now, and the kernel
+            # drops its dentry reference exactly as unlink does.  An open
+            # descriptor keeps the inode readable through its nodeid.
+            self._forget(overwritten)
         if nodeid is not None:
             self._entry_cache[(new_dir, new_name)] = nodeid
             inode = self._inodes.get(nodeid)

@@ -14,7 +14,7 @@ from typing import Callable
 from repro.fs.errors import FsError
 from repro.fs.mount import MountNamespace
 from repro.fs.vfs import VFS, VNode
-from repro.fs.writeback import VmSysctl
+from repro.fs.writeback import MemInfo, VmSysctl
 from repro.kernel.capabilities import CapabilitySet
 from repro.kernel.cgroups import CgroupHierarchy
 from repro.kernel.lsm import LsmRegistry, UNCONFINED
@@ -95,9 +95,13 @@ class Kernel:
         self.vfs = VFS()
         self.cgroups = CgroupHierarchy()
         self.lsm = LsmRegistry()
-        #: Kernel-wide vm.dirty_* writeback knobs (/proc/sys/vm); mounting a
-        #: filesystem with a writeback engine registers it here.
-        self.vm = VmSysctl()
+        #: Modelled memory size; /proc/meminfo renders it and the
+        #: vm.dirty_*_ratio knobs resolve against it.
+        self.mem = MemInfo()
+        #: Kernel-wide vm.* knobs (/proc/sys/vm) plus the memory model behind
+        #: them; mounting a filesystem registers it (and its writeback
+        #: engine, if any) here.
+        self.vm = VmSysctl(meminfo=self.mem)
         self.processes: dict[int, Process] = {}
         self._next_pid = 1
         self._pty_index = 0

@@ -172,7 +172,9 @@ def boot(cost_model: CostModel | None = None, tracer: Tracer | None = None,
 
     rootfs = Ext4Fs("rootfs", clock, costs, trace, page_cache_bytes=page_cache_bytes)
     rootfs.store_data = store_data
-    kernel.vm.register(rootfs.writeback)
+    # The root mount never goes through Syscalls.mount, so bring it under the
+    # kernel-wide vm.* control (dirty_* knobs + drop_caches) by hand.
+    kernel.vm.register_fs(rootfs)
     mounts = MountNamespace(rootfs)
     init = kernel.create_init_process(mounts)
     sc = Syscalls(kernel, init)

@@ -33,8 +33,8 @@ PID_LINKS = ("root", "cwd", "exe")
 NS_LINKS = tuple(kind.value for kind in NamespaceKind)
 #: Top-level non-pid entries.
 TOP_FILES = ("mounts", "filesystems", "uptime", "version", "cpuinfo", "meminfo")
-#: Writable ``/proc/sys/vm`` knobs, driving the unified writeback subsystem.
-SYS_VM_FILES = VmSysctl.KNOBS
+#: Writable ``/proc/sys/vm`` files: the writeback knobs plus drop_caches.
+SYS_VM_FILES = VmSysctl.KNOBS + ("drop_caches",)
 
 
 @dataclass(frozen=True)
@@ -226,7 +226,10 @@ class ProcFS(Filesystem):
         except ValueError:
             raise FsError.einval(f"vm.{entry.name}: {text!r}") from None
         self._charge_metadata("sysctl")
-        self.kernel.vm.set(entry.name, value)
+        if entry.name == "drop_caches":
+            self.kernel.vm.drop_caches(value)
+        else:
+            self.kernel.vm.set(entry.name, value)
         return len(data)
 
     def truncate(self, ino: int, size: int) -> None:
@@ -259,6 +262,8 @@ class ProcFS(Filesystem):
 
     def _generate(self, entry: ProcEntry) -> bytes:
         if entry.kind == "sysctl":
+            if entry.name == "drop_caches":
+                return f"{self.kernel.vm.drop_caches_last}\n".encode()
             return f"{self.kernel.vm.get(entry.name)}\n".encode()
         if entry.pid is None:
             return self._generate_top(entry.name)
@@ -331,7 +336,9 @@ class ProcFS(Filesystem):
                 for i in range(4))
             return (block + "\n").encode()
         if name == "meminfo":
-            return b"MemTotal:       16384000 kB\nMemFree:        12000000 kB\n"
+            # Rendered by VmSysctl from the same MemInfo the ratio knobs
+            # resolve against, so the two surfaces can never disagree.
+            return self.kernel.vm.meminfo_text().encode()
         if name == "mounts":
             return b"rootfs / rootfs rw 0 0\n"
         raise FsError.enoent(name)

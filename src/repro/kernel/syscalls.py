@@ -426,12 +426,11 @@ class Syscalls:
         vnode = self.vfs.resolve(ctx, target)
         mount = self.process.mnt_ns.mount(fs, (vnode.mount, vnode.ino), target,
                                           read_only=read_only)
-        # A mounted filesystem's writeback engine comes under the kernel-wide
-        # vm.dirty_* control (/proc/sys/vm), like Linux's writeback control
-        # spanning all mounted filesystems.
-        engine = getattr(fs, "writeback", None)
-        if engine is not None:
-            self.kernel.vm.register(engine)
+        # A mounted filesystem comes under the kernel-wide vm.* control
+        # (/proc/sys/vm): its writeback engine follows the dirty_* knobs and
+        # the filesystem becomes reachable from drop_caches, like Linux's
+        # writeback control spanning all mounted filesystems.
+        self.kernel.vm.register_fs(fs)
         return mount
 
     def bind_mount(self, source: str, target: str, read_only: bool = False,
@@ -470,13 +469,11 @@ class Syscalls:
             raise FsError.einval(f"{target} is not a mountpoint")
         fs = vnode.mount.fs
         self.process.mnt_ns.umount(vnode.mount, force=force)
-        # Once the filesystem has no mounts left in this namespace its
-        # writeback engine leaves the kernel-wide vm.dirty_* control (the
-        # inverse of the registration in ``mount``).
-        engine = getattr(fs, "writeback", None)
-        if engine is not None and \
-                not any(m.fs is fs for m in self.process.mnt_ns.mounts):
-            self.kernel.vm.unregister(engine)
+        # Once the filesystem has no mounts left in this namespace it leaves
+        # the kernel-wide vm.* control (the inverse of the registration in
+        # ``mount``).
+        if not any(m.fs is fs for m in self.process.mnt_ns.mounts):
+            self.kernel.vm.unregister_fs(fs)
 
     def mount_make_rprivate(self, target: str = "/") -> None:
         """``mount --make-rprivate``."""

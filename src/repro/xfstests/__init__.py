@@ -4,9 +4,11 @@ The paper's completeness/correctness evaluation (§5.1) runs the ``generic``
 group of xfstests against CntrFS mounted on top of tmpfs and reports 90 of 94
 tests passing, with the four failures (#375, #228, #391, #426) attributable to
 deliberate design choices in CntrFS rather than bugs.  This package contains a
-94-test generic group implemented against the simulated syscall interface, a
-runner, and environment builders for both the native-filesystem baseline and
-the CntrFS-over-tmpfs configuration, so the same table can be regenerated.
+118-test generic group implemented against the simulated syscall interface
+(the paper's 94 plus 24 writeback/caching-surface cases added with the
+memory-pressure model), a runner, environment builders for both the
+native-filesystem baseline and the CntrFS-over-tmpfs configuration, and a CLI
+(``python -m repro.xfstests``) that CI runs as a dedicated conformance gate.
 """
 
 from repro.xfstests.harness import (

@@ -1,0 +1,53 @@
+"""Conformance-gate CLI: run the xfstests generic group and gate on pass rate.
+
+This is the dedicated CI entry point the workflow's ``xfstests`` job runs per
+environment (native ext4 baseline and CntrFS-over-tmpfs), separately from the
+tier-1 unit tests, so a conformance regression surfaces as its own red job::
+
+    PYTHONPATH=src python -m repro.xfstests --env native
+    PYTHONPATH=src python -m repro.xfstests --env cntrfs --skip-paper-failures
+
+The exit code is nonzero whenever ``RunSummary.pass_rate < 1.0``.  On CntrFS
+the four paper-documented design-decision failures (generic/228, 375, 391,
+426) are excluded with ``--skip-paper-failures`` — they are the expected
+behaviour the paper reports, not regressions — so every remaining test must
+pass on both environments.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.xfstests.generic import GENERIC_TESTS, PAPER_FAILING_TESTS
+from repro.xfstests.harness import (
+    XfstestsRunner,
+    cntrfs_environment,
+    native_environment,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.xfstests", description=__doc__)
+    parser.add_argument("--env", choices=("native", "cntrfs"), default="native",
+                        help="environment to run the generic group against")
+    parser.add_argument("--group", default=None,
+                        help="restrict to one xfstests group (e.g. writeback)")
+    parser.add_argument("--skip-paper-failures", action="store_true",
+                        help="exclude the four paper-documented CntrFS failures")
+    args = parser.parse_args(argv)
+
+    factory = native_environment if args.env == "native" else cntrfs_environment
+    cases = list(GENERIC_TESTS)
+    if args.skip_paper_failures:
+        cases = [case for case in cases if case.test_id not in PAPER_FAILING_TESTS]
+    summary = XfstestsRunner(factory).run(cases, group=args.group)
+    print(summary.format_table())
+    if summary.pass_rate < 1.0:
+        print(f"FAIL: pass rate {summary.pass_rate * 100:.2f}% < 100%")
+        return 1
+    print(f"OK: {summary.passed}/{summary.total} passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,11 +1,15 @@
-"""The generic test group: 94 filesystem regression tests.
+"""The generic test group: 118 filesystem regression tests.
 
 Each test is registered with an xfstests-style number.  Four of them
 (generic/228, generic/375, generic/391, generic/426) reproduce the cases the
 paper reports as failing on CntrFS because of deliberate design decisions
 (RLIMIT_FSIZE not enforced, ACL-aware setgid clearing delegated to the backing
 store, O_DIRECT unsupported in favour of mmap, inodes not exportable by
-handle); the remaining 90 pass on both the native filesystem and CntrFS.
+handle); the remaining 114 pass on both the native filesystem and CntrFS.
+Generic 91-114 harden the writeback/caching surface grown by the
+memory-pressure model: fsync/fdatasync/O_SYNC durability, the procfs
+``drop_caches`` file, truncate-vs-dirty-pages interactions, rename over open
+files and sparse hole/extent semantics.
 """
 
 from __future__ import annotations
@@ -1035,6 +1039,380 @@ def test_mode_preserved_across_rename(env):
     st = env.sc.stat(new)
     env.check_equal(st.permissions & 0o777, 0o751, "mode preserved")
     env.check_equal((st.st_uid, st.st_gid), (77, 88), "ownership preserved")
+
+
+# ---------------------------------------------------------------------------
+# Writeback and caching: fsync durability, O_SYNC, drop_caches, truncate vs
+# dirty pages, rename-over-open, sparse hole/extent semantics
+# ---------------------------------------------------------------------------
+def _echo_drop_caches(env, mode: int) -> None:
+    """``echo mode > /proc/sys/vm/drop_caches`` — the operator path."""
+    fd = env.sc.open("/proc/sys/vm/drop_caches", OpenFlags.O_WRONLY)
+    try:
+        env.sc.write(fd, f"{mode}\n".encode())
+    finally:
+        env.sc.close(fd)
+
+
+@generic(91, "auto", "quick", "writeback")
+def test_fsync_survives_drop_caches(env):
+    path = env.path("durable-fsync")
+    fd = env.sc.open(path, CREAT_WR)
+    try:
+        env.sc.write(fd, b"must survive a cache drop")
+        env.sc.fsync(fd)
+    finally:
+        env.sc.close(fd)
+    _echo_drop_caches(env, 3)
+    env.check_equal(env.read_file(path), b"must survive a cache drop",
+                    "fsynced data intact after drop_caches")
+    env.check_equal(env.sc.stat(path).st_size, 25, "size intact")
+
+
+@generic(92, "auto", "quick", "writeback")
+def test_fdatasync_survives_drop_caches(env):
+    path = env.path("durable-fdatasync")
+    fd = env.sc.open(path, CREAT_WR)
+    try:
+        env.sc.write(fd, b"A" * 10000)
+        env.sc.fdatasync(fd)
+    finally:
+        env.sc.close(fd)
+    _echo_drop_caches(env, 3)
+    data = env.read_file(path)
+    env.check_equal(len(data), 10000, "fdatasync persisted the length")
+    env.check_equal(data, b"A" * 10000, "fdatasync persisted the bytes")
+
+
+@generic(93, "auto", "quick", "writeback")
+def test_o_sync_write_is_durable(env):
+    path = env.path("osync")
+    fd = env.sc.open(path, CREAT_WR | OpenFlags.O_SYNC)
+    try:
+        env.sc.write(fd, b"synchronous " * 100)
+        ino = env.sc.fstat(fd).st_ino
+        env.check_equal(env.fs_under_test.writeback.pending(ino), 0,
+                        "O_SYNC leaves no unflushed dirty bytes behind")
+    finally:
+        env.sc.close(fd)
+    _echo_drop_caches(env, 3)
+    env.check_equal(env.read_file(path), b"synchronous " * 100)
+
+
+@generic(94, "auto", "quick", "writeback")
+def test_o_dsync_write_is_durable(env):
+    path = env.path("odsync")
+    fd = env.sc.open(path, CREAT_WR | OpenFlags.O_DSYNC)
+    try:
+        env.sc.write(fd, b"data-sync")
+        ino = env.sc.fstat(fd).st_ino
+        env.check_equal(env.fs_under_test.writeback.pending(ino), 0,
+                        "O_DSYNC flushes each write's data")
+    finally:
+        env.sc.close(fd)
+    env.check_equal(env.read_file(path), b"data-sync")
+
+
+@generic(95, "auto", "quick", "writeback")
+def test_unsynced_write_survives_drop_caches(env):
+    # The simulated drop_caches settles dirty data first (the
+    # `sync; echo 3 > drop_caches` idiom in one step), so an unsynced write
+    # must still be readable afterwards.
+    path = env.path("unsynced")
+    env.create_file(path, b"written but never fsynced")
+    _echo_drop_caches(env, 1)
+    env.check_equal(env.read_file(path), b"written but never fsynced")
+
+
+@generic(96, "auto", "quick", "caching")
+def test_drop_caches_slab_invalidates_dentries(env):
+    path = env.path("dentry-victim")
+    env.create_file(path, b"x")
+    env.sc.stat(path)                        # populate the dcache
+    gen_before = env.fs_under_test.dentry_gen
+    _echo_drop_caches(env, 2)
+    env.check_equal(env.fs_under_test.dentry_gen, gen_before + 1,
+                    "mode 2 bumps the dentry generation")
+    env.check_equal(env.sc.stat(path).st_size, 1, "lookup still resolves")
+
+
+@generic(97, "auto", "quick", "caching")
+def test_drop_caches_empties_page_cache(env):
+    path = env.path("resident")
+    env.create_file(path, b"B" * 16384)
+    env.read_file(path)                      # make the pages resident
+    _echo_drop_caches(env, 3)
+    env.check_equal(len(env.fs_under_test.page_cache), 0,
+                    "mode 3 leaves no resident pages")
+    env.check_equal(env.read_file(path), b"B" * 16384, "content re-readable")
+
+
+@generic(98, "auto", "quick", "caching")
+def test_drop_caches_rejects_invalid_values(env):
+    for payload in (b"0", b"5", b"not-a-mode"):
+        fd = env.sc.open("/proc/sys/vm/drop_caches", OpenFlags.O_WRONLY)
+        try:
+            env.check_errno(errno.EINVAL, env.sc.write, fd, payload)
+        finally:
+            env.sc.close(fd)
+
+
+@generic(99, "auto", "quick", "writeback")
+def test_truncate_discards_dirty_data(env):
+    path = env.path("trunc-dirty")
+    env.create_file(path, b"C" * 65536)      # dirty, below any flush threshold
+    env.sc.truncate(path, 0)
+    env.check_equal(env.sc.stat(path).st_size, 0, "truncate wins over dirty pages")
+    env.check_equal(env.read_file(path), b"", "no stale bytes resurface")
+    env.create_file(path, b"fresh")
+    env.check_equal(env.read_file(path), b"fresh", "file usable after the cycle")
+
+
+@generic(100, "auto", "quick", "writeback")
+def test_truncate_shrink_then_extend_zero_fills(env):
+    path = env.path("shrink-extend")
+    env.create_file(path, b"D" * 10000)
+    env.sc.truncate(path, 3000)
+    env.sc.truncate(path, 8000)
+    data = env.read_file(path)
+    env.check_equal(data[:3000], b"D" * 3000, "kept prefix intact")
+    env.check_equal(data[3000:], b"\x00" * 5000,
+                    "re-extended range reads as zeros, not stale data")
+
+
+@generic(101, "auto", "quick", "writeback")
+def test_truncate_mid_page(env):
+    path = env.path("midpage")
+    env.create_file(path, b"E" * 8192)
+    env.sc.truncate(path, 4500)              # cut inside the second page
+    _echo_drop_caches(env, 1)
+    data = env.read_file(path)
+    env.check_equal(len(data), 4500)
+    env.check_equal(data, b"E" * 4500, "partial page survives exactly")
+
+
+@generic(102, "auto", "quick", "writeback")
+def test_write_beyond_truncated_eof(env):
+    path = env.path("trunc-hole")
+    env.create_file(path, b"F" * 4096)
+    env.sc.truncate(path, 1000)
+    fd = env.sc.open(path, RW)
+    try:
+        env.sc.pwrite(fd, b"tail", 3000)
+    finally:
+        env.sc.close(fd)
+    data = env.read_file(path)
+    env.check_equal(data[:1000], b"F" * 1000)
+    env.check_equal(data[1000:3000], b"\x00" * 2000,
+                    "gap between old EOF and the write is a hole of zeros")
+    env.check_equal(data[3000:], b"tail")
+
+
+@generic(103, "auto", "quick", "rename")
+def test_rename_over_open_target(env):
+    winner, loser = env.path("ren-winner"), env.path("ren-loser")
+    env.create_file(loser, b"about to be replaced")
+    env.create_file(winner, b"replacement content")
+    fd = env.sc.open(loser, OpenFlags.O_RDONLY)
+    try:
+        env.sc.rename(winner, loser)
+        env.check_equal(env.sc.read(fd, 100), b"about to be replaced",
+                        "open descriptor still reads the replaced inode")
+        env.check_equal(env.sc.fstat(fd).st_nlink, 0,
+                        "replaced inode reports zero links")
+        env.check_equal(env.read_file(loser), b"replacement content")
+    finally:
+        env.sc.close(fd)
+
+
+@generic(104, "auto", "quick", "rename")
+def test_open_descriptor_follows_rename(env):
+    old, new = env.path("follow-old"), env.path("follow-new")
+    env.create_file(old, b"")
+    fd = env.sc.open(old, OpenFlags.O_WRONLY)
+    try:
+        env.sc.rename(old, new)
+        env.sc.write(fd, b"written after the rename")
+        env.sc.fsync(fd)
+    finally:
+        env.sc.close(fd)
+    env.check_equal(env.read_file(new), b"written after the rename",
+                    "write through the descriptor lands in the renamed file")
+
+
+@generic(105, "auto", "quick", "rename", "writeback")
+def test_fsync_replaced_open_file(env):
+    target, source = env.path("fsync-replaced"), env.path("fsync-source")
+    env.create_file(target, b"")
+    fd = env.sc.open(target, OpenFlags.O_WRONLY)
+    try:
+        env.sc.write(fd, b"dirty data on the doomed inode")
+        env.create_file(source, b"new")
+        env.sc.rename(source, target)
+        env.sc.fsync(fd)                     # must not error on the orphan
+        env.check_equal(env.sc.fstat(fd).st_size, 30)
+    finally:
+        env.sc.close(fd)
+    env.check_equal(env.read_file(target), b"new")
+
+
+@generic(106, "auto", "quick", "seek")
+def test_seek_data_and_hole(env):
+    path = env.path("seekdh")
+    env.create_file(path, b"G" * 5000)
+    fd = env.sc.open(path, OpenFlags.O_RDONLY)
+    try:
+        env.check_equal(env.sc.lseek(fd, 0, SeekWhence.SEEK_DATA), 0,
+                        "SEEK_DATA at 0 stays at 0")
+        env.check_equal(env.sc.lseek(fd, 1234, SeekWhence.SEEK_DATA), 1234)
+        hole = env.sc.lseek(fd, 0, SeekWhence.SEEK_HOLE)
+        env.check_equal(hole, 5000, "the implicit hole starts at EOF")
+    finally:
+        env.sc.close(fd)
+
+
+@generic(107, "auto", "quick", "seek")
+def test_seek_data_past_eof_is_enxio(env):
+    path = env.path("seekeof")
+    env.create_file(path, b"hi")
+    fd = env.sc.open(path, OpenFlags.O_RDONLY)
+    try:
+        env.check_errno(errno.ENXIO, env.sc.lseek, fd, 2, SeekWhence.SEEK_DATA)
+        env.check_errno(errno.ENXIO, env.sc.lseek, fd, 99, SeekWhence.SEEK_HOLE)
+    finally:
+        env.sc.close(fd)
+    empty = env.path("seekempty")
+    env.create_file(empty)
+    fd = env.sc.open(empty, OpenFlags.O_RDONLY)
+    try:
+        env.check_errno(errno.ENXIO, env.sc.lseek, fd, 0, SeekWhence.SEEK_DATA)
+    finally:
+        env.sc.close(fd)
+
+
+@generic(108, "auto", "quick", "prealloc", "caching")
+def test_punched_hole_survives_drop_caches(env):
+    path = env.path("punch-drop")
+    env.create_file(path, b"H" * 16384)
+    fd = env.sc.open(path, RW)
+    try:
+        env.sc.fallocate(fd, FallocateMode.PUNCH_HOLE | FallocateMode.KEEP_SIZE,
+                         4096, 8192)
+    finally:
+        env.sc.close(fd)
+    _echo_drop_caches(env, 3)
+    data = env.read_file(path)
+    env.check_equal(len(data), 16384, "size unchanged")
+    env.check_equal(data[4096:12288], b"\x00" * 8192, "hole stays zeroed")
+    env.check_equal(data[:4096], b"H" * 4096, "leading extent intact")
+    env.check_equal(data[12288:], b"H" * 4096, "trailing extent intact")
+
+
+@generic(109, "auto", "quick", "caching")
+def test_sparse_write_survives_drop_caches(env):
+    path = env.path("sparse-drop")
+    fd = env.sc.open(path, CREAT_RW)
+    try:
+        env.sc.pwrite(fd, b"island", 300000)
+    finally:
+        env.sc.close(fd)
+    _echo_drop_caches(env, 3)
+    fd = env.sc.open(path, OpenFlags.O_RDONLY)
+    try:
+        env.check_equal(env.sc.pread(fd, 6, 300000), b"island")
+        env.check_equal(env.sc.pread(fd, 16, 100000), b"\x00" * 16,
+                        "hole reads as zeros after the caches are gone")
+    finally:
+        env.sc.close(fd)
+
+
+@generic(110, "auto", "quick", "prealloc")
+def test_punch_entire_file(env):
+    path = env.path("punch-all")
+    env.create_file(path, b"I" * 8192)
+    fd = env.sc.open(path, RW)
+    try:
+        env.sc.fallocate(fd, FallocateMode.PUNCH_HOLE | FallocateMode.KEEP_SIZE,
+                         0, 8192)
+    finally:
+        env.sc.close(fd)
+    env.check_equal(env.sc.stat(path).st_size, 8192, "KEEP_SIZE holds the size")
+    env.check_equal(env.read_file(path), b"\x00" * 8192, "everything is hole")
+
+
+@generic(111, "auto", "quick", "writeback")
+def test_many_small_writes_one_fsync(env):
+    path = env.path("aggregated")
+    pattern = b"".join(bytes([i % 251]) * 97 for i in range(64))
+    fd = env.sc.open(path, CREAT_WR)
+    try:
+        for i in range(64):
+            env.sc.write(fd, bytes([i % 251]) * 97)
+        env.sc.fsync(fd)
+    finally:
+        env.sc.close(fd)
+    _echo_drop_caches(env, 3)
+    env.check_equal(env.read_file(path), pattern,
+                    "aggregated writeback preserved every record")
+
+
+@generic(112, "auto", "quick", "writeback")
+def test_fsync_is_per_inode(env):
+    # Settle global dirty state first so the background flusher stays idle.
+    # The descriptors stay open throughout: releasing the last descriptor is
+    # itself a flush point (the FUSE client writes pending data back on
+    # release), which would empty the counters this test observes.
+    _echo_drop_caches(env, 1)
+    a, b = env.path("per-ino-a"), env.path("per-ino-b")
+    fd_a = env.sc.open(a, CREAT_WR, 0o644)
+    fd_b = env.sc.open(b, CREAT_WR, 0o644)
+    try:
+        env.sc.write(fd_a, b"J" * 32768)
+        env.sc.write(fd_b, b"K" * 32768)
+        ino_a, ino_b = env.sc.fstat(fd_a).st_ino, env.sc.fstat(fd_b).st_ino
+        engine = env.fs_under_test.writeback
+        env.check(engine.pending(ino_a) > 0 and engine.pending(ino_b) > 0,
+                  "both files carry unflushed dirty bytes")
+        env.sc.fsync(fd_a)
+        env.check_equal(engine.pending(ino_a), 0, "fsync drained only its inode")
+        env.check(engine.pending(ino_b) > 0, "the other inode stays pending")
+        env.sc.fsync(fd_b)
+        env.check_equal(engine.pending(ino_b), 0)
+    finally:
+        env.sc.close(fd_a)
+        env.sc.close(fd_b)
+
+
+@generic(113, "auto", "quick", "writeback")
+def test_append_fsync_drop_readback(env):
+    path = env.path("append-durable")
+    env.create_file(path, b"log:")
+    for chunk in (b"one,", b"two,", b"three"):
+        fd = env.sc.open(path, OpenFlags.O_WRONLY | OpenFlags.O_APPEND)
+        try:
+            env.sc.write(fd, chunk)
+            env.sc.fsync(fd)
+        finally:
+            env.sc.close(fd)
+    _echo_drop_caches(env, 3)
+    env.check_equal(env.read_file(path), b"log:one,two,three")
+    env.check_equal(env.sc.stat(path).st_size, 17)
+
+
+@generic(114, "auto", "quick", "prealloc", "seek")
+def test_keep_size_prealloc_invisible_to_seek_hole(env):
+    path = env.path("prealloc-seek")
+    env.create_file(path, b"L" * 3000)
+    fd = env.sc.open(path, RW)
+    try:
+        env.sc.fallocate(fd, FallocateMode.KEEP_SIZE, 0, 1 << 20)
+        env.check_equal(env.sc.fstat(fd).st_size, 3000,
+                        "preallocation beyond EOF does not change the size")
+        env.check_equal(env.sc.lseek(fd, 0, SeekWhence.SEEK_HOLE), 3000,
+                        "SEEK_HOLE reports EOF, not the preallocated tail")
+        env.check_equal(env.sc.lseek(fd, 0, SeekWhence.SEEK_DATA), 0)
+    finally:
+        env.sc.close(fd)
 
 
 # ---------------------------------------------------------------------------

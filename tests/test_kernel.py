@@ -184,8 +184,9 @@ class TestProcSysVm:
         assert "sys" in sc.listdir("/proc")
         assert sc.listdir("/proc/sys") == ["vm"]
         names = sc.listdir("/proc/sys/vm")
-        assert set(names) == {"dirty_background_bytes", "dirty_bytes",
-                              "dirty_expire_centisecs"}
+        assert set(names) == {"dirty_background_bytes", "dirty_background_ratio",
+                              "dirty_bytes", "dirty_expire_centisecs",
+                              "dirty_ratio", "drop_caches"}
         # 0 means "per-filesystem defaults in effect".
         for name in names:
             assert sc.read(sc.open(f"/proc/sys/vm/{name}"), 64) == b"0\n"

@@ -1,0 +1,270 @@
+"""The memory-pressure model: /proc/meminfo, ratio knobs, BDI, drop_caches.
+
+Regression tests for the invariants the memory model introduced:
+
+* ``/proc/meminfo`` and the ``vm.*`` sysctls resolve through one shared
+  :class:`repro.fs.writeback.MemInfo`/:class:`VmSysctl`, so no reader can
+  ever observe the two disagreeing;
+* the ratio knobs resolve to byte thresholds against modelled memory with
+  the bytes knobs winning when nonzero (Linux rule);
+* writing ``/proc/sys/vm/drop_caches`` is observationally identical to the
+  old direct ``fs.drop_caches()`` call (page counts, dentry-generation bump,
+  subsequent lookup costs);
+* O_SYNC/O_DSYNC writes leave no pending writeback behind;
+* BDI bandwidth shaping charges exactly ``bytes / bandwidth``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fs.constants import OpenFlags
+from repro.fs.errors import FsError
+
+
+def _read_proc(sc, path: str) -> str:
+    fd = sc.open(path)
+    try:
+        return sc.read(fd, 1 << 16).decode()
+    finally:
+        sc.close(fd)
+
+
+def _write_proc(sc, path: str, value) -> None:
+    fd = sc.open(path, OpenFlags.O_WRONLY)
+    try:
+        sc.write(fd, f"{value}\n".encode())
+    finally:
+        sc.close(fd)
+
+
+def _meminfo_kb(sc) -> dict[str, int]:
+    fields = {}
+    for line in _read_proc(sc, "/proc/meminfo").splitlines():
+        label, rest = line.split(":", 1)
+        fields[label] = int(rest.split()[0])
+    return fields
+
+
+class TestMeminfo:
+    def test_memtotal_renders_the_modelled_memory(self, machine):
+        fields = _meminfo_kb(machine.syscalls)
+        assert fields["MemTotal"] == machine.kernel.mem.total_bytes >> 10
+        # The historical static file said 16384000 kB; the model's default
+        # reproduces it.
+        assert fields["MemTotal"] == 16384000
+        assert 0 <= fields["MemFree"] <= fields["MemTotal"]
+
+    def test_dirty_field_tracks_engine_pending(self, machine, syscalls):
+        before = _meminfo_kb(machine.syscalls)["Dirty"]
+        fd = syscalls.open("/root/dirty.dat", OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        syscalls.write(fd, b"d" * (256 << 10))
+        after = _meminfo_kb(machine.syscalls)["Dirty"]
+        assert after == before + 256
+        syscalls.fsync(fd)
+        syscalls.close(fd)
+        assert _meminfo_kb(machine.syscalls)["Dirty"] == before
+
+    def test_meminfo_and_ratios_share_one_source(self, machine):
+        """The coherence invariant: /proc/meminfo and every engine's ratio
+        resolution read the same MemInfo object, so changing the modelled
+        memory moves both at once and no reader can see them disagree."""
+        kernel = machine.kernel
+        for engine in kernel.vm.engines():
+            assert engine.meminfo is kernel.mem
+        _write_proc(machine.syscalls, "/proc/sys/vm/dirty_ratio", 10)
+        for total in (1 << 30, 256 << 20):
+            kernel.mem.total_bytes = total
+            memtotal_kb = _meminfo_kb(machine.syscalls)["MemTotal"]
+            assert memtotal_kb == total >> 10
+            limits = machine.rootfs.writeback.effective_limits()
+            # What a reader computes from /proc/meminfo and /proc/sys/vm is
+            # exactly what the flusher threads enforce.
+            ratio = int(_read_proc(machine.syscalls, "/proc/sys/vm/dirty_ratio"))
+            assert limits.dirty_bytes == (memtotal_kb << 10) * ratio // 100
+
+
+class TestRatioKnobs:
+    def test_ratio_resolves_against_modelled_memory(self, machine):
+        machine.kernel.mem.total_bytes = 512 << 20
+        # ext4's per-fs default background threshold is a nonzero bytes knob
+        # and bytes knobs win; zero it first, as an operator would.
+        _write_proc(machine.syscalls, "/proc/sys/vm/dirty_background_bytes", 0)
+        _write_proc(machine.syscalls, "/proc/sys/vm/dirty_background_ratio", 5)
+        limits = machine.rootfs.writeback.effective_limits()
+        assert limits.dirty_background_bytes == (512 << 20) * 5 // 100
+
+    def test_bytes_knob_wins_when_nonzero(self, machine):
+        _write_proc(machine.syscalls, "/proc/sys/vm/dirty_ratio", 20)
+        _write_proc(machine.syscalls, "/proc/sys/vm/dirty_bytes", 4096)
+        assert machine.rootfs.writeback.effective_limits().dirty_bytes == 4096
+        # Zeroing the bytes knob reactivates the ratio.
+        _write_proc(machine.syscalls, "/proc/sys/vm/dirty_bytes", 0)
+        expected = machine.kernel.mem.total_bytes * 20 // 100
+        assert machine.rootfs.writeback.effective_limits().dirty_bytes == expected
+
+    def test_ratio_range_is_validated(self, machine):
+        with pytest.raises(FsError):
+            _write_proc(machine.syscalls, "/proc/sys/vm/dirty_ratio", 101)
+        with pytest.raises(FsError):
+            _write_proc(machine.syscalls, "/proc/sys/vm/dirty_background_ratio", -1)
+
+    def test_ratio_drives_flushes_like_bytes(self, machine, syscalls):
+        """End-to-end: a ratio-derived threshold flushes at the same point
+        the equivalent bytes threshold would."""
+        machine.kernel.mem.total_bytes = 1 << 20          # 1 MiB modelled RAM
+        _write_proc(machine.syscalls, "/proc/sys/vm/dirty_ratio", 25)   # 256 KiB
+        engine = machine.rootfs.writeback
+        flushes_before = engine.stats.flushes_by_reason.get("dirty_limit", 0)
+        fd = syscalls.open("/root/ratio.dat", OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        syscalls.write(fd, b"r" * (300 << 10))            # crosses 256 KiB
+        syscalls.close(fd)
+        assert engine.stats.flushes_by_reason.get("dirty_limit", 0) > flushes_before
+
+
+class TestDropCachesProcfs:
+    @staticmethod
+    def _make_dirty_state(machine):
+        sc = machine.syscalls
+        sc.makedirs("/root/dropdir")
+        fd = sc.open("/root/dropdir/data", OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        sc.write(fd, b"z" * (128 << 10))
+        sc.close(fd)
+        sc.stat("/root/dropdir/data")         # warm the dcache
+
+    @staticmethod
+    def _observe_after_drop(machine):
+        rootfs = machine.rootfs
+        clock = machine.kernel.clock
+        start = clock.now_ns
+        machine.syscalls.stat("/usr/bin/ls")  # post-drop lookup cost
+        return {
+            "resident_pages": len(rootfs.page_cache),
+            "pending": rootfs.writeback.total_pending,
+            "dentry_gen": rootfs.dentry_gen,
+            "lookup_cost_ns": clock.now_ns - start,
+        }
+
+    def test_procfs_write_identical_to_direct_call(self):
+        """The regression lock: `echo 3 > /proc/sys/vm/drop_caches` must be
+        observationally identical to the old direct fs.drop_caches() call —
+        same page counts, same dentry-generation bump, same post-drop lookup
+        cost."""
+        from repro.kernel.machine import boot
+
+        direct, procfs = boot(), boot()
+        for machine in (direct, procfs):
+            self._make_dirty_state(machine)
+        gen_deltas = []
+        observed = []
+        for machine, use_procfs in ((direct, False), (procfs, True)):
+            gen_before = machine.rootfs.dentry_gen
+            if use_procfs:
+                _write_proc(machine.syscalls, "/proc/sys/vm/drop_caches", 3)
+            else:
+                machine.rootfs.drop_caches()
+            state = self._observe_after_drop(machine)
+            gen_deltas.append(state.pop("dentry_gen") - gen_before)
+            observed.append(state)
+        assert gen_deltas[0] == gen_deltas[1] == 1
+        assert observed[0] == observed[1]
+        assert observed[0]["resident_pages"] == 0
+        assert observed[0]["pending"] == 0
+
+    def test_mode_1_drops_pages_keeps_dentries(self, machine):
+        self._make_dirty_state(machine)
+        gen_before = machine.rootfs.dentry_gen
+        _write_proc(machine.syscalls, "/proc/sys/vm/drop_caches", 1)
+        assert len(machine.rootfs.page_cache) == 0
+        assert machine.rootfs.writeback.total_pending == 0
+        assert machine.rootfs.dentry_gen == gen_before
+
+    def test_mode_2_drops_dentries_keeps_pages(self, machine):
+        self._make_dirty_state(machine)
+        pages_before = len(machine.rootfs.page_cache)
+        assert pages_before > 0
+        gen_before = machine.rootfs.dentry_gen
+        _write_proc(machine.syscalls, "/proc/sys/vm/drop_caches", 2)
+        assert len(machine.rootfs.page_cache) == pages_before
+        assert machine.rootfs.dentry_gen == gen_before + 1
+
+    def test_file_reads_back_last_written_mode(self, machine):
+        assert _read_proc(machine.syscalls, "/proc/sys/vm/drop_caches") == "0\n"
+        _write_proc(machine.syscalls, "/proc/sys/vm/drop_caches", 2)
+        assert _read_proc(machine.syscalls, "/proc/sys/vm/drop_caches") == "2\n"
+
+    def test_invalid_mode_rejected(self, machine):
+        for bad in (0, 4, 7):
+            with pytest.raises(FsError):
+                _write_proc(machine.syscalls, "/proc/sys/vm/drop_caches", bad)
+
+    def test_mount_registers_umount_unregisters(self, machine, syscalls):
+        from repro.fs.ext4 import Ext4Fs
+
+        kernel = machine.kernel
+        extra = Ext4Fs("extra-drop", kernel.clock, kernel.costs)
+        syscalls.makedirs("/mnt/extra-drop")
+        syscalls.mount(extra, "/mnt/extra-drop")
+        assert extra in kernel.vm.filesystems()
+        assert extra.writeback.meminfo is kernel.mem
+        syscalls.umount("/mnt/extra-drop")
+        assert extra not in kernel.vm.filesystems()
+        # The still-mounted root filesystem keeps its registration.
+        assert machine.rootfs in kernel.vm.filesystems()
+
+
+class TestSyncOpenFlags:
+    def test_o_sync_write_flushes_pending(self, machine, syscalls):
+        engine = machine.rootfs.writeback
+        fd = syscalls.open("/root/osync.dat",
+                           OpenFlags.O_CREAT | OpenFlags.O_WRONLY | OpenFlags.O_SYNC)
+        syscalls.write(fd, b"s" * 8192)
+        ino = syscalls.fstat(fd).st_ino
+        assert engine.pending(ino) == 0
+        assert engine.stats.flushes_by_reason.get("fsync", 0) >= 1
+        syscalls.close(fd)
+
+    def test_o_dsync_write_flushes_pending(self, machine, syscalls):
+        engine = machine.rootfs.writeback
+        fd = syscalls.open("/root/odsync.dat",
+                           OpenFlags.O_CREAT | OpenFlags.O_WRONLY | OpenFlags.O_DSYNC)
+        syscalls.write(fd, b"d" * 8192)
+        assert engine.pending(syscalls.fstat(fd).st_ino) == 0
+        syscalls.close(fd)
+
+    def test_plain_write_keeps_pending(self, machine, syscalls):
+        engine = machine.rootfs.writeback
+        fd = syscalls.open("/root/lazy.dat",
+                           OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        syscalls.write(fd, b"l" * 8192)
+        assert engine.pending(syscalls.fstat(fd).st_ino) == 8192
+        syscalls.close(fd)
+
+
+class TestBdiShaping:
+    def test_flush_charges_bytes_over_bandwidth(self, machine, syscalls):
+        device_bdi = machine.rootfs.device.bdi
+        assert machine.rootfs.writeback.bdi is device_bdi
+        device_bdi.write_bandwidth_bytes_s = 100 << 20        # 100 MiB/s
+        fd = syscalls.open("/root/shaped.dat",
+                           OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        syscalls.write(fd, b"b" * (1 << 20))
+        ino = syscalls.fstat(fd).st_ino
+        pending = machine.rootfs.writeback.pending(ino)
+        busy_before = device_bdi.stats.busy_ns
+        clock_before = machine.kernel.clock.now_ns
+        syscalls.fsync(fd)
+        syscalls.close(fd)
+        shaped_ns = device_bdi.stats.busy_ns - busy_before
+        assert shaped_ns == pending * 1_000_000_000 // (100 << 20)
+        # The shaping is part of the caller-visible virtual time of the flush.
+        assert machine.kernel.clock.now_ns - clock_before >= shaped_ns
+
+    def test_default_bandwidth_is_unshaped(self, machine, syscalls):
+        fd = syscalls.open("/root/unshaped.dat",
+                           OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        syscalls.write(fd, b"u" * (1 << 20))
+        syscalls.fsync(fd)
+        syscalls.close(fd)
+        assert machine.rootfs.device.bdi.stats.busy_ns == 0
+        assert machine.rootfs.device.bdi.stats.shaped_flushes == 0

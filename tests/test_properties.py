@@ -358,6 +358,115 @@ class TestWritebackEngineProperties:
         assert engine.stats.flushes_by_reason.get("expired", 0) >= 1
 
 
+class TestMemoryPressureProperties:
+    """Issue invariants of the memory-pressure model: ratio-derived
+    thresholds are observationally equivalent to the same value set via the
+    bytes knobs, and BDI bandwidth shaping conserves flushed bytes."""
+
+    _note_ops = st.lists(
+        st.tuples(st.integers(min_value=1, max_value=4),             # ino
+                  st.integers(min_value=1, max_value=48 * 1024)),    # nbytes
+        min_size=1, max_size=40)
+
+    @given(_note_ops,
+           st.integers(min_value=1, max_value=100),                  # ratio %
+           st.integers(min_value=64 * 1024, max_value=1 << 20))      # mem total
+    @settings(max_examples=60, deadline=None)
+    def test_ratio_equivalent_to_bytes(self, ops, ratio, mem_total):
+        from repro.fs.writeback import MemInfo, VmTunables, WritebackEngine
+
+        log_ratio: list[tuple] = []
+        log_bytes: list[tuple] = []
+        ratio_engine = WritebackEngine(
+            "ratio", VmTunables(dirty_ratio=ratio),
+            lambda items, reason: log_ratio.append((tuple(items), reason)),
+            meminfo=MemInfo(total_bytes=mem_total))
+        bytes_engine = WritebackEngine(
+            "bytes", VmTunables(dirty_bytes=mem_total * ratio // 100),
+            lambda items, reason: log_bytes.append((tuple(items), reason)))
+        for ino, nbytes in ops:
+            ratio_engine.note_dirty(ino, nbytes)
+            bytes_engine.note_dirty(ino, nbytes)
+            # Observationally equivalent after every step: pending state,
+            # flush decisions and the exact batches handed to flush_fn.
+            assert ratio_engine.total_pending == bytes_engine.total_pending
+            assert log_ratio == log_bytes
+        assert ratio_engine.stats.flushes == bytes_engine.stats.flushes
+        assert ratio_engine.stats.flushed_bytes == bytes_engine.stats.flushed_bytes
+        assert ratio_engine.stats.flushes_by_reason == \
+            bytes_engine.stats.flushes_by_reason
+
+    @given(_note_ops,
+           st.integers(min_value=1, max_value=100),
+           st.integers(min_value=64 * 1024, max_value=1 << 20))
+    @settings(max_examples=40, deadline=None)
+    def test_background_ratio_equivalent_to_bytes(self, ops, ratio, mem_total):
+        from repro.fs.writeback import MemInfo, VmTunables, WritebackEngine
+
+        ratio_engine = WritebackEngine(
+            "ratio", VmTunables(dirty_background_ratio=ratio),
+            lambda items, reason: None, meminfo=MemInfo(total_bytes=mem_total))
+        bytes_engine = WritebackEngine(
+            "bytes", VmTunables(dirty_background_bytes=mem_total * ratio // 100),
+            lambda items, reason: None)
+        for ino, nbytes in ops:
+            ratio_engine.note_dirty(ino, nbytes)
+            bytes_engine.note_dirty(ino, nbytes)
+            assert ratio_engine.total_pending == bytes_engine.total_pending
+        assert ratio_engine.stats.flushes_by_reason == \
+            bytes_engine.stats.flushes_by_reason
+
+    @given(st.integers(min_value=0, max_value=64 * 1024))            # threshold
+    @settings(max_examples=40, deadline=None)
+    def test_bytes_knob_wins_over_ratio(self, dirty_bytes):
+        """Nonzero bytes knobs shadow the ratio knobs entirely (Linux rule)."""
+        from repro.fs.writeback import MemInfo, VmTunables, WritebackEngine
+
+        both = WritebackEngine(
+            "both", VmTunables(dirty_bytes=dirty_bytes, dirty_ratio=7),
+            lambda items, reason: None, meminfo=MemInfo(total_bytes=1 << 20))
+        limits = both.effective_limits()
+        if dirty_bytes > 0:
+            assert limits.dirty_bytes == dirty_bytes
+        else:
+            assert limits.dirty_bytes == (1 << 20) * 7 // 100
+
+    @given(_note_ops,
+           st.lists(st.integers(min_value=0, max_value=1 << 30),
+                    min_size=2, max_size=5))                         # bandwidths
+    @settings(max_examples=40, deadline=None)
+    def test_bdi_shaping_conserves_flushed_bytes(self, ops, bandwidths):
+        """Sweeping the modelled write bandwidth changes only the virtual
+        time spent flushing — never which bytes are flushed."""
+        from repro.fs.writeback import (
+            BacklogDeviceInfo,
+            VmTunables,
+            WritebackEngine,
+        )
+        from repro.sim.clock import VirtualClock
+
+        results = []
+        for bandwidth in bandwidths:
+            clock = VirtualClock()
+            engine = WritebackEngine(
+                "bdi", VmTunables(dirty_background_bytes=32 * 1024),
+                lambda items, reason: None, clock=clock,
+                bdi=BacklogDeviceInfo("dev", bandwidth))
+            for ino, nbytes in ops:
+                engine.note_dirty(ino, nbytes)
+            engine.flush()
+            results.append((engine.stats.flushes, engine.stats.flushed_bytes,
+                            clock.now_ns, engine.bdi.stats.busy_ns))
+        flushes, flushed, elapsed, busy = zip(*results)
+        # Conservation: the flush decisions and total flushed bytes are
+        # independent of the bandwidth.
+        assert len(set(flushes)) == 1
+        assert len(set(flushed)) == 1
+        # Decomposition: all elapsed virtual time is the shaper's (flush_fn
+        # charges nothing here), so elapsed == BDI busy for every bandwidth.
+        assert elapsed == busy
+
+
 class _ClientWritebackModel:
     """The FuseClientFs coupling between page cache and writeback engine,
     reduced to its accounting skeleton (same rules, no FUSE plumbing)."""
