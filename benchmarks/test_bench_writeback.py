@@ -128,6 +128,44 @@ def test_bdi_bandwidth_shapes_flush_cost():
     assert virtual == sorted(virtual) and virtual[0] < virtual[-1]
 
 
+def test_mem_pressure_reclaims_more_as_memory_shrinks():
+    """Smaller modelled memory ⇒ more reclaimed pages, more reclaim-reason
+    flushes and more virtual time; the reclaim-off baseline reclaims
+    nothing."""
+    from repro.bench.writeback import run_dirty_workload
+
+    runs = [run_dirty_workload("mem_pressure", {"dirty_background_bytes": 0},
+                               size_mb=8, page_cache_mb=256, reclaim_mem_mb=mem)
+            for mem in (0, 6, 3)]
+    base = runs[0]
+    assert base.reclaimed_kb == 0.0 and base.reclaim_flushed_kb == 0.0
+    reclaimed = [r.reclaimed_kb for r in runs]
+    assert reclaimed == sorted(reclaimed) and reclaimed[0] < reclaimed[-1]
+    for run in runs[1:]:
+        assert run.reclaim_flushed_kb > 0, \
+            "pressure flushes dirty pages through the engine"
+        assert run.flushes > base.flushes
+        assert run.virtual_ms > base.virtual_ms
+
+
+def test_read_bdi_bandwidth_shapes_read_cost():
+    """Lower modelled read bandwidth ⇒ more virtual time, with the delta
+    exactly the BDI read-busy time; bytes fetched are conserved."""
+    from repro.bench.writeback import run_read_workload
+
+    runs = [run_read_workload("read_bdi", size_mb=8, page_cache_mb=256,
+                              bdi_read_mb_s=bandwidth)
+            for bandwidth in (0, 400, 100)]
+    base = runs[0]
+    assert base.bdi_read_busy_ms == 0.0
+    for run in runs[1:]:
+        assert run.read_kb == base.read_kb
+        assert run.virtual_ms - base.virtual_ms == \
+            pytest.approx(run.bdi_read_busy_ms, abs=1e-6)
+    virtual = [r.virtual_ms for r in runs]
+    assert virtual == sorted(virtual) and virtual[0] < virtual[-1]
+
+
 def test_committed_bench_json_shows_tunable_flush_behaviour():
     with open(BENCH_JSON) as fh:
         data = json.load(fh)
@@ -165,3 +203,36 @@ def test_committed_bench_json_shows_tunable_flush_behaviour():
     assert default["tunables"] == {}
     assert default["mean_flush_kb"] == 128.0
     assert set(default["flushes_by_reason"]) == {"background"}
+    # The pre-reclaim scenario rows carry none of the reclaim/read fields:
+    # their JSON is byte-identical to the PR 3 file.
+    for name in ("defaults", "dirty_bytes", "dirty_background_bytes",
+                 "dirty_expire_centisecs", "fsync_storm", "dirty_ratio",
+                 "bdi_write_bandwidth"):
+        for run in scenarios[name]:
+            assert "reclaim_mem_mb" not in run and "bdi_read_mb_s" not in run
+    # The memory-pressure sweep: the reclaim-off baseline reclaims nothing;
+    # shrinking memory reclaims more, flushes more and costs more time.
+    pressure = scenarios["mem_pressure"]
+    assert pressure[0]["reclaim_mem_mb"] == 0
+    assert pressure[0]["reclaimed_kb"] == 0.0
+    mems = [r["reclaim_mem_mb"] for r in pressure[1:]]
+    assert mems == sorted(mems, reverse=True)
+    reclaimed = [r["reclaimed_kb"] for r in pressure]
+    flushes = [r["flushes"] for r in pressure]
+    assert reclaimed == sorted(reclaimed) and reclaimed[0] < reclaimed[-1]
+    assert flushes == sorted(flushes) and flushes[0] < flushes[-1]
+    for run in pressure[1:]:
+        assert run["reclaim_flushed_kb"] > 0
+        assert run["flushes_by_reason"].get("reclaim", 0) > 0
+        assert run["virtual_ms"] > pressure[0]["virtual_ms"]
+    # The read sweep: bytes fetched conserved, virtual-time deltas equal to
+    # the BDI read-busy time exactly, monotone in falling bandwidth.
+    reads = scenarios["read_bdi"]
+    read_base = reads[0]
+    assert read_base["bdi_read_mb_s"] == 0 and read_base["bdi_read_busy_ms"] == 0.0
+    for run in reads[1:]:
+        assert run["read_kb"] == read_base["read_kb"]
+        assert run["virtual_ms"] - read_base["virtual_ms"] == \
+            pytest.approx(run["bdi_read_busy_ms"], abs=2e-3)
+    read_virtual = [r["virtual_ms"] for r in reads]
+    assert read_virtual == sorted(read_virtual) and read_virtual[0] < read_virtual[-1]

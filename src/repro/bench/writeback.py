@@ -24,6 +24,14 @@ over a shrunk modelled memory, which must behave exactly like the byte
 threshold it resolves to) and ``bdi_write_bandwidth`` (per-device bandwidth
 shaping under a fixed flush cadence, whose virtual-time deltas are exactly
 the BDI busy time while flushed bytes are conserved).
+
+The reclaim subsystem added two more: ``mem_pressure`` (the same dirty
+workload under a shrinking ``Kernel.mem`` with reclaim enabled — smaller
+memory means more pages reclaimed, more reclaim-reason flushes and more
+virtual time) and ``read_bdi`` (a cold sequential read through CntrFS under
+a falling per-device read bandwidth — bytes fetched are conserved and the
+virtual-time deltas are exactly the BDI read-busy time).  Rows of the older
+sweeps carry none of the new fields, keeping them byte-identical.
 """
 
 from __future__ import annotations
@@ -53,9 +61,18 @@ class WritebackRunResult:
     mem_total_mb: int = 0
     bdi_write_mb_s: int = 0
     bdi_busy_ms: float = 0.0
+    #: Reclaim-sweep fields (None = not a reclaim row; keys omitted so the
+    #: pre-reclaim scenario rows stay byte-identical).
+    reclaim_mem_mb: int | None = None
+    reclaimed_kb: float = 0.0
+    reclaim_flushed_kb: float = 0.0
+    #: Read-sweep fields (None = not a read row; keys omitted likewise).
+    bdi_read_mb_s: int | None = None
+    read_kb: float = 0.0
+    bdi_read_busy_ms: float = 0.0
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "scenario": self.scenario,
             "tunables": dict(self.tunables),
             "bytes_written": self.bytes_written,
@@ -69,6 +86,15 @@ class WritebackRunResult:
             "bdi_write_mb_s": self.bdi_write_mb_s,
             "bdi_busy_ms": round(self.bdi_busy_ms, 3),
         }
+        if self.reclaim_mem_mb is not None:
+            out["reclaim_mem_mb"] = self.reclaim_mem_mb
+            out["reclaimed_kb"] = round(self.reclaimed_kb, 1)
+            out["reclaim_flushed_kb"] = round(self.reclaim_flushed_kb, 1)
+        if self.bdi_read_mb_s is not None:
+            out["bdi_read_mb_s"] = self.bdi_read_mb_s
+            out["read_kb"] = round(self.read_kb, 1)
+            out["bdi_read_busy_ms"] = round(self.bdi_read_busy_ms, 3)
+        return out
 
 
 def apply_vm_tunables(env: BenchEnvironment, settings: dict[str, int]) -> None:
@@ -84,7 +110,8 @@ def run_dirty_workload(scenario: str, settings: dict[str, int] | None = None,
                        size_mb: int = 16, record_kb: int = 64,
                        fsync_every: int = 0, think_ns: int = 0,
                        page_cache_mb: int = 512, mem_total_mb: int = 0,
-                       bdi_write_mb_s: int = 0) -> WritebackRunResult:
+                       bdi_write_mb_s: int = 0,
+                       reclaim_mem_mb: int | None = None) -> WritebackRunResult:
     """Write ``size_mb`` MiB sequentially through a CntrFS mount.
 
     ``fsync_every`` issues an fsync every N records (database commit /
@@ -94,6 +121,12 @@ def run_dirty_workload(scenario: str, settings: dict[str, int] | None = None,
     memory so the ``vm.dirty_*_ratio`` knobs resolve to thresholds the
     workload can actually cross; ``bdi_write_mb_s`` caps the modelled write
     bandwidth of the CntrFS mount's backing-device info (0 = unshaped).
+
+    ``reclaim_mem_mb`` runs the workload under memory pressure: the caches
+    are dropped machine-wide first (so the sweep measures the workload, not
+    the boot state), the modelled memory shrinks to the given size and
+    reclaim is enabled — ``0`` keeps reclaim off but still performs the drop,
+    giving the sweep a comparable baseline row.
     """
     env = BenchEnvironment(page_cache_mb=page_cache_mb)
     if mem_total_mb:
@@ -105,6 +138,13 @@ def run_dirty_workload(scenario: str, settings: dict[str, int] | None = None,
         env.client.writeback.bdi.write_bandwidth_bytes_s = bdi_write_mb_s << 20
     if settings:
         apply_vm_tunables(env, settings)
+    if reclaim_mem_mb is not None:
+        env.drop_caches()
+        mem = env.machine.kernel.mem
+        mem.reserved_bytes = 0
+        if reclaim_mem_mb:
+            mem.total_bytes = reclaim_mem_mb << 20
+            mem.reclaim_enabled = True
     sc, base = env.cntr_access()
     sc.makedirs(f"{base}/wb")
     total = size_mb << 20
@@ -133,6 +173,7 @@ def run_dirty_workload(scenario: str, settings: dict[str, int] | None = None,
     virtual_ns = clock.now_ns - start_virtual
 
     stats = engine.stats
+    reclaim = env.machine.kernel.vm.reclaim_stats
     return WritebackRunResult(
         scenario=scenario,
         tunables=dict(settings or {}),
@@ -146,6 +187,64 @@ def run_dirty_workload(scenario: str, settings: dict[str, int] | None = None,
         mem_total_mb=mem_total_mb,
         bdi_write_mb_s=bdi_write_mb_s,
         bdi_busy_ms=engine.bdi.stats.busy_ns / 1e6 if engine.bdi else 0.0,
+        reclaim_mem_mb=reclaim_mem_mb,
+        reclaimed_kb=reclaim.bytes_reclaimed / 1024,
+        reclaim_flushed_kb=reclaim.pages_flushed * 4096 / 1024,
+    )
+
+
+def run_read_workload(scenario: str, size_mb: int = 16, record_kb: int = 64,
+                      page_cache_mb: int = 512,
+                      bdi_read_mb_s: int = 0) -> WritebackRunResult:
+    """Cold sequential read of ``size_mb`` MiB through a CntrFS mount.
+
+    The file is produced through the mount first, the backing store settled
+    and the FUSE-side caches dropped (the paper's cold-FUSE methodology);
+    only the read phase is measured.  ``bdi_read_mb_s`` caps the modelled
+    read bandwidth of the mount's backing-device info (0 = unshaped).
+    """
+    env = BenchEnvironment(page_cache_mb=page_cache_mb)
+    sc, base = env.cntr_access()
+    sc.makedirs(f"{base}/rd")
+    total = size_mb << 20
+    record = record_kb << 10
+    chunk = b"r" * record
+    path = f"{base}/rd/cold.dat"
+    fd = sc.open(path, OpenFlags.O_CREAT | OpenFlags.O_WRONLY, 0o644)
+    try:
+        for _ in range(total // record):
+            sc.write(fd, chunk)
+    finally:
+        sc.close(fd)
+    env.backing.sync()
+    env.drop_fuse_caches()
+    if bdi_read_mb_s:
+        env.client.bdi.read_bandwidth_bytes_s = bdi_read_mb_s << 20
+
+    clock = env.machine.clock
+    start_virtual = clock.now_ns
+    start_wall = time.perf_counter()
+    fd = sc.open(path, OpenFlags.O_RDONLY)
+    read_bytes = 0
+    try:
+        offset = 0
+        while offset < total:
+            read_bytes += len(sc.pread(fd, record, offset))
+            offset += record
+    finally:
+        sc.close(fd)
+    wall = time.perf_counter() - start_wall
+    virtual_ns = clock.now_ns - start_virtual
+
+    bdi = env.client.bdi
+    return WritebackRunResult(
+        scenario=scenario,
+        bytes_written=0,
+        virtual_ms=virtual_ns / 1e6,
+        wall_seconds=wall,
+        bdi_read_mb_s=bdi_read_mb_s,
+        read_kb=read_bytes / 1024,
+        bdi_read_busy_ms=bdi.stats.read_busy_ns / 1e6,
     )
 
 
@@ -210,6 +309,26 @@ def sweep(size_mb: int = 16) -> dict[str, list[WritebackRunResult]]:
         run_dirty_workload("bdi_write_bandwidth",
                            {"dirty_background_bytes": 0, "dirty_bytes": 1 << 20},
                            size_mb=size_mb, bdi_write_mb_s=bandwidth)
+        for bandwidth in (0, 800, 200, 50)
+    ]
+
+    # Memory pressure: the same dirty workload (background flusher disabled
+    # so the dirty data waits for pressure) under a shrinking modelled
+    # memory with reclaim enabled.  Smaller memory ⇒ more pages reclaimed,
+    # more reclaim-reason flushes, more virtual time.  The 0 row is the
+    # reclaim-off baseline after the same cache drop.
+    scenarios["mem_pressure"] = [
+        run_dirty_workload("mem_pressure", {"dirty_background_bytes": 0},
+                           size_mb=size_mb, reclaim_mem_mb=mem)
+        for mem in (0, 12, 8, 4)
+    ]
+
+    # Read-side BDI shaping: a cold sequential read under a falling modelled
+    # read bandwidth.  Bytes fetched are conserved; only the bandwidth term
+    # grows, and it equals the BDI read-busy time exactly.
+    scenarios["read_bdi"] = [
+        run_read_workload("read_bdi", size_mb=size_mb,
+                          bdi_read_mb_s=bandwidth)
         for bandwidth in (0, 800, 200, 50)
     ]
     return scenarios

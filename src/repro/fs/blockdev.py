@@ -50,7 +50,12 @@ class BlockDevice:
         return seq
 
     def read(self, offset: int, nbytes: int) -> None:
-        """Charge the cost of reading ``nbytes`` at ``offset``."""
+        """Charge the cost of reading ``nbytes`` at ``offset``.
+
+        On top of the seek/stream cost model, the device's BDI shapes the
+        transfer by its modelled read bandwidth (``bytes / bandwidth`` of
+        virtual time; 0 = unshaped, the historical behaviour).
+        """
         if nbytes <= 0:
             return
         sequential = self._is_sequential(offset)
@@ -58,6 +63,7 @@ class BlockDevice:
         self._next_sequential_offset = offset + nbytes
         self.stats.reads += 1
         self.stats.bytes_read += nbytes
+        self.bdi.charge_read(self._clock, nbytes)
 
     def write(self, offset: int, nbytes: int) -> None:
         """Charge the cost of writing ``nbytes`` at ``offset``."""

@@ -13,8 +13,14 @@ from __future__ import annotations
 
 from repro.fs.blockdev import BlockDevice
 from repro.fs.filesystem import Filesystem
+from repro.fs.inode import RegularInode
 from repro.fs.pagecache import PageCache
-from repro.fs.writeback import WB_REASON_FSYNC, VmTunables, WritebackEngine
+from repro.fs.writeback import (
+    WB_REASON_FSYNC,
+    WB_REASON_RECLAIM,
+    VmTunables,
+    WritebackEngine,
+)
 from repro.sim.clock import VirtualClock
 from repro.sim.costs import CostModel
 from repro.sim.trace import Tracer
@@ -71,7 +77,26 @@ class Ext4Fs(Filesystem):
         hit_cost = self.costs.page_cache_hit_per_byte_ns * hits * page
         self.clock.advance(hit_cost)
         if misses:
-            self.device.read(offset, misses * page)
+            fetch_pages = misses
+            # Per-device readahead (/sys/class/bdi/<dev>/read_ahead_kb): a
+            # miss extends the fetch window so subsequent sequential reads
+            # hit the page cache.  The historical default is 0 — no
+            # readahead — which keeps untouched devices byte-identical.
+            # Window pages are pulled through page_cache.access, so they
+            # count as accesses in PageCacheStats, matching how the FUSE
+            # read path has always accounted its readahead window.
+            ra = self.device.bdi.read_ahead_bytes
+            if ra > 0:
+                inode = self._inodes.get(ino)
+                file_size = inode.size if isinstance(inode, RegularInode) else 0
+                window_end = min(offset + max(size, ra), file_size)
+                if window_end > offset + size:
+                    _ra_hits, ra_misses = self.page_cache.access(
+                        ino, offset + size, window_end - (offset + size))
+                    fetch_pages += ra_misses
+            # The device pays the seek/stream cost and its BDI's read-
+            # bandwidth shaping (0 = unshaped, the default).
+            self.device.read(offset, fetch_pages * page)
         self.tracer.record(self.clock.now_ns, self.fs_type, "read", int(hit_cost),
                            detail=f"hits={hits} misses={misses}")
 
@@ -85,8 +110,10 @@ class Ext4Fs(Filesystem):
         self.tracer.record(self.clock.now_ns, self.fs_type, "write", int(cost),
                            detail=f"dirtied={dirtied}")
         # The engine accounts newly dirtied bytes and runs the flusher
-        # threads against the vm.dirty_* thresholds.
+        # threads against the vm.dirty_* thresholds; only then may memory
+        # pressure react, so reclaim always sees the pending counters.
         self.writeback.note_dirty(ino, dirtied * self.costs.page_size)
+        self.page_cache.balance_pressure()
 
     def _charge_fsync(self, ino: int, datasync: bool) -> None:
         nbytes = self.page_cache.dirty_page_count(ino) * self.costs.page_size
@@ -100,12 +127,13 @@ class Ext4Fs(Filesystem):
     def _writeback_flush(self, items, reason: str) -> None:
         """Writeback price of this filesystem, paid when the engine flushes.
 
-        fsync writes back one inode's dirty pages; every other reason models
-        the flusher threads catching up in one sequential device write (the
+        fsync — and reclaim, which targets one inode's pages at a time —
+        writes back one inode's dirty pages; every other reason models the
+        flusher threads catching up in one sequential device write (the
         bytes charged come from the page cache — the authoritative count of
         what is actually dirty — not from the pending counters).
         """
-        if reason == WB_REASON_FSYNC:
+        if reason in (WB_REASON_FSYNC, WB_REASON_RECLAIM):
             for ino, _pending in items:
                 nbytes = self.page_cache.dirty_page_count(ino) * self.costs.page_size
                 if nbytes:

@@ -100,6 +100,26 @@ def _start(ext: _Extent) -> int:
     return ext.start
 
 
+class SeqCounter:
+    """Monotonic extent sequence source.
+
+    Each cache owns one by default; :meth:`PageCache.share_seq_counter` lets
+    the kernel hand every registered cache the *same* counter, which makes
+    extent sequence numbers a global LRU age — the property the cross-
+    filesystem reclaim order relies on.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def next(self) -> int:
+        v = self.value
+        self.value += 1
+        return v
+
+
 class PageCache:
     """LRU page cache tracking residency and dirtiness in per-inode extents."""
 
@@ -125,8 +145,12 @@ class PageCache:
         #: ino -> dirty page count (kept in lockstep with ``_dirty_exts``).
         self._dirty_count: dict[int, int] = {}
         self._pages = 0
-        self._next_seq = 0
+        self._seqs = SeqCounter()
         self._next_eid = 0
+        #: Memory-pressure coordinator (``VmSysctl``); assigned at filesystem
+        #: registration.  When set, every growth is followed by a balance
+        #: pass so the cache stays inside the kernel-wide memory budget.
+        self.pressure = None
 
     # ------------------------------------------------------------- inspection
     def __len__(self) -> int:
@@ -196,6 +220,7 @@ class PageCache:
         self.stats.hits += hits
         self.stats.misses += misses
         self._evict_to_capacity()
+        self.balance_pressure()
         return hits, misses
 
     def write(self, ino: int, offset: int, size: int) -> int:
@@ -208,6 +233,10 @@ class PageCache:
         already_dirty = sum(hi - lo for lo, hi, dirty in removed if dirty)
         self._insert_segments(ino, [(a, b, True)])
         self._evict_to_capacity()
+        # No pressure balancing here: the caller runs it via
+        # ``balance_pressure()`` *after* accounting the dirty bytes with its
+        # writeback engine, so reclaim always finds the pending counters that
+        # let it flush-before-drop (see the write paths in ext4/fuse).
         return (b - a) - already_dirty
 
     def dirty_pages(self, ino: int | None = None) -> list[tuple[int, int]]:
@@ -277,6 +306,68 @@ class PageCache:
         self._dirty_exts.clear()
         self._dirty_count.clear()
         self._pages = 0
+
+    # ------------------------------------------------------------- reclaim
+    def share_seq_counter(self, counter: SeqCounter) -> None:
+        """Adopt a shared extent sequence counter (global LRU comparability).
+
+        The shared counter is fast-forwarded past this cache's own, so the
+        cache-local LRU order (strict per-cache monotonicity) is preserved —
+        only cross-cache comparability is added.
+        """
+        counter.value = max(counter.value, self._seqs.value)
+        self._seqs = counter
+
+    def oldest_seq(self) -> int | None:
+        """Sequence number of the LRU-oldest live extent (None when empty)."""
+        while self._heap:
+            seq, _start_page, eid = self._heap[0]
+            if eid in self._live:
+                return seq
+            heapq.heappop(self._heap)
+        return None
+
+    def reclaim_oldest(self, max_pages: int, flush_inode) -> tuple[int, int]:
+        """Evict up to ``max_pages`` from the LRU-oldest extent (reclaim path).
+
+        A dirty victim is written back *first* through ``flush_inode(ino)``
+        (the owning filesystem's writeback engine, which pays the flush price
+        and cleans the inode's pages), then dropped clean — the kernel's
+        shrink_page_list order.  Returns ``(clean_dropped, dirty_flushed)``
+        page counts; both zero when the cache is empty.  Unlike capacity
+        eviction this path never counts evictions/writebacks in
+        :class:`PageCacheStats` — the reclaim coordinator keeps its own
+        accounting and the engine charged the flush.
+        """
+        if max_pages <= 0 or self.oldest_seq() is None:
+            return 0, 0
+        ext = self._live[self._heap[0][2]]
+        was_dirty = ext.dirty
+        if ext.dirty:
+            flush_inode(ext.ino)
+            if ext.dirty:
+                # No engine pending backed these pages (already-discarded
+                # obligations): they drop unwritten, like truncated pages.
+                self._drop_dirty_ext(ext.ino, ext.eid)
+                self._note_dirty_pages(ext.ino, -len(ext))
+                ext.dirty = False
+        lst = self._by_ino[ext.ino]
+        i = bisect_right(lst, ext.start, key=_start) - 1
+        take = min(len(ext), max_pages)
+        self._pages -= take
+        ext.start += take
+        if ext.start >= ext.end:
+            heapq.heappop(self._heap)
+            del self._live[ext.eid]
+            lst.pop(i)
+            if not lst:
+                del self._by_ino[ext.ino]
+        return (0, take) if was_dirty else (take, 0)
+
+    def balance_pressure(self) -> None:
+        """Let the kernel-wide memory-pressure coordinator react to growth."""
+        if self.pressure is not None:
+            self.pressure.balance()
 
     # ------------------------------------------------------------- internals
     def _remove_range(self, ino: int, a: int, b: int) -> list[tuple[int, int, bool]]:
@@ -376,8 +467,7 @@ class PageCache:
     def _new_extent(self, ino: int, start: int, end: int, dirty: bool,
                     seq: int | None = None) -> _Extent:
         if seq is None:
-            seq = self._next_seq
-            self._next_seq += 1
+            seq = self._seqs.next()
         eid = self._next_eid
         self._next_eid += 1
         ext = _Extent(ino, start, end, dirty, seq, eid)

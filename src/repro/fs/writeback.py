@@ -42,6 +42,29 @@ Since the memory-pressure model landed, three more pieces live here:
 * ``/proc/sys/vm/drop_caches`` — a writable procfs file (1 = page cache,
   2 = dentries/inodes, 3 = both) applied to every registered filesystem, so
   experiments no longer reach around procfs to call ``fs.drop_caches()``.
+
+The memory-pressure *reclaim* subsystem closes the loop between the memory
+model and the caches it governs (see PERFORMANCE.md "Reclaim and read
+shaping"):
+
+* **budget** — with ``MemInfo.reclaim_enabled`` the registered page caches
+  collectively draw from one budget,
+  ``total_bytes − reserved_bytes − Dirty`` (exactly the rendered
+  ``MemAvailable``), so ``MemFree`` can never go negative;
+* **global LRU reclaim** — growth beyond the budget evicts the globally
+  oldest extents across *all* registered filesystems (their caches share one
+  :class:`repro.fs.pagecache.SeqCounter`), dropping clean pages and flushing
+  dirty ones through the owning :class:`WritebackEngine` first
+  (``WB_REASON_RECLAIM``), the kernel's shrink_page_list order;
+* **dcache pressure** — each reclaim pass accumulates
+  ``vm.vfs_cache_pressure`` points of debt; every 100 points shrinks one
+  registered filesystem's dentry cache (round-robin), so ``0`` never
+  reclaims dentries and ``200`` shrinks twice per pass;
+* **periodic flusher** — ``vm.dirty_writeback_centisecs`` arms a virtual
+  clock timer per engine (``kupdate``): every period the engine writes back
+  dirty data older than ``dirty_expire_centisecs`` (or the period itself
+  when expiry is disabled) with *no write activity required*.  ``0`` (the
+  default) disables the wakeup, reproducing the write-driven-only seed.
 """
 
 from __future__ import annotations
@@ -50,6 +73,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, NamedTuple
 
 from repro.fs.errors import FsError
+from repro.fs.pagecache import SeqCounter
 from repro.sim.clock import VirtualClock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -61,6 +85,8 @@ WB_REASON_DIRTY_LIMIT = "dirty_limit"  # total pending crossed vm.dirty_bytes
 WB_REASON_BACKGROUND = "background"    # total pending crossed vm.dirty_background_bytes
 WB_REASON_SYNC = "sync"                # explicit flush (sync(2), drop_caches, release)
 WB_REASON_FSYNC = "fsync"              # fsync(2)/fdatasync(2) on one inode
+WB_REASON_PERIODIC = "periodic"        # vm.dirty_writeback_centisecs timer wakeup
+WB_REASON_RECLAIM = "reclaim"          # memory pressure: flush before dropping
 
 #: Centisecond, in virtual nanoseconds.
 CENTISEC_NS = 10_000_000
@@ -87,6 +113,12 @@ class MemInfo:
     #: /proc/meminfo reported before the model existed (16384000/12000000 kB).
     total_bytes: int = 16_384_000 << 10
     reserved_bytes: int = 4_384_000 << 10
+    #: Couple page-cache capacity to this memory model: when True, growth
+    #: beyond the cache budget (``total − reserved − Dirty``) triggers LRU
+    #: reclaim across every registered filesystem (see
+    #: :meth:`VmSysctl.balance`).  Off by default — the unbounded budget is
+    #: the historical behaviour every committed benchmark figure pins.
+    reclaim_enabled: bool = False
 
 
 class ResolvedVmLimits(NamedTuple):
@@ -95,6 +127,7 @@ class ResolvedVmLimits(NamedTuple):
     dirty_background_bytes: int
     dirty_bytes: int
     dirty_expire_centisecs: int
+    dirty_writeback_centisecs: int = 0
 
 
 @dataclass
@@ -115,8 +148,13 @@ class VmTunables:
     #: Hard limit: a writer crossing it blocks and writes back synchronously.
     dirty_bytes: int = 0
     #: Dirty data older than this (virtual centiseconds) is written back by
-    #: the periodic flusher wakeup (piggybacked on write activity).
+    #: the expiry check (piggybacked on write activity) and by the periodic
+    #: flusher wakeup.
     dirty_expire_centisecs: int = 0
+    #: Period (virtual centiseconds) of the kupdate-style flusher wakeup that
+    #: expires aged dirty data *independent of write activity* (a virtual
+    #: clock timer; see :meth:`WritebackEngine.retune`).  0 disables it.
+    dirty_writeback_centisecs: int = 0
     #: Percentage of modelled memory acting as the hard limit when
     #: ``dirty_bytes`` is 0.
     dirty_ratio: int = 0
@@ -139,7 +177,8 @@ class VmTunables:
             dirty = mem_total_bytes * self.dirty_ratio // 100
         return ResolvedVmLimits(dirty_background_bytes=background,
                                 dirty_bytes=dirty,
-                                dirty_expire_centisecs=self.dirty_expire_centisecs)
+                                dirty_expire_centisecs=self.dirty_expire_centisecs,
+                                dirty_writeback_centisecs=self.dirty_writeback_centisecs)
 
     def as_dict(self) -> dict[str, int]:
         """The knobs as a plain dict (reports, benchmarks)."""
@@ -147,6 +186,7 @@ class VmTunables:
             "dirty_background_bytes": self.dirty_background_bytes,
             "dirty_bytes": self.dirty_bytes,
             "dirty_expire_centisecs": self.dirty_expire_centisecs,
+            "dirty_writeback_centisecs": self.dirty_writeback_centisecs,
             "dirty_ratio": self.dirty_ratio,
             "dirty_background_ratio": self.dirty_background_ratio,
         }
@@ -158,7 +198,10 @@ class BdiStats:
 
     shaped_flushes: int = 0          # flushes that paid a bandwidth cost
     shaped_bytes: int = 0            # bytes pushed through the shaper
-    busy_ns: int = 0                 # virtual time spent in the shaper
+    busy_ns: int = 0                 # virtual time spent in the write shaper
+    shaped_reads: int = 0            # read fetches that paid a bandwidth cost
+    shaped_read_bytes: int = 0       # bytes pulled through the read shaper
+    read_busy_ns: int = 0            # virtual time spent in the read shaper
 
 
 class BacklogDeviceInfo:
@@ -170,12 +213,31 @@ class BacklogDeviceInfo:
     bandwidth of ``0`` (the default) means "unshaped": the flush costs exactly
     what the per-fs callback charged, which is how the pre-BDI engine behaved
     and what keeps the default benchmarks byte-identical.
+
+    The read side mirrors it: ``read_bandwidth_bytes_s`` shapes cache-miss
+    fetches on the ext4/FUSE read paths (0 = unshaped), and ``read_ahead_kb``
+    is the per-device readahead window — the ``/sys/class/bdi/<dev>/
+    read_ahead_kb`` knob.  ``None`` (the default) means "the filesystem's own
+    default window" (``default_read_ahead_bytes``: the FUSE mount's exact
+    ``max_readahead``, no readahead for ext4), so untouched devices behave
+    byte-identically to the pre-knob code even for windows that are not
+    whole KiB.
     """
 
-    def __init__(self, name: str, write_bandwidth_bytes_s: int = 0) -> None:
+    def __init__(self, name: str, write_bandwidth_bytes_s: int = 0,
+                 read_bandwidth_bytes_s: int = 0,
+                 read_ahead_kb: int | None = None,
+                 default_read_ahead_bytes: int = 0) -> None:
         self.name = name
         #: Modelled device write bandwidth in bytes/second (0 = unshaped).
         self.write_bandwidth_bytes_s = write_bandwidth_bytes_s
+        #: Modelled device read bandwidth in bytes/second (0 = unshaped).
+        self.read_bandwidth_bytes_s = read_bandwidth_bytes_s
+        #: Per-device readahead window in KiB (None = filesystem default).
+        self.read_ahead_kb = read_ahead_kb
+        #: The filesystem's own window, in exact bytes, used until the sysfs
+        #: knob is written.
+        self.default_read_ahead_bytes = default_read_ahead_bytes
         self.stats = BdiStats()
 
     def write_cost_ns(self, nbytes: int) -> int:
@@ -193,6 +255,30 @@ class BacklogDeviceInfo:
             self.stats.shaped_bytes += nbytes
             self.stats.busy_ns += cost
         return cost
+
+    def read_cost_ns(self, nbytes: int) -> int:
+        """Virtual nanoseconds the shaper charges for fetching ``nbytes``."""
+        if self.read_bandwidth_bytes_s <= 0 or nbytes <= 0:
+            return 0
+        return nbytes * 1_000_000_000 // self.read_bandwidth_bytes_s
+
+    def charge_read(self, clock: VirtualClock | None, nbytes: int) -> int:
+        """Apply the read-bandwidth shaping for one cache-miss fetch."""
+        cost = self.read_cost_ns(nbytes)
+        if cost and clock is not None:
+            clock.advance(cost)
+            self.stats.shaped_reads += 1
+            self.stats.shaped_read_bytes += nbytes
+            self.stats.read_busy_ns += cost
+        return cost
+
+    @property
+    def read_ahead_bytes(self) -> int:
+        """The effective readahead window in bytes: the sysfs knob when
+        written, else the filesystem's exact default."""
+        if self.read_ahead_kb is None:
+            return self.default_read_ahead_bytes
+        return self.read_ahead_kb << 10
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"BacklogDeviceInfo({self.name!r}, "
@@ -255,6 +341,9 @@ class WritebackEngine:
         self._first_dirty_ns: dict[int, int] = {}
         #: Re-entrancy latch: a flush_fn must not trigger nested flushes.
         self._flushing = False
+        #: The armed kupdate timer (dirty_writeback_centisecs), if any.
+        self._flusher_timer = None
+        self._arm_periodic_flusher()
 
     # ------------------------------------------------------------- inspection
     @property
@@ -355,6 +444,52 @@ class WritebackEngine:
             self.bdi.charge(self.clock, flushed)
         return flushed
 
+    # ------------------------------------------------------- periodic flusher
+    def retune(self) -> None:
+        """Re-apply tunables that need active re-arming (the periodic flusher).
+
+        Called by :meth:`VmSysctl.set`/:meth:`VmSysctl.register` after knob
+        writes; cheap enough to call unconditionally.
+        """
+        self._arm_periodic_flusher()
+
+    def disarm_periodic_flusher(self) -> None:
+        """Stop the kupdate timer (unmount): a detached engine must not keep
+        firing on — and charging flush costs into — the shared clock.
+        Re-registering re-arms via :meth:`retune`."""
+        if self._flusher_timer is not None:
+            self._flusher_timer.cancel()
+            self._flusher_timer = None
+
+    def _arm_periodic_flusher(self) -> None:
+        self.disarm_periodic_flusher()
+        period = self.tunables.dirty_writeback_centisecs
+        if period > 0 and self.clock is not None:
+            self._flusher_timer = self.clock.schedule(
+                self.clock.now_ns + period * CENTISEC_NS, self._periodic_tick)
+
+    def _periodic_tick(self, now_ns: int) -> None:
+        """One kupdate wakeup: write back aged dirty data, then re-arm.
+
+        Dirty data older than ``dirty_expire_centisecs`` is flushed; with
+        expiry disabled the wakeup period itself is the age threshold (the
+        two are coupled in Linux too — kupdate exists to enforce the expiry
+        without write activity).  Runs *on the virtual clock*: whoever
+        advances time past the deadline fires the tick, no writes required.
+        """
+        self._flusher_timer = None
+        period = self.tunables.dirty_writeback_centisecs
+        if period <= 0:
+            return
+        if not self._flushing and self._first_dirty_ns:
+            expire = self.effective_limits().dirty_expire_centisecs or period
+            deadline = now_ns - expire * CENTISEC_NS
+            expired = [ino for ino, born in self._first_dirty_ns.items()
+                       if born <= deadline]
+            for ino in expired:
+                self.flush(ino, reason=WB_REASON_PERIODIC)
+        self._arm_periodic_flusher()
+
     def _run_flushers(self) -> None:
         """Evaluate the thresholds, oldest-first: expiry, hard limit, background."""
         if self._flushing:
@@ -374,34 +509,72 @@ class WritebackEngine:
             self.flush(reason=WB_REASON_BACKGROUND)
 
 
+@dataclass
+class ReclaimStats:
+    """Memory-pressure reclaim accounting (kernel-wide, on :class:`VmSysctl`)."""
+
+    reclaims: int = 0              # balance passes that reclaimed something
+    pages_dropped: int = 0         # clean pages dropped without writeback
+    pages_flushed: int = 0         # dirty pages flushed via their engine, then dropped
+    bytes_reclaimed: int = 0       # total bytes freed by reclaim
+    dcache_shrinks: int = 0        # dentry caches shrunk under vfs_cache_pressure
+
+    @property
+    def pages_reclaimed(self) -> int:
+        """Every reclaimed page was either dropped clean or flushed first."""
+        return self.pages_dropped + self.pages_flushed
+
+
 class VmSysctl:
     """The kernel-wide ``/proc/sys/vm`` knobs and the memory model behind them.
 
     Mounting a filesystem registers it here (see ``Syscalls.mount``): its
-    writeback engine comes under the kernel-wide ``vm.dirty_*`` knobs and the
-    filesystem itself becomes reachable from ``/proc/sys/vm/drop_caches``.
-    Writing a knob applies it to every registered tunable engine at once, like
-    Linux's single global writeback control.  Until a knob is written it reads
-    as ``0``, meaning "each filesystem uses its own default thresholds".
+    writeback engine comes under the kernel-wide ``vm.dirty_*`` knobs, its
+    page cache joins the shared LRU age space and memory budget, its BDI
+    appears under ``/sys/class/bdi`` and the filesystem itself becomes
+    reachable from ``/proc/sys/vm/drop_caches``.  Writing a knob applies it
+    to every registered tunable engine at once, like Linux's single global
+    writeback control.  Until a knob is written it reads as ``0``, meaning
+    "each filesystem uses its own default thresholds" (``vfs_cache_pressure``
+    defaults to Linux's 100 instead).
 
     ``VmSysctl`` is also the single source of truth for the memory model:
-    ``/proc/meminfo`` is rendered from :meth:`meminfo_text` and the ratio
-    knobs resolve against the same shared :class:`MemInfo`, so no reader can
-    observe the two disagreeing.
+    ``/proc/meminfo`` is rendered from :meth:`meminfo_text`, the ratio knobs
+    resolve against the same shared :class:`MemInfo`, and the reclaim budget
+    (:meth:`cache_budget_bytes`) is exactly the rendered ``MemAvailable`` —
+    so no reader can observe any two of the surfaces disagreeing.
     """
 
     KNOBS = ("dirty_background_bytes", "dirty_background_ratio", "dirty_bytes",
-             "dirty_expire_centisecs", "dirty_ratio")
+             "dirty_expire_centisecs", "dirty_ratio",
+             "dirty_writeback_centisecs", "vfs_cache_pressure")
     #: Knobs expressed as a percentage of modelled memory.
     RATIO_KNOBS = ("dirty_background_ratio", "dirty_ratio")
+    #: Knobs propagated to every registered engine's VmTunables; the rest
+    #: (vfs_cache_pressure) are kernel-global and live only here.
+    ENGINE_KNOBS = ("dirty_background_bytes", "dirty_background_ratio",
+                    "dirty_bytes", "dirty_expire_centisecs", "dirty_ratio",
+                    "dirty_writeback_centisecs")
+    #: Unwritten-knob read values where "0" is not the Linux default.
+    DEFAULT_KNOBS = {"vfs_cache_pressure": 100}
 
     def __init__(self, meminfo: MemInfo | None = None) -> None:
         self.meminfo = meminfo or MemInfo()
         self._engines: list[WritebackEngine] = []
         self._filesystems: list["Filesystem"] = []
+        self._bdis: dict[str, BacklogDeviceInfo] = {}
         self._overrides: dict[str, int] = {}
         #: Last value written to /proc/sys/vm/drop_caches (Linux shows it back).
         self.drop_caches_last = 0
+        #: Shared extent sequence source: every registered page cache adopts
+        #: it, making extent ages comparable across filesystems (the global
+        #: LRU reclaim order).
+        self._page_seq = SeqCounter()
+        self.reclaim_stats = ReclaimStats()
+        self._balancing = False
+        #: vfs_cache_pressure accumulator: 100 points = one dcache shrink.
+        self._dcache_debt = 0
+        self._dcache_rr = 0
 
     # ------------------------------------------------------------ registration
     def register(self, engine: WritebackEngine) -> None:
@@ -411,20 +584,41 @@ class VmSysctl:
         self._engines.append(engine)
         engine.meminfo = self.meminfo
         for knob, value in self._overrides.items():
-            setattr(engine.tunables, knob, value)
+            if knob in self.ENGINE_KNOBS:
+                setattr(engine.tunables, knob, value)
+        engine.retune()
+        if engine.bdi is not None and \
+                self._bdis.get(engine.bdi.name) is not engine.bdi:
+            # Disambiguate colliding device names (two mounts constructed
+            # with the same fs name) so every live device stays reachable
+            # from /sys/class/bdi; the BDI's own name follows its sysfs key.
+            name, n = engine.bdi.name, 1
+            while engine.bdi.name in self._bdis:
+                engine.bdi.name = f"{name}-{n}"
+                n += 1
+            self._bdis[engine.bdi.name] = engine.bdi
 
     def unregister(self, engine: WritebackEngine) -> None:
         """Detach an engine (unmount)."""
         if engine in self._engines:
             self._engines.remove(engine)
+            engine.disarm_periodic_flusher()
+        if engine.bdi is not None and \
+                self._bdis.get(engine.bdi.name) is engine.bdi:
+            del self._bdis[engine.bdi.name]
 
     def register_fs(self, fs: "Filesystem") -> None:
-        """Register a mounted filesystem: drop_caches reach + engine knobs."""
+        """Register a mounted filesystem: drop_caches reach, engine knobs,
+        shared LRU age space and the kernel-wide memory budget."""
         if fs not in self._filesystems:
             self._filesystems.append(fs)
         engine = getattr(fs, "writeback", None)
         if engine is not None:
             self.register(engine)
+        cache = getattr(fs, "page_cache", None)
+        if cache is not None:
+            cache.share_seq_counter(self._page_seq)
+            cache.pressure = self
 
     def unregister_fs(self, fs: "Filesystem") -> None:
         """Unregister a filesystem whose last mount went away."""
@@ -433,6 +627,9 @@ class VmSysctl:
         engine = getattr(fs, "writeback", None)
         if engine is not None:
             self.unregister(engine)
+        cache = getattr(fs, "page_cache", None)
+        if cache is not None and cache.pressure is self:
+            cache.pressure = None
 
     def engines(self) -> list[WritebackEngine]:
         """The registered engines (reports / debugging)."""
@@ -442,12 +639,16 @@ class VmSysctl:
         """The registered filesystems (reports / debugging)."""
         return list(self._filesystems)
 
+    def bdis(self) -> dict[str, BacklogDeviceInfo]:
+        """Registered backing devices by name (the /sys/class/bdi surface)."""
+        return dict(self._bdis)
+
     # ------------------------------------------------------------ knob access
     def get(self, knob: str) -> int:
         """Current kernel-wide value (0 = per-filesystem defaults in effect)."""
         if knob not in self.KNOBS:
             raise FsError.enoent(f"vm.{knob}")
-        return self._overrides.get(knob, 0)
+        return self._overrides.get(knob, self.DEFAULT_KNOBS.get(knob, 0))
 
     def set(self, knob: str, value: int) -> None:
         """Write a knob, retuning every registered engine."""
@@ -456,8 +657,32 @@ class VmSysctl:
         if value < 0 or (knob in self.RATIO_KNOBS and value > 100):
             raise FsError.einval(f"vm.{knob} = {value}")
         self._overrides[knob] = value
+        if knob not in self.ENGINE_KNOBS:
+            return
         for engine in self._engines:
             setattr(engine.tunables, knob, value)
+            if knob == "dirty_writeback_centisecs":
+                engine.retune()
+
+    def snapshot(self) -> dict:
+        """Capture the retunable state (knob overrides + per-engine tunables).
+
+        Conformance tests retune the kernel-wide knobs mid-run and must put
+        the shared machine back exactly as found; restoring overrides alone
+        is not enough because writing a knob overwrites each engine's per-fs
+        default (e.g. the FUSE client's 128 KiB background threshold).
+        """
+        return {"overrides": dict(self._overrides),
+                "engines": [(engine, engine.tunables.as_dict())
+                            for engine in self._engines]}
+
+    def restore(self, state: dict) -> None:
+        """Undo knob writes made since the matching :meth:`snapshot`."""
+        self._overrides = dict(state["overrides"])
+        for engine, knobs in state["engines"]:
+            for knob, value in knobs.items():
+                setattr(engine.tunables, knob, value)
+            engine.retune()
 
     # ------------------------------------------------------------ drop_caches
     def drop_caches(self, mode: int) -> None:
@@ -467,6 +692,98 @@ class VmSysctl:
         self.drop_caches_last = mode
         for fs in list(self._filesystems):
             fs.drop_caches(mode)
+
+    # ------------------------------------------------------------ reclaim
+    def cache_budget_bytes(self) -> int | None:
+        """Bytes the registered page caches may collectively hold.
+
+        ``None`` means reclaim is disabled (unbounded budget, the default).
+        The formula is exactly the rendered ``MemAvailable``
+        (``total − reserved − Dirty``): keeping ``Cached`` at or under it is
+        the same statement as ``MemFree`` never going negative, so the budget
+        and ``/proc/meminfo`` cannot disagree.
+        """
+        if not self.meminfo.reclaim_enabled:
+            return None
+        return max(0, self.meminfo.total_bytes - self.meminfo.reserved_bytes
+                   - self.dirty_bytes_total())
+
+    def balance(self) -> int:
+        """Reclaim until the page caches fit the memory budget.
+
+        Called by every registered page cache after growth.  Victims are the
+        globally LRU-oldest extents across all registered filesystems (their
+        caches share one sequence counter): clean pages are dropped, dirty
+        pages are flushed through the owning engine first
+        (``WB_REASON_RECLAIM``) — which also shrinks ``Dirty`` and thereby
+        *grows* the live budget, so the loop re-reads both every iteration.
+        Each pass that reclaimed something accumulates ``vfs_cache_pressure``
+        dcache-shrink debt.  Returns the bytes reclaimed.
+        """
+        if self._balancing:
+            return 0
+        budget = self.cache_budget_bytes()
+        if budget is None or self.cached_bytes_total() <= budget:
+            return 0
+        self._balancing = True
+        try:
+            freed = 0
+            while True:
+                budget = self.cache_budget_bytes()
+                excess = self.cached_bytes_total() - budget
+                if excess <= 0:
+                    break
+                victim = None
+                best_seq = None
+                for fs in self._filesystems:
+                    cache = getattr(fs, "page_cache", None)
+                    if cache is None:
+                        continue
+                    seq = cache.oldest_seq()
+                    if seq is not None and (best_seq is None or seq < best_seq):
+                        best_seq, victim = seq, fs
+                if victim is None:
+                    break
+                cache = victim.page_cache
+                engine = getattr(victim, "writeback", None)
+
+                def flush_inode(ino: int, _engine=engine) -> None:
+                    if _engine is not None:
+                        _engine.flush(ino, reason=WB_REASON_RECLAIM)
+
+                want = -(-excess // cache.page_size)
+                clean, flushed = cache.reclaim_oldest(want, flush_inode)
+                if clean == 0 and flushed == 0:
+                    break
+                self.reclaim_stats.pages_dropped += clean
+                self.reclaim_stats.pages_flushed += flushed
+                freed += (clean + flushed) * cache.page_size
+            if freed:
+                self.reclaim_stats.reclaims += 1
+                self.reclaim_stats.bytes_reclaimed += freed
+                self._shrink_dcache()
+            return freed
+        finally:
+            self._balancing = False
+
+    def _shrink_dcache(self) -> None:
+        """Apply ``vm.vfs_cache_pressure`` after a reclaim pass.
+
+        Debt accumulates ``pressure`` points per pass; every 100 points
+        shrinks one registered filesystem's dentry cache (round-robin), so
+        ``0`` never touches dentries, 100 (the Linux default) shrinks one per
+        pass and 200 shrinks two.
+        """
+        pressure = self.get("vfs_cache_pressure")
+        if pressure <= 0 or not self._filesystems:
+            return
+        self._dcache_debt += pressure
+        while self._dcache_debt >= 100:
+            self._dcache_debt -= 100
+            fs = self._filesystems[self._dcache_rr % len(self._filesystems)]
+            self._dcache_rr += 1
+            fs.drop_caches(DROP_SLAB)
+            self.reclaim_stats.dcache_shrinks += 1
 
     # ------------------------------------------------------------ /proc/meminfo
     def dirty_bytes_total(self) -> int:

@@ -87,8 +87,13 @@ class FuseClientFs(Filesystem):
         self._entry_cache: dict[tuple[int, str], int] = {}
         self._attr_fresh: set[int] = set()
         #: The FUSE connection is this filesystem's "backing device"; its BDI
-        #: shapes writeback flushes when given a modelled bandwidth.
-        self.bdi = BacklogDeviceInfo(f"{name}-fuse-conn")
+        #: shapes writeback flushes (and, with a read bandwidth, cache-miss
+        #: fetches) when given a modelled bandwidth.  Its readahead window
+        #: defaults to the mount's exact max_readahead and is retunable per
+        #: device through /sys/class/bdi/<dev>/read_ahead_kb.
+        self.bdi = BacklogDeviceInfo(
+            f"{name}-fuse-conn",
+            default_read_ahead_bytes=self.options.max_readahead)
         #: The unified writeback engine; the default background threshold is
         #: the seed's aggregation limit, so flush points are byte-identical.
         self.writeback = WritebackEngine(
@@ -450,11 +455,15 @@ class FuseClientFs(Filesystem):
         if misses_bytes or self.options.direct_io:
             # Readahead: with FUSE_ASYNC_READ the kernel issues large
             # readahead-window requests, so subsequent sequential reads hit
-            # the page cache instead of paying one round trip per call.
-            if self.options.async_read and not self.options.direct_io:
-                fetch_size = max(size, self.options.max_readahead)
+            # the page cache instead of paying one round trip per call.  The
+            # window is the device's (/sys/class/bdi read_ahead_kb, falling
+            # back to the mount's max_readahead); 0 disables readahead.
+            readahead = self.bdi.read_ahead_bytes
+            if self.options.async_read and not self.options.direct_io \
+                    and readahead > 0:
+                fetch_size = max(size, readahead)
                 fetch_size = min(fetch_size, max(0, inode.size - offset))
-                granule = self.options.max_readahead
+                granule = readahead
             else:
                 fetch_size = size
                 granule = 4 * self.costs.page_size
@@ -470,6 +479,9 @@ class FuseClientFs(Filesystem):
                                        {"offset": offset, "size": fetch_size,
                                         "granule": granule},
                                        nreq, expected_reply_bytes=fetch_size)
+            # Read-side BDI shaping: the wire fetch pays bytes/bandwidth on
+            # top of the protocol costs (0 = unshaped, the default).
+            self.bdi.charge_read(self.clock, fetch_size)
             return bytes(reply.data[:size])
         # Full page-cache hit: fetch the bytes from the server without
         # charging a round trip (the data is already resident in the kernel;
@@ -508,8 +520,11 @@ class FuseClientFs(Filesystem):
                 args={"offset": offset, "size": size, "writeback": True},
                 payload=bytes(data)))
             # The engine accounts the dirty bytes and runs the simulated
-            # flusher threads against the vm.dirty_* thresholds.
+            # flusher threads against the vm.dirty_* thresholds; only then
+            # may memory pressure react (reclaim must find the pending
+            # counters so it can flush-before-drop).
             self.writeback.note_dirty(ino, size)
+            self.page_cache.balance_pressure()
         elif size:
             # Synchronous writes: one coalesced dispatch per extent, with the
             # max_write-sized request count computed by ceil-div; the granule
@@ -520,6 +535,7 @@ class FuseClientFs(Filesystem):
                                 "granule": self.options.max_write}, nreq,
                                payload=bytes(data))
             self.page_cache.write(ino, offset, size)
+            self.page_cache.balance_pressure()
         inode.data.truncate(max(inode.size, offset + size))
         inode.mtime_ns = self.clock.now_ns
         return size

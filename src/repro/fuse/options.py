@@ -43,7 +43,10 @@ class FuseMountOptions:
     entry_timeout_s: float = 1.0
     #: Maximum size of one WRITE request payload.
     max_write: int = 128 * 1024
-    #: Readahead window used when async_read is enabled.
+    #: Readahead window negotiated at INIT time; it seeds the mount's
+    #: per-device BDI knob (``/sys/class/bdi/<dev>/read_ahead_kb``), which is
+    #: what the read path actually consults — retuning the device knob at
+    #: runtime overrides this mount-time value, as on Linux.
     max_readahead: int = 128 * 1024
     #: Allow other users to access the mount (-o allow_other); Cntr needs it
     #: because the container application may run as a non-root uid.

@@ -198,6 +198,11 @@ def boot(cost_model: CostModel | None = None, tracer: Tracer | None = None,
     sc.mount(sysfs, "/sys")
     sc.makedirs("/sys/fs/cgroup")
     sc.makedirs("/sys/fs/fuse/connections")
+    # /sys/class/bdi: per-device writeback knobs (read_ahead_kb); devices
+    # appear here as their filesystems are mounted.
+    from repro.kernel.sysfs import BdiSysFS
+    sc.makedirs("/sys/class/bdi")
+    sc.mount(BdiSysFS("bdi-sysfs", kernel), "/sys/class/bdi")
 
     # Register the FUSE character-device driver (deferred import: the fuse
     # package depends on repro.kernel.objects but not on this module).

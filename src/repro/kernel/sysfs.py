@@ -1,0 +1,172 @@
+"""The ``/sys/class/bdi`` surface: per-device writeback/readahead knobs.
+
+Linux exposes every backing device's writeback state under
+``/sys/class/bdi/<dev>/``; the knob that matters for the reproduction is
+``read_ahead_kb``, the per-device readahead window that replaced the global
+``max_readahead`` constant on the ext4/FUSE read paths.  Devices appear here
+when their filesystem is mounted (``Syscalls.mount`` registers the
+filesystem — and thereby its engine's BDI — with :class:`VmSysctl`) and
+disappear at the last umount, exactly like ``/proc`` entries follow
+processes.
+
+Reads render the live knob value; writes retune the live
+:class:`repro.fs.writeback.BacklogDeviceInfo` object, so the next cache-miss
+fetch on that device uses the new window.  Invalid values are ``EINVAL``,
+matching the sysctl convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.fs.constants import FileMode
+from repro.fs.errors import FsError
+from repro.fs.filesystem import Filesystem
+from repro.fs.inode import DirectoryInode, Inode, RegularInode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fs.writeback import BacklogDeviceInfo
+    from repro.kernel.kernel import Kernel
+
+#: Files generated inside every ``/sys/class/bdi/<dev>`` directory.
+BDI_FILES = ("read_ahead_kb",)
+
+
+@dataclass(frozen=True)
+class BdiEntry:
+    """What a synthetic bdi-sysfs inode refers to."""
+
+    kind: str          # "root" | "bdidir" | "knob"
+    device: str        # bdi name ("" for the root)
+    name: str
+
+
+class BdiSysFS(Filesystem):
+    """The ``/sys/class/bdi`` directory, bound to the kernel's BDI registry."""
+
+    fs_type = "sysfs"
+    supports_direct_io = False
+    supports_export_handles = False
+    #: Device directories appear and disappear with mounts, without any
+    #: name-mutating filesystem call the dentry generation could track.
+    dcacheable = False
+
+    def __init__(self, name: str, kernel: "Kernel") -> None:
+        super().__init__(name, kernel.clock, kernel.costs, kernel.tracer,
+                         capacity_bytes=0)
+        self.kernel = kernel
+        self._entries: dict[int, BdiEntry] = {
+            self.root_ino: BdiEntry("root", "", "/")}
+        self._path_to_ino: dict[tuple[str, str, str], int] = {}
+
+    # ------------------------------------------------------------- plumbing
+    def _bdi(self, device: str) -> "BacklogDeviceInfo":
+        bdi = self.kernel.vm.bdis().get(device)
+        if bdi is None:
+            raise FsError.enoent(f"/sys/class/bdi/{device}")
+        return bdi
+
+    def _synthetic_inode(self, entry: BdiEntry) -> Inode:
+        key = (entry.kind, entry.device, entry.name)
+        ino = self._path_to_ino.get(key)
+        if ino is not None and ino in self._inodes:
+            return self._inodes[ino]
+        if entry.kind == "bdidir":
+            inode = DirectoryInode(ino=self._alloc_ino(),
+                                   mode=FileMode.S_IFDIR | 0o555)
+        else:
+            inode = RegularInode(ino=self._alloc_ino(),
+                                 mode=FileMode.S_IFREG | 0o644)
+        inode.fs_name = self.name
+        self._inodes[inode.ino] = inode
+        self._entries[inode.ino] = entry
+        self._path_to_ino[key] = inode.ino
+        return inode
+
+    def entry_of(self, ino: int) -> BdiEntry:
+        """The synthetic entry behind an inode number."""
+        entry = self._entries.get(ino)
+        if entry is None:
+            raise FsError.estale(f"bdi sysfs ino {ino}")
+        return entry
+
+    def _generate(self, entry: BdiEntry) -> bytes:
+        bdi = self._bdi(entry.device)
+        if entry.name == "read_ahead_kb":
+            # The effective window (knob, or the filesystem's default),
+            # rendered in KiB as Linux does.
+            return f"{bdi.read_ahead_bytes >> 10}\n".encode()
+        raise FsError.enoent(entry.name)
+
+    # ------------------------------------------------------------- fs interface
+    def lookup(self, dir_ino: int, name: str) -> Inode:
+        self._charge_metadata("lookup")
+        entry = self.entry_of(dir_ino)
+        if entry.kind == "root":
+            if name in self.kernel.vm.bdis():
+                return self._synthetic_inode(BdiEntry("bdidir", name, name))
+            raise FsError.enoent(name)
+        if entry.kind == "bdidir":
+            if name in BDI_FILES:
+                self._bdi(entry.device)          # ESTALE once the mount is gone
+                return self._synthetic_inode(BdiEntry("knob", entry.device, name))
+            raise FsError.enoent(name)
+        raise FsError.enotdir(name)
+
+    def readdir(self, dir_ino: int) -> list[tuple[str, int, int]]:
+        self._charge_metadata("readdir")
+        entry = self.entry_of(dir_ino)
+        out = [(".", dir_ino, int(FileMode.S_IFDIR)),
+               ("..", dir_ino, int(FileMode.S_IFDIR))]
+        if entry.kind == "root":
+            for device in self.kernel.vm.bdis():
+                inode = self._synthetic_inode(BdiEntry("bdidir", device, device))
+                out.append((device, inode.ino, int(FileMode.S_IFDIR)))
+        elif entry.kind == "bdidir":
+            for name in BDI_FILES:
+                inode = self._synthetic_inode(BdiEntry("knob", entry.device, name))
+                out.append((name, inode.ino, int(FileMode.S_IFREG)))
+        return out
+
+    def read(self, ino: int, offset: int, size: int) -> bytes:
+        entry = self.entry_of(ino)
+        if entry.kind != "knob":
+            raise FsError.eisdir(entry.name)
+        content = self._generate(entry)
+        self._charge_read(ino, offset, min(size, len(content)))
+        return content[offset:offset + size]
+
+    def getattr(self, ino: int):
+        self._charge_metadata("getattr")
+        inode = self.iget(ino)
+        entry = self._entries.get(ino)
+        if entry is not None and entry.kind == "knob" \
+                and isinstance(inode, RegularInode):
+            content = self._generate(entry)
+            inode.data.truncate(0)
+            inode.data.write(0, content)
+        return inode.stat(st_dev=self.fs_id)
+
+    def write(self, ino: int, offset: int, data: bytes) -> int:
+        entry = self._entries.get(ino)
+        if entry is None or entry.kind != "knob":
+            raise FsError.eacces("bdi sysfs directories are read-only")
+        text = data.decode("ascii", errors="replace").strip()
+        try:
+            value = int(text.split()[0]) if text else 0
+        except ValueError:
+            raise FsError.einval(f"bdi.{entry.name}: {text!r}") from None
+        if value < 0:
+            raise FsError.einval(f"bdi.{entry.name} = {value}")
+        self._charge_metadata("sysctl")
+        bdi = self._bdi(entry.device)
+        if entry.name == "read_ahead_kb":
+            bdi.read_ahead_kb = value
+        return len(data)
+
+    def truncate(self, ino: int, size: int) -> None:
+        # O_TRUNC on a knob file (shell `echo N >` idiom) is a no-op.
+        entry = self._entries.get(ino)
+        if entry is None or entry.kind != "knob":
+            raise FsError.eacces("bdi sysfs directories are read-only")

@@ -2,6 +2,26 @@
 
 from __future__ import annotations
 
+import heapq
+from typing import Callable
+
+_NEVER = 1 << 62
+
+
+class ClockTimer:
+    """A scheduled virtual-time callback (see :meth:`VirtualClock.schedule`)."""
+
+    __slots__ = ("deadline_ns", "callback", "cancelled")
+
+    def __init__(self, deadline_ns: int, callback: Callable[[int], None]) -> None:
+        self.deadline_ns = deadline_ns
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the timer from firing (lazy: the heap entry is skipped)."""
+        self.cancelled = True
+
 
 class VirtualClock:
     """Monotonic virtual clock.
@@ -9,12 +29,26 @@ class VirtualClock:
     The clock only moves when some component explicitly charges time against
     it, which keeps every experiment fully deterministic and independent of
     the speed of the machine running the reproduction.
+
+    Components may also :meth:`schedule` callbacks at virtual deadlines — the
+    mechanism behind the periodic writeback flusher (``kupdate``): a timer
+    fires during the first ``advance`` that reaches its deadline, modelling a
+    kernel thread waking concurrently with whatever charged that time.  A
+    callback may itself charge time; timers coming due from such nested
+    advances are fired after the running callback returns, never reentrantly,
+    so dispatch order stays deterministic (deadline, then creation order).
     """
 
     def __init__(self, start_ns: int = 0) -> None:
         if start_ns < 0:
             raise ValueError("clock cannot start in the past of epoch 0")
         self._now_ns = int(start_ns)
+        #: (deadline, seq, timer) min-heap; seq breaks deadline ties in
+        #: creation order, keeping dispatch deterministic.
+        self._timers: list[tuple[int, int, ClockTimer]] = []
+        self._timer_seq = 0
+        self._next_deadline = _NEVER
+        self._dispatching = False
 
     @property
     def now_ns(self) -> int:
@@ -31,7 +65,38 @@ class VirtualClock:
         if delta_ns < 0:
             raise ValueError(f"cannot advance clock by negative time: {delta_ns}")
         self._now_ns += int(delta_ns)
+        if self._now_ns >= self._next_deadline:
+            self._fire_due()
         return self._now_ns
+
+    # ------------------------------------------------------------------ timers
+    def schedule(self, deadline_ns: int, callback: Callable[[int], None]) -> ClockTimer:
+        """Run ``callback(now_ns)`` at the first advance reaching ``deadline_ns``.
+
+        Timers are one-shot; a periodic caller re-schedules from its callback.
+        A deadline already in the past fires on the next advance (never
+        synchronously inside ``schedule``), so scheduling is side-effect-free.
+        """
+        timer = ClockTimer(int(deadline_ns), callback)
+        heapq.heappush(self._timers, (timer.deadline_ns, self._timer_seq, timer))
+        self._timer_seq += 1
+        if timer.deadline_ns < self._next_deadline:
+            self._next_deadline = timer.deadline_ns
+        return timer
+
+    def _fire_due(self) -> None:
+        if self._dispatching:
+            return              # a running callback advanced the clock
+        self._dispatching = True
+        try:
+            while self._timers and self._timers[0][0] <= self._now_ns:
+                _, _, timer = heapq.heappop(self._timers)
+                if timer.cancelled:
+                    continue
+                timer.callback(self._now_ns)
+        finally:
+            self._dispatching = False
+            self._next_deadline = self._timers[0][0] if self._timers else _NEVER
 
     def elapsed_since(self, t0_ns: int) -> int:
         """Nanoseconds elapsed since ``t0_ns``."""

@@ -1,19 +1,24 @@
-"""The generic test group: 118 filesystem regression tests.
+"""The generic test group: 134 filesystem regression tests.
 
 Each test is registered with an xfstests-style number.  Four of them
 (generic/228, generic/375, generic/391, generic/426) reproduce the cases the
 paper reports as failing on CntrFS because of deliberate design decisions
 (RLIMIT_FSIZE not enforced, ACL-aware setgid clearing delegated to the backing
 store, O_DIRECT unsupported in favour of mmap, inodes not exportable by
-handle); the remaining 114 pass on both the native filesystem and CntrFS.
+handle); the remaining 130 pass on both the native filesystem and CntrFS.
 Generic 91-114 harden the writeback/caching surface grown by the
 memory-pressure model: fsync/fdatasync/O_SYNC durability, the procfs
 ``drop_caches`` file, truncate-vs-dirty-pages interactions, rename over open
-files and sparse hole/extent semantics.
+files and sparse hole/extent semantics.  Generic 115-130 pin the reclaim and
+read-shaping wave: the page-cache budget under ``MemAvailable``, LRU reclaim
+flushing dirty pages before dropping them, ``vfs_cache_pressure`` dcache
+shrinking, the ``dirty_writeback_centisecs`` periodic flusher, per-device
+``read_ahead_kb`` and read-bandwidth shaping, and sysctl input validation.
 """
 
 from __future__ import annotations
 
+import contextlib
 import errno
 
 from repro.fs.acl import AclTag, PosixAcl
@@ -1413,6 +1418,429 @@ def test_keep_size_prealloc_invisible_to_seek_hole(env):
         env.check_equal(env.sc.lseek(fd, 0, SeekWhence.SEEK_DATA), 0)
     finally:
         env.sc.close(fd)
+
+
+# ---------------------------------------------------------------------------
+# Reclaim and read shaping (generic/115-130)
+# ---------------------------------------------------------------------------
+@contextlib.contextmanager
+def _reclaim_budget(env, slack_bytes: int):
+    """Enable memory-pressure reclaim with ``slack_bytes`` of headroom above
+    the page caches' current footprint, restoring the machine afterwards."""
+    kernel = env.machine.kernel
+    mem, vm = kernel.mem, kernel.vm
+    saved = (mem.total_bytes, mem.reserved_bytes, mem.reclaim_enabled)
+    mem.reserved_bytes = 0
+    mem.total_bytes = (vm.cached_bytes_total() + vm.dirty_bytes_total()
+                       + slack_bytes)
+    mem.reclaim_enabled = True
+    try:
+        yield vm
+    finally:
+        mem.total_bytes, mem.reserved_bytes, mem.reclaim_enabled = saved
+
+
+@contextlib.contextmanager
+def _vm_knobs(env, **knobs):
+    """Write ``/proc/sys/vm`` knobs for the duration, restoring the per-engine
+    tunables exactly afterwards (the shared machine must stay untouched)."""
+    vm = env.machine.kernel.vm
+    state = vm.snapshot()
+    try:
+        for name, value in knobs.items():
+            fd = env.sc.open(f"/proc/sys/vm/{name}", OpenFlags.O_WRONLY)
+            try:
+                env.sc.write(fd, f"{value}\n".encode())
+            finally:
+                env.sc.close(fd)
+        yield vm
+    finally:
+        vm.restore(state)
+
+
+def _dirty_file(env, name: str, nbytes: int):
+    """Create a file of ``nbytes`` dirty bytes, keeping the descriptor open
+    (closing it is itself a flush point on the FUSE client)."""
+    fd = env.sc.open(env.path(name), CREAT_WR, 0o644)
+    env.sc.write(fd, b"m" * nbytes)
+    return fd, env.sc.fstat(fd).st_ino
+
+
+@generic(115, "auto", "quick", "reclaim")
+def test_cache_bounded_under_memavailable(env):
+    """The page caches never outgrow the MemAvailable budget once reclaim is
+    coupled to the memory model."""
+    vm = env.machine.kernel.vm
+    reclaimed_before = vm.reclaim_stats.pages_reclaimed
+    with _reclaim_budget(env, slack_bytes=256 << 10) as vm:
+        path = env.path("bounded")
+        env.create_file(path, b"R" * (1 << 20))     # 4x the slack
+        env.read_file(path)
+        budget = vm.cache_budget_bytes()
+        env.check(budget is not None, "reclaim budget is live")
+        env.check(vm.cached_bytes_total() <= budget,
+                  f"Cached {vm.cached_bytes_total()} exceeds the budget {budget}")
+        env.check(vm.reclaim_stats.pages_reclaimed > reclaimed_before,
+                  "growth beyond the budget reclaimed pages")
+
+
+@generic(116, "auto", "quick", "reclaim", "writeback")
+def test_reclaim_flushes_dirty_pages_before_dropping(env):
+    """Dirty victims are written back through their owning engine (reason
+    "reclaim") before the pages drop, and the data stays intact.
+
+    The background flusher is disabled and the caches start empty, so the
+    dirty data is both unflushed and the LRU-oldest when pressure arrives —
+    reclaim has no clean pages to hide behind.
+    """
+    vm = env.machine.kernel.vm
+    engine = env.fs_under_test.writeback
+    old_payload = b"".join(bytes([i % 251]) * 1024 for i in range(64))   # 64 KiB
+    big_payload = b"".join(bytes([i % 199]) * 1024 for i in range(512))  # 512 KiB
+    with _vm_knobs(env, dirty_background_bytes=0, dirty_bytes=0):
+        _echo_drop_caches(env, 3)
+        with _reclaim_budget(env, slack_bytes=128 << 10):
+            flushed_before = vm.reclaim_stats.pages_flushed
+            reclaim_before = engine.stats.flushes_by_reason.get("reclaim", 0)
+            old = env.path("dirty-victim-old")
+            fd_old = env.sc.open(old, CREAT_WR, 0o644)
+            try:
+                env.sc.write(fd_old, old_payload)      # oldest + dirty
+                big = env.path("dirty-victim-big")
+                env.create_file(big, big_payload)      # pressure
+                env.check(vm.reclaim_stats.pages_flushed > flushed_before,
+                          "reclaim flushed dirty pages before dropping them")
+                env.check(engine.stats.flushes_by_reason.get("reclaim", 0)
+                          > reclaim_before,
+                          "the owning engine saw reclaim-reason flushes")
+                env.check_equal(env.read_file(old), old_payload,
+                                "reclaimed dirty data reads back intact")
+                env.check_equal(env.read_file(big), big_payload,
+                                "the pressure workload reads back intact")
+            finally:
+                env.sc.close(fd_old)
+
+
+@generic(117, "auto", "quick", "reclaim", "caching")
+def test_drop_caches_vs_reclaim_interaction(env):
+    """drop_caches empties the caches below the budget; writes that stay
+    inside the freed headroom then proceed without further reclaim."""
+    with _reclaim_budget(env, slack_bytes=512 << 10) as vm:
+        passes_start = vm.reclaim_stats.reclaims
+        env.create_file(env.path("pressure-a"), b"A" * (1 << 20))
+        env.check(vm.reclaim_stats.reclaims > passes_start,
+                  "outgrowing the budget reclaims")
+        _echo_drop_caches(env, 1)
+        env.check_equal(vm.cached_bytes_total(), 0,
+                        "drop_caches leaves no resident pages")
+        passes_before = vm.reclaim_stats.reclaims
+        env.create_file(env.path("pressure-b"), b"B" * (64 << 10))
+        env.check_equal(vm.reclaim_stats.reclaims, passes_before,
+                        "writes inside the freed headroom do not reclaim")
+    # Re-tightening the budget around the new, smaller footprint puts the
+    # caches back under pressure immediately.
+    with _reclaim_budget(env, slack_bytes=64 << 10) as vm:
+        passes_before = vm.reclaim_stats.reclaims
+        env.create_file(env.path("pressure-c"), b"C" * (512 << 10))
+        env.check(vm.reclaim_stats.reclaims > passes_before,
+                  "a re-tightened budget reclaims again")
+
+
+@generic(118, "auto", "quick", "writeback", "reclaim")
+def test_periodic_flusher_expires_aged_dirty_data(env):
+    """vm.dirty_writeback_centisecs wakes the flusher on the virtual clock:
+    aged dirty data is written back with *no* further write activity."""
+    clock = env.machine.clock
+    engine = env.fs_under_test.writeback
+    with _vm_knobs(env, dirty_writeback_centisecs=5):
+        fd, ino = _dirty_file(env, "aged", 32 << 10)
+        try:
+            env.check(engine.pending(ino) > 0, "write left dirty bytes pending")
+            clock.advance(11 * 10_000_000)       # > 2 periods, zero writes
+            env.check_equal(engine.pending(ino), 0,
+                            "the periodic wakeup flushed the aged data")
+            env.check(engine.stats.flushes_by_reason.get("periodic", 0) >= 1,
+                      "the flush is attributed to the periodic flusher")
+        finally:
+            env.sc.close(fd)
+
+
+@generic(119, "auto", "quick", "writeback")
+def test_periodic_flusher_zero_disables(env):
+    """dirty_writeback_centisecs=0 (the default) never flushes on idle time."""
+    clock = env.machine.clock
+    engine = env.fs_under_test.writeback
+    fd, ino = _dirty_file(env, "idle", 32 << 10)
+    try:
+        pending = engine.pending(ino)
+        env.check(pending > 0, "write left dirty bytes pending")
+        clock.advance(10_000_000_000)            # 10 virtual seconds idle
+        env.check_equal(engine.pending(ino), pending,
+                        "no wakeup fires while the knob is 0")
+    finally:
+        env.sc.close(fd)
+
+
+@generic(120, "auto", "quick", "writeback")
+def test_periodic_flusher_honours_expire_age(env):
+    """With both knobs set, the wakeup only writes back data older than
+    dirty_expire_centisecs — younger data survives the ticks."""
+    clock = env.machine.clock
+    engine = env.fs_under_test.writeback
+    with _vm_knobs(env, dirty_writeback_centisecs=2, dirty_expire_centisecs=10):
+        fd, ino = _dirty_file(env, "young", 32 << 10)
+        try:
+            clock.advance(5 * 10_000_000)        # two ticks, data aged 5cs
+            env.check(engine.pending(ino) > 0,
+                      "data younger than the expiry survives the ticks")
+            clock.advance(7 * 10_000_000)        # now aged past 10cs
+            env.check_equal(engine.pending(ino), 0,
+                            "the next tick expires it")
+        finally:
+            env.sc.close(fd)
+
+
+@generic(121, "auto", "quick", "sysctl")
+def test_invalid_vm_sysctl_values_einval(env):
+    """Out-of-range and non-numeric sysctl writes fail with EINVAL and leave
+    the knob untouched."""
+    for knob, payload in (("dirty_ratio", b"101"),
+                          ("dirty_background_ratio", b"-1"),
+                          ("dirty_writeback_centisecs", b"-5"),
+                          ("vfs_cache_pressure", b"-100"),
+                          ("dirty_writeback_centisecs", b"not-a-number")):
+        before = env.machine.kernel.vm.get(knob)
+        fd = env.sc.open(f"/proc/sys/vm/{knob}", OpenFlags.O_WRONLY)
+        try:
+            env.check_errno(errno.EINVAL, env.sc.write, fd, payload)
+        finally:
+            env.sc.close(fd)
+        env.check_equal(env.machine.kernel.vm.get(knob), before,
+                        f"rejected write left vm.{knob} untouched")
+
+
+@generic(122, "auto", "quick", "reclaim", "caching")
+def test_vfs_cache_pressure_weights_dcache_shrinking(env):
+    """vfs_cache_pressure=0 never shrinks dentries during reclaim; the
+    default pressure of 100 shrinks one dentry cache per reclaim pass."""
+    vm = env.machine.kernel.vm
+    with _vm_knobs(env, vfs_cache_pressure=0):
+        with _reclaim_budget(env, slack_bytes=128 << 10):
+            shrinks_before = vm.reclaim_stats.dcache_shrinks
+            passes_before = vm.reclaim_stats.reclaims
+            env.create_file(env.path("nopressure"), b"D" * (512 << 10))
+            env.check(vm.reclaim_stats.reclaims > passes_before,
+                      "the write forced a reclaim pass")
+            env.check_equal(vm.reclaim_stats.dcache_shrinks, shrinks_before,
+                            "pressure 0 leaves every dentry cache alone")
+    with _vm_knobs(env, vfs_cache_pressure=100):
+        with _reclaim_budget(env, slack_bytes=128 << 10):
+            shrinks_before = vm.reclaim_stats.dcache_shrinks
+            env.create_file(env.path("pressure"), b"E" * (512 << 10))
+            env.check(vm.reclaim_stats.dcache_shrinks > shrinks_before,
+                      "pressure 100 shrinks dentry caches as pages reclaim")
+
+
+@generic(123, "auto", "quick", "reclaim")
+def test_reclaim_conservation(env):
+    """Every reclaimed page was either dropped clean or flushed first, and
+    the byte counter agrees with the page counters."""
+    vm = env.machine.kernel.vm
+    with _reclaim_budget(env, slack_bytes=128 << 10):
+        env.create_file(env.path("conserve"), b"F" * (768 << 10))
+    stats = vm.reclaim_stats
+    env.check_equal(stats.pages_reclaimed,
+                    stats.pages_dropped + stats.pages_flushed,
+                    "reclaimed == dropped-clean + flushed-dirty")
+    env.check_equal(stats.bytes_reclaimed, stats.pages_reclaimed * 4096,
+                    "byte and page accounting agree")
+
+
+@generic(124, "auto", "quick", "reclaim")
+def test_meminfo_coherent_under_pressure(env):
+    """/proc/meminfo renders the same state reclaim enforces: Cached matches
+    the registered caches and MemAvailable == MemFree + Cached."""
+    def meminfo_kb():
+        fd = env.sc.open("/proc/meminfo", OpenFlags.O_RDONLY)
+        try:
+            text = env.sc.read(fd, 1 << 14).decode()
+        finally:
+            env.sc.close(fd)
+        return {line.split(":")[0]: int(line.split()[1])
+                for line in text.splitlines()}
+
+    vm = env.machine.kernel.vm
+    with _reclaim_budget(env, slack_bytes=256 << 10):
+        env.create_file(env.path("coherent"), b"G" * (512 << 10))
+        fields = meminfo_kb()
+        env.check_equal(fields["Cached"], vm.cached_bytes_total() >> 10,
+                        "meminfo Cached matches the registered caches")
+        env.check_equal(fields["MemAvailable"],
+                        fields["MemFree"] + fields["Cached"],
+                        "MemAvailable == MemFree + Cached")
+        env.check_equal(fields["Dirty"], vm.dirty_bytes_total() >> 10,
+                        "meminfo Dirty matches the registered engines")
+
+
+def _bdi_and_sysfs_path(env):
+    """The fs-under-test's backing-device info and its /sys/class/bdi path."""
+    bdi = env.fs_under_test.writeback.bdi
+    return bdi, f"/sys/class/bdi/{bdi.name}/read_ahead_kb"
+
+
+def _count_shaped_fetches(env, path: str, chunk: int = 16 << 10) -> int:
+    """Cold sequential read of ``path`` in ``chunk``-sized preads, returning
+    the number of backing-device fetches (BDI shaped-read count)."""
+    bdi = env.fs_under_test.writeback.bdi
+    _echo_drop_caches(env, 1)
+    before = bdi.stats.shaped_reads
+    size = env.sc.stat(path).st_size
+    fd = env.sc.open(path, OpenFlags.O_RDONLY)
+    try:
+        offset = 0
+        while offset < size:
+            data = env.sc.pread(fd, chunk, offset)
+            if not data:
+                break
+            offset += len(data)
+    finally:
+        env.sc.close(fd)
+    return bdi.stats.shaped_reads - before
+
+
+@contextlib.contextmanager
+def _read_shaping(env, read_ahead_kb: int | None):
+    """Set the device's read bandwidth (so fetches are counted) and optionally
+    its read_ahead_kb through the sysfs file; restore both afterwards."""
+    bdi, knob_path = _bdi_and_sysfs_path(env)
+    saved = (bdi.read_bandwidth_bytes_s, bdi.read_ahead_kb)
+    bdi.read_bandwidth_bytes_s = 100 << 30          # ~free, but counted
+    try:
+        if read_ahead_kb is not None:
+            fd = env.sc.open(knob_path, OpenFlags.O_WRONLY)
+            try:
+                env.sc.write(fd, f"{read_ahead_kb}\n".encode())
+            finally:
+                env.sc.close(fd)
+        yield bdi
+    finally:
+        bdi.read_bandwidth_bytes_s, bdi.read_ahead_kb = saved
+
+
+@generic(125, "auto", "quick", "readahead")
+def test_per_device_read_ahead_honoured(env):
+    """/sys/class/bdi/<dev>/read_ahead_kb steers the sequential-read fetch
+    count: one backing fetch per readahead window."""
+    path = env.path("ra-honoured")
+    env.create_file(path, b"H" * (512 << 10))
+    fetches = {}
+    for window_kb in (64, 256):
+        with _read_shaping(env, read_ahead_kb=window_kb):
+            fetches[window_kb] = _count_shaped_fetches(env, path)
+    env.check_equal(fetches[64], 8, "512 KiB / 64 KiB windows = 8 fetches")
+    env.check_equal(fetches[256], 2, "512 KiB / 256 KiB windows = 2 fetches")
+
+
+@generic(126, "auto", "quick", "readahead")
+def test_read_ahead_zero_disables_readahead(env):
+    """read_ahead_kb=0 turns readahead off: every chunk read is a fetch."""
+    path = env.path("ra-off")
+    env.create_file(path, b"I" * (256 << 10))
+    with _read_shaping(env, read_ahead_kb=0):
+        fetches = _count_shaped_fetches(env, path, chunk=16 << 10)
+    env.check_equal(fetches, 16, "256 KiB in 16 KiB chunks = 16 fetches")
+
+
+@generic(127, "auto", "quick", "readahead", "sysctl")
+def test_read_ahead_sysfs_file_round_trip(env):
+    """The sysfs knob reads back what was written and rejects bad input."""
+    bdi, knob_path = _bdi_and_sysfs_path(env)
+    saved = bdi.read_ahead_kb
+
+    def read_knob() -> bytes:
+        fd = env.sc.open(knob_path, OpenFlags.O_RDONLY)
+        try:
+            return env.sc.read(fd, 64)
+        finally:
+            env.sc.close(fd)
+
+    try:
+        fd = env.sc.open(knob_path, OpenFlags.O_WRONLY)
+        try:
+            env.sc.write(fd, b"512\n")
+        finally:
+            env.sc.close(fd)
+        env.check_equal(read_knob(), b"512\n", "knob reads back the write")
+        env.check_equal(bdi.read_ahead_kb, 512, "the live BDI object follows")
+        for payload in (b"-1", b"words"):
+            fd = env.sc.open(knob_path, OpenFlags.O_WRONLY)
+            try:
+                env.check_errno(errno.EINVAL, env.sc.write, fd, payload)
+            finally:
+                env.sc.close(fd)
+        env.check_equal(bdi.read_ahead_kb, 512, "rejected writes change nothing")
+        env.check_errno(errno.ENOENT, env.sc.stat,
+                        "/sys/class/bdi/no-such-device/read_ahead_kb")
+    finally:
+        bdi.read_ahead_kb = saved
+
+
+@generic(128, "auto", "quick", "readahead")
+def test_read_bandwidth_shapes_cold_reads(env):
+    """A read bandwidth charges exactly bytes/bandwidth of virtual time on
+    cache-miss fetches; warm reads are never shaped."""
+    path = env.path("read-shaped")
+    env.create_file(path, b"J" * (256 << 10))
+    bdi = env.fs_under_test.writeback.bdi
+    saved = bdi.read_bandwidth_bytes_s
+    _echo_drop_caches(env, 1)
+    bdi.read_bandwidth_bytes_s = 50 << 20           # 50 MiB/s
+    try:
+        busy_before = bdi.stats.read_busy_ns
+        bytes_before = bdi.stats.shaped_read_bytes
+        env.read_file(path)
+        fetched = bdi.stats.shaped_read_bytes - bytes_before
+        env.check(fetched >= 256 << 10, "the cold read fetched the file")
+        env.check_equal(bdi.stats.read_busy_ns - busy_before,
+                        fetched * 1_000_000_000 // (50 << 20),
+                        "shaping charges exactly bytes/bandwidth")
+        warm_busy = bdi.stats.read_busy_ns
+        env.read_file(path)
+        env.check_equal(bdi.stats.read_busy_ns, warm_busy,
+                        "page-cache hits pay no read-bandwidth cost")
+    finally:
+        bdi.read_bandwidth_bytes_s = saved
+
+
+@generic(129, "auto", "quick", "reclaim")
+def test_unbounded_budget_never_reclaims(env):
+    """With reclaim disabled (the default) the budget reads as unbounded and
+    no workload ever touches the reclaim counters."""
+    vm = env.machine.kernel.vm
+    env.check(vm.cache_budget_bytes() is None, "default budget is unbounded")
+    stats_before = (vm.reclaim_stats.pages_reclaimed,
+                    vm.reclaim_stats.reclaims)
+    path = env.path("unbounded")
+    env.create_file(path, b"K" * (2 << 20))
+    env.read_file(path)
+    env.check_equal((vm.reclaim_stats.pages_reclaimed,
+                     vm.reclaim_stats.reclaims), stats_before,
+                    "no reclaim activity with an unbounded budget")
+
+
+@generic(130, "auto", "quick", "reclaim", "caching")
+def test_reclaim_then_drop_caches_settles_clean(env):
+    """After pressure, a full drop_caches leaves zero Cached bytes, the
+    budget trivially satisfied and every byte still readable."""
+    payload = b"".join(bytes([i % 199]) * 512 for i in range(1024))  # 512 KiB
+    with _reclaim_budget(env, slack_bytes=128 << 10) as vm:
+        path = env.path("settle")
+        env.create_file(path, payload)
+        _echo_drop_caches(env, 3)
+        env.check_equal(vm.cached_bytes_total(), 0, "drop emptied the caches")
+        budget = vm.cache_budget_bytes()
+        env.check(budget is not None and budget >= 0, "budget stays defined")
+        env.check_equal(env.read_file(path), payload, "content intact")
 
 
 # ---------------------------------------------------------------------------

@@ -186,10 +186,13 @@ class TestProcSysVm:
         names = sc.listdir("/proc/sys/vm")
         assert set(names) == {"dirty_background_bytes", "dirty_background_ratio",
                               "dirty_bytes", "dirty_expire_centisecs",
-                              "dirty_ratio", "drop_caches"}
-        # 0 means "per-filesystem defaults in effect".
+                              "dirty_ratio", "dirty_writeback_centisecs",
+                              "vfs_cache_pressure", "drop_caches"}
+        # 0 means "per-filesystem defaults in effect"; vfs_cache_pressure
+        # reads Linux's default of 100 instead.
         for name in names:
-            assert sc.read(sc.open(f"/proc/sys/vm/{name}"), 64) == b"0\n"
+            expected = b"100\n" if name == "vfs_cache_pressure" else b"0\n"
+            assert sc.read(sc.open(f"/proc/sys/vm/{name}"), 64) == expected
 
     def test_write_retunes_mounted_filesystems(self, machine):
         from repro.fs.constants import OpenFlags

@@ -213,6 +213,232 @@ class TestDropCachesProcfs:
         assert machine.rootfs in kernel.vm.filesystems()
 
 
+class TestReclaim:
+    @staticmethod
+    def _tighten(machine, slack_bytes):
+        kernel = machine.kernel
+        kernel.mem.reserved_bytes = 0
+        kernel.mem.total_bytes = (kernel.vm.cached_bytes_total()
+                                  + kernel.vm.dirty_bytes_total() + slack_bytes)
+        kernel.mem.reclaim_enabled = True
+
+    def test_budget_is_rendered_memavailable(self, machine):
+        """The reclaim budget and /proc/meminfo's MemAvailable are the same
+        number — one formula, two surfaces."""
+        self._tighten(machine, 1 << 20)
+        budget = machine.kernel.vm.cache_budget_bytes()
+        fields = _meminfo_kb(machine.syscalls)
+        assert budget >> 10 == fields["MemAvailable"]
+        assert fields["MemFree"] >= 0
+
+    def test_pressure_reclaims_to_budget(self, machine, syscalls):
+        self._tighten(machine, 256 << 10)
+        vm = machine.kernel.vm
+        fd = syscalls.open("/root/pressure.dat",
+                           OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        syscalls.write(fd, b"p" * (1 << 20))
+        syscalls.close(fd)
+        assert vm.reclaim_stats.pages_reclaimed > 0
+        assert vm.cached_bytes_total() <= vm.cache_budget_bytes()
+
+    def test_disabled_budget_reads_none(self, machine):
+        assert machine.kernel.vm.cache_budget_bytes() is None
+
+    def test_vfs_cache_pressure_debt_accumulator(self, machine, syscalls):
+        """Pressure 250 shrinks two dentry caches per pass and carries 50
+        points of debt into the next pass (deterministic weighting)."""
+        _write_proc(machine.syscalls, "/proc/sys/vm/vfs_cache_pressure", 250)
+        self._tighten(machine, 128 << 10)
+        vm = machine.kernel.vm
+        fd = syscalls.open("/root/dcache.dat",
+                           OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        syscalls.write(fd, b"d" * (512 << 10))
+        syscalls.close(fd)
+        passes = vm.reclaim_stats.reclaims
+        assert passes > 0
+        expected = (passes * 250) // 100
+        assert vm.reclaim_stats.dcache_shrinks == expected
+
+    def test_snapshot_restore_roundtrip(self, machine):
+        vm = machine.kernel.vm
+        default_background = \
+            machine.rootfs.writeback.tunables.dirty_background_bytes
+        state = vm.snapshot()
+        _write_proc(machine.syscalls, "/proc/sys/vm/dirty_background_bytes", 0)
+        _write_proc(machine.syscalls, "/proc/sys/vm/dirty_writeback_centisecs", 7)
+        assert machine.rootfs.writeback.tunables.dirty_background_bytes == 0
+        assert machine.rootfs.writeback._flusher_timer is not None
+        vm.restore(state)
+        assert machine.rootfs.writeback.tunables.dirty_background_bytes == \
+            default_background
+        assert machine.rootfs.writeback._flusher_timer is None
+        assert vm.get("dirty_writeback_centisecs") == 0
+
+
+class TestPeriodicFlusher:
+    def test_tick_flushes_without_write_activity(self, machine, syscalls):
+        _write_proc(machine.syscalls, "/proc/sys/vm/dirty_writeback_centisecs", 4)
+        engine = machine.rootfs.writeback
+        fd = syscalls.open("/root/kupdate.dat",
+                           OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        syscalls.write(fd, b"k" * (64 << 10))
+        ino = syscalls.fstat(fd).st_ino
+        assert engine.pending(ino) > 0
+        machine.clock.advance(9 * 10_000_000)     # two periods, zero writes
+        assert engine.pending(ino) == 0
+        assert engine.stats.flushes_by_reason.get("periodic", 0) >= 1
+        syscalls.close(fd)
+
+    def test_zero_keeps_the_flusher_asleep(self, machine, syscalls):
+        engine = machine.rootfs.writeback
+        fd = syscalls.open("/root/asleep.dat",
+                           OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        syscalls.write(fd, b"z" * (64 << 10))
+        ino = syscalls.fstat(fd).st_ino
+        machine.clock.advance(10_000_000_000)
+        assert engine.pending(ino) == 64 << 10
+        syscalls.close(fd)
+
+    def test_mounting_under_live_knob_arms_the_engine(self, machine, syscalls):
+        from repro.fs.ext4 import Ext4Fs
+
+        _write_proc(machine.syscalls, "/proc/sys/vm/dirty_writeback_centisecs", 5)
+        kernel = machine.kernel
+        extra = Ext4Fs("late-mount", kernel.clock, kernel.costs)
+        assert extra.writeback._flusher_timer is None
+        syscalls.makedirs("/mnt/late")
+        syscalls.mount(extra, "/mnt/late")
+        assert extra.writeback._flusher_timer is not None
+
+    def test_umount_disarms_the_flusher_timer(self, machine, syscalls):
+        """A detached engine must not keep firing on — and charging flush
+        costs into — the shared clock after its filesystem goes away."""
+        from repro.fs.ext4 import Ext4Fs
+
+        _write_proc(machine.syscalls, "/proc/sys/vm/dirty_writeback_centisecs", 5)
+        kernel = machine.kernel
+        extra = Ext4Fs("transient", kernel.clock, kernel.costs)
+        syscalls.makedirs("/mnt/transient")
+        syscalls.mount(extra, "/mnt/transient")
+        fd = syscalls.open("/mnt/transient/dirty.dat",
+                           OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        syscalls.write(fd, b"t" * 8192)
+        syscalls.close(fd)
+        syscalls.umount("/mnt/transient")
+        assert extra.writeback._flusher_timer is None
+        pending = extra.writeback.total_pending
+        machine.clock.advance(10 * 10_000_000)
+        assert extra.writeback.total_pending == pending
+        assert extra.writeback.stats.flushes_by_reason.get("periodic", 0) == 0
+
+
+class TestReadShaping:
+    def test_sysfs_directory_follows_mounts(self, machine, syscalls):
+        from repro.fs.ext4 import Ext4Fs
+
+        sc = machine.syscalls
+        names = sc.listdir("/sys/class/bdi")
+        assert machine.rootfs.device.bdi.name in names
+        kernel = machine.kernel
+        extra = Ext4Fs("bdi-probe", kernel.clock, kernel.costs)
+        syscalls.makedirs("/mnt/bdi-probe")
+        syscalls.mount(extra, "/mnt/bdi-probe")
+        assert extra.device.bdi.name in sc.listdir("/sys/class/bdi")
+        syscalls.umount("/mnt/bdi-probe")
+        assert extra.device.bdi.name not in sc.listdir("/sys/class/bdi")
+
+    def test_colliding_device_names_stay_reachable(self, machine, syscalls):
+        """Two mounts whose devices share a name both appear in
+        /sys/class/bdi (the second is disambiguated) and each file retunes
+        its own device."""
+        from repro.fs.ext4 import Ext4Fs
+
+        kernel = machine.kernel
+        twins = []
+        for mountpoint in ("/mnt/twin-a", "/mnt/twin-b"):
+            fs = Ext4Fs("twin", kernel.clock, kernel.costs)
+            syscalls.makedirs(mountpoint)
+            syscalls.mount(fs, mountpoint)
+            twins.append(fs)
+        names = {fs.device.bdi.name for fs in twins}
+        assert len(names) == 2
+        sc = machine.syscalls
+        listed = set(sc.listdir("/sys/class/bdi"))
+        assert names <= listed
+        fd = sc.open(f"/sys/class/bdi/{twins[1].device.bdi.name}/read_ahead_kb",
+                     OpenFlags.O_WRONLY)
+        sc.write(fd, b"64\n")
+        sc.close(fd)
+        assert twins[1].device.bdi.read_ahead_kb == 64
+        assert twins[0].device.bdi.read_ahead_kb is None
+
+    def test_non_kib_max_readahead_window_is_preserved(self, machine):
+        """The FUSE BDI falls back to the mount's *exact* max_readahead —
+        odd windows are neither floored to KiB nor silently disabled."""
+        from repro.fs.writeback import BacklogDeviceInfo
+
+        bdi = BacklogDeviceInfo("odd", default_read_ahead_bytes=512)
+        assert bdi.read_ahead_bytes == 512
+        bdi.read_ahead_kb = 4
+        assert bdi.read_ahead_bytes == 4096
+        bdi.read_ahead_kb = None
+        assert bdi.read_ahead_bytes == 512
+
+    def test_read_ahead_kb_write_retunes_the_device(self, machine):
+        sc = machine.syscalls
+        path = f"/sys/class/bdi/{machine.rootfs.device.bdi.name}/read_ahead_kb"
+        fd = sc.open(path, OpenFlags.O_WRONLY)
+        sc.write(fd, b"256\n")
+        sc.close(fd)
+        assert machine.rootfs.device.bdi.read_ahead_kb == 256
+        assert sc.read(sc.open(path), 64) == b"256\n"
+
+    def test_ext4_readahead_batches_sequential_misses(self, machine, syscalls):
+        rootfs = machine.rootfs
+        fd = syscalls.open("/root/ra.dat", OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        syscalls.write(fd, b"r" * (256 << 10))
+        syscalls.close(fd)
+
+        def cold_read_device_reads() -> int:
+            rootfs.drop_caches(1)
+            before = rootfs.device.stats.reads
+            rfd = syscalls.open("/root/ra.dat", OpenFlags.O_RDONLY)
+            for offset in range(0, 256 << 10, 16 << 10):
+                syscalls.pread(rfd, 16 << 10, offset)
+            syscalls.close(rfd)
+            return rootfs.device.stats.reads - before
+
+        unbatched = cold_read_device_reads()     # default: no readahead
+        rootfs.device.bdi.read_ahead_kb = 128
+        try:
+            batched = cold_read_device_reads()
+        finally:
+            rootfs.device.bdi.read_ahead_kb = None
+        assert unbatched == 16
+        assert batched == 2
+
+    def test_read_bandwidth_charges_exactly(self, machine, syscalls):
+        rootfs = machine.rootfs
+        fd = syscalls.open("/root/shaped-read.dat",
+                           OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        syscalls.write(fd, b"s" * (128 << 10))
+        syscalls.close(fd)
+        rootfs.drop_caches(1)
+        bdi = rootfs.device.bdi
+        bdi.read_bandwidth_bytes_s = 64 << 20
+        try:
+            before = machine.clock.now_ns
+            rfd = syscalls.open("/root/shaped-read.dat", OpenFlags.O_RDONLY)
+            syscalls.read(rfd, 128 << 10)
+            syscalls.close(rfd)
+            assert bdi.stats.shaped_read_bytes == 128 << 10
+            assert bdi.stats.read_busy_ns == \
+                (128 << 10) * 1_000_000_000 // (64 << 20)
+            assert machine.clock.now_ns - before >= bdi.stats.read_busy_ns
+        finally:
+            bdi.read_bandwidth_bytes_s = 0
+
+
 class TestSyncOpenFlags:
     def test_o_sync_write_flushes_pending(self, machine, syscalls):
         engine = machine.rootfs.writeback

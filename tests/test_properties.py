@@ -467,6 +467,157 @@ class TestMemoryPressureProperties:
         assert elapsed == busy
 
 
+class _PressureFs:
+    """A filesystem reduced to what the reclaim coordinator interacts with:
+    a page cache, a writeback engine whose flush cleans the cache, and the
+    note-dirty-then-balance write path of ext4/fuse."""
+
+    PAGE = 4096
+
+    def __init__(self, name, clock=None, background=0):
+        from repro.fs.writeback import VmTunables, WritebackEngine
+
+        self.page_cache = PageCache(page_size=self.PAGE)
+        self.writeback = WritebackEngine(
+            name, VmTunables(dirty_background_bytes=background),
+            self._flush, clock=clock)
+        self.dcache_drops = 0
+
+    def _flush(self, items, reason):
+        for ino, _pending in items:
+            self.page_cache.clean(ino)
+
+    def drop_caches(self, mode=3):
+        if mode & 2:
+            self.dcache_drops += 1
+
+    def write(self, ino, offset, size):
+        dirtied = self.page_cache.write(ino, offset, size)
+        self.writeback.note_dirty(ino, dirtied * self.PAGE)
+        self.page_cache.balance_pressure()
+
+    def read(self, ino, offset, size):
+        self.page_cache.access(ino, offset, size)
+
+
+class TestReclaimProperties:
+    """Issue invariants of the reclaim subsystem: conservation (dropped +
+    flushed == reclaimed, the cache never outgrows the budget), the
+    infinite-budget engine being observationally the seed engine, and the
+    periodic flusher matching the write-driven expiry on its period grid."""
+
+    _rw_ops = st.lists(
+        st.tuples(st.sampled_from(["write", "write", "read"]),
+                  st.integers(min_value=1, max_value=4),          # ino
+                  st.integers(min_value=0, max_value=64),         # page offset
+                  st.integers(min_value=1, max_value=32)),        # pages
+        min_size=1, max_size=40)
+
+    @staticmethod
+    def _vm(total_pages, reclaim=True):
+        from repro.fs.writeback import MemInfo, VmSysctl
+
+        mem = MemInfo(total_bytes=total_pages * _PressureFs.PAGE,
+                      reserved_bytes=0, reclaim_enabled=reclaim)
+        return VmSysctl(meminfo=mem)
+
+    @given(_rw_ops, st.integers(min_value=4, max_value=64))
+    @settings(max_examples=60, deadline=None)
+    def test_reclaim_conservation_and_budget(self, ops, budget_pages):
+        vm = self._vm(budget_pages)
+        filesystems = [_PressureFs("a"), _PressureFs("b")]
+        for fs in filesystems:
+            vm.register_fs(fs)
+        for kind, ino, page, pages in ops:
+            fs = filesystems[ino % 2]
+            if kind == "write":
+                fs.write(ino, page * fs.PAGE, pages * fs.PAGE)
+            else:
+                fs.read(ino, page * fs.PAGE, pages * fs.PAGE)
+            stats = vm.reclaim_stats
+            # Conservation: every reclaimed page was dropped clean or
+            # flushed first, and bytes agree with pages.
+            assert stats.pages_reclaimed == \
+                stats.pages_dropped + stats.pages_flushed
+            assert stats.bytes_reclaimed == \
+                stats.pages_reclaimed * _PressureFs.PAGE
+            # The budget bound: Cached never exceeds the live budget.
+            budget = vm.cache_budget_bytes()
+            assert budget is not None
+            assert vm.cached_bytes_total() <= budget
+            # Flushed-before-dropped: a reclaimed page can never leave
+            # pending bytes behind without dirty pages backing them, per fs.
+            for member in filesystems:
+                if member.page_cache.dirty_page_count() == 0:
+                    assert member.writeback.total_pending >= 0
+
+    @given(_rw_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_infinite_budget_is_observationally_the_seed_engine(self, ops):
+        """A reclaim-enabled kernel whose budget is never crossed behaves
+        byte-for-byte like one with reclaim disabled (the seed)."""
+        enabled = (self._vm(1 << 30, reclaim=True), _PressureFs("on"))
+        disabled = (self._vm(1 << 30, reclaim=False), _PressureFs("off"))
+        for vm, fs in (enabled, disabled):
+            vm.register_fs(fs)
+        for kind, ino, page, pages in ops:
+            for _vm_obj, fs in (enabled, disabled):
+                if kind == "write":
+                    fs.write(ino, page * fs.PAGE, pages * fs.PAGE)
+                else:
+                    fs.read(ino, page * fs.PAGE, pages * fs.PAGE)
+        fs_on, fs_off = enabled[1], disabled[1]
+        assert fs_on.page_cache.resident_pages() == \
+            fs_off.page_cache.resident_pages()
+        assert fs_on.page_cache.lru_order() == fs_off.page_cache.lru_order()
+        assert vars(fs_on.page_cache.stats) == vars(fs_off.page_cache.stats)
+        assert vars(fs_on.writeback.stats) == vars(fs_off.writeback.stats)
+        assert enabled[0].reclaim_stats.pages_reclaimed == 0
+        assert disabled[0].reclaim_stats.pages_reclaimed == 0
+
+    @given(st.lists(st.integers(min_value=1, max_value=64 * 1024),
+                    min_size=1, max_size=30),
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_periodic_flusher_matches_expiry_on_its_grid(self, sizes, period):
+        """With writes arriving on the flusher's period grid (one fresh inode
+        per write), the periodic flusher (period=E, no expiry knob) produces
+        the identical flush schedule — same inodes, same bytes, same virtual
+        times — as the write-driven expiry (expire=E, no timer)."""
+        from repro.fs.writeback import CENTISEC_NS, VmTunables, WritebackEngine
+        from repro.sim.clock import VirtualClock
+
+        logs = {"periodic": [], "expired": []}
+        clocks = {}
+        engines = {}
+        for mode, tunables in (
+                ("periodic", VmTunables(dirty_writeback_centisecs=period)),
+                ("expired", VmTunables(dirty_expire_centisecs=period))):
+            clock = VirtualClock()
+            clocks[mode] = clock
+
+            def flush_fn(items, reason, _mode=mode, _clock=clock):
+                logs[_mode].append((tuple(items), _clock.now_ns))
+
+            engines[mode] = WritebackEngine(mode, tunables, flush_fn,
+                                            clock=clock)
+        for step, nbytes in enumerate(sizes):
+            for mode in ("periodic", "expired"):
+                clocks[mode].advance(period * CENTISEC_NS)
+                engines[mode].note_dirty(step + 1, nbytes)
+        assert logs["periodic"] == logs["expired"]
+        # The reasons differ — that is the only observable difference.
+        assert set(engines["periodic"].stats.flushes_by_reason) <= {"periodic"}
+        assert set(engines["expired"].stats.flushes_by_reason) <= {"expired"}
+        # And the distinguishing behaviour: with no further writes, only the
+        # periodic engine drains the remaining aged data.
+        for mode in ("periodic", "expired"):
+            clocks[mode].advance(3 * period * CENTISEC_NS)
+        assert engines["periodic"].total_pending == 0
+        if sizes:
+            assert engines["expired"].total_pending > 0
+
+
 class _ClientWritebackModel:
     """The FuseClientFs coupling between page cache and writeback engine,
     reduced to its accounting skeleton (same rules, no FUSE plumbing)."""

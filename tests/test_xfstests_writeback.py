@@ -2,9 +2,10 @@
 
 The aggregate suite runs inside ``tests/test_fuse_and_vfs.py`` and the CI
 ``xfstests`` job; this module additionally surfaces the memory-pressure
-model's conformance cases (generic/091-114) as one pytest test per
-(case, environment) pair, so a regression names the exact case and
-environment instead of a pass-rate delta.
+model's conformance cases (generic/091-114) and the reclaim/readahead wave
+(generic/115-130) as one pytest test per (case, environment) pair, so a
+regression names the exact case and environment instead of a pass-rate
+delta.
 """
 
 from __future__ import annotations
@@ -15,16 +16,19 @@ from repro.fs.errors import FsError
 from repro.xfstests import harness
 from repro.xfstests.generic import GENERIC_TESTS
 
-#: The writeback/caching-surface cases added with the memory-pressure model.
-NEW_CASES = [case for case in GENERIC_TESTS if 91 <= case.number <= 114]
+#: The writeback/caching cases of the memory-pressure model plus the
+#: reclaim/readahead conformance wave.
+NEW_CASES = [case for case in GENERIC_TESTS if 91 <= case.number <= 130]
 
 
-def test_the_new_surface_is_at_least_twenty_cases():
-    assert len(NEW_CASES) >= 20
+def test_the_new_surface_is_at_least_thirtysix_cases():
+    assert len(NEW_CASES) >= 36
     groups = {group for case in NEW_CASES for group in case.groups}
-    # The issue's coverage checklist: durability, caching, truncate/rename
-    # interactions and sparse semantics are all represented.
-    assert {"writeback", "caching", "rename", "seek", "prealloc"} <= groups
+    # The issues' coverage checklists: durability, caching, truncate/rename
+    # interactions, sparse semantics, memory-pressure reclaim, per-device
+    # readahead and sysctl validation are all represented.
+    assert {"writeback", "caching", "rename", "seek", "prealloc",
+            "reclaim", "readahead", "sysctl"} <= groups
 
 
 @pytest.fixture(scope="module", params=["native", "cntrfs"])
