@@ -14,6 +14,7 @@ contract"):
   ``BENCH_writeback.json``.
 """
 
+import hashlib
 import json
 import os
 
@@ -22,6 +23,18 @@ import pytest
 from repro.bench.writeback import run_dirty_workload
 
 BENCH_JSON = os.path.join(os.path.dirname(__file__), "..", "BENCH_writeback.json")
+
+#: The scenarios that existed before the memcg sweep.  Their committed rows
+#: are append-only history: the guard below pins their canonical JSON by
+#: hash, so a regeneration can only ever *add* scenarios (or rows with new
+#: keys on new rows), never rewrite what previous PRs published.
+HISTORICAL_SCENARIOS = (
+    "defaults", "dirty_bytes", "dirty_background_bytes",
+    "dirty_expire_centisecs", "fsync_storm", "dirty_ratio",
+    "bdi_write_bandwidth", "mem_pressure", "read_bdi",
+)
+HISTORICAL_SCENARIOS_SHA256 = \
+    "42de77d8c9e11ca5c9b43f6eae1ec647e706f306c5c50df55762d4ee8357d414"
 
 #: Exact seed-era virtual times of the 16 MiB hot-path smoke phases.  The
 #: unified writeback engine (PR 2) must leave them untouched under default
@@ -236,3 +249,90 @@ def test_committed_bench_json_shows_tunable_flush_behaviour():
             pytest.approx(run["bdi_read_busy_ms"], abs=2e-3)
     read_virtual = [r["virtual_ms"] for r in reads]
     assert read_virtual == sorted(read_virtual) and read_virtual[0] < read_virtual[-1]
+
+
+def test_committed_bench_json_memcg_sweep():
+    """The memcg sweep: shrinking memory.max ⇒ monotonically more per-cgroup
+    reclaim, flush-before-drop and writer stall; the virtual-time delta
+    against the unlimited base row is exactly stall + reclaim cost."""
+    with open(BENCH_JSON) as fh:
+        scenarios = json.load(fh)["scenarios"]
+    # Historical rows never carry the memcg keys (byte-identical history).
+    for name in HISTORICAL_SCENARIOS:
+        for run in scenarios[name]:
+            assert "memcg_max_mb" not in run and "memcg_stall_ms" not in run
+    rows = scenarios["memcg"]
+    base = rows[0]
+    assert base["memcg_max_mb"] == 0
+    assert base["memcg_reclaimed_kb"] == 0.0
+    assert base["memcg_stall_ms"] == 0.0 and base["memcg_reclaim_cost_ms"] == 0.0
+    maxes = [r["memcg_max_mb"] for r in rows[1:]]
+    assert maxes == sorted(maxes, reverse=True)
+    reclaimed = [r["memcg_reclaimed_kb"] for r in rows]
+    flushed = [r["memcg_reclaim_flushed_kb"] for r in rows]
+    stalls = [r["memcg_stall_ms"] for r in rows]
+    virtual = [r["virtual_ms"] for r in rows]
+    assert reclaimed == sorted(reclaimed) and reclaimed[0] < reclaimed[-1]
+    assert flushed == sorted(flushed) and flushed[0] < flushed[-1]
+    assert stalls == sorted(stalls) and stalls[0] < stalls[-1]
+    assert virtual == sorted(virtual) and virtual[0] < virtual[-1]
+    for run in rows[1:]:
+        assert run["memcg_high_mb"] == run["memcg_max_mb"] // 2
+        assert run["memcg_reclaim_cost_ms"] > 0, "reclaim flushed dirty backing pages"
+        assert run["virtual_ms"] - base["virtual_ms"] == pytest.approx(
+            run["memcg_stall_ms"] + run["memcg_reclaim_cost_ms"], abs=2e-3)
+
+
+def test_memcg_sweep_decomposes_exactly_live():
+    """Live, unrounded: the memcg rows' virtual-time delta equals writer
+    stall plus reclaim flush cost to the nanosecond, per-cgroup reclaim is
+    conserved exactly, and a shrinking budget reclaims monotonically more."""
+    runs = [run_dirty_workload("memcg", {"dirty_background_bytes": 0},
+                               size_mb=8, record_kb=128, fsync_every=1,
+                               page_cache_mb=256,
+                               memcg_max_mb=mem_max, memcg_high_mb=mem_max // 2)
+            for mem_max in (0, 4, 2)]
+    base = runs[0]
+    assert base.memcg_reclaimed_kb == 0.0 and base.memcg_stall_ms == 0.0
+    for run in runs[1:]:
+        # Exact decomposition: the only costs a budget adds are the writer
+        # stalls and the reclaim windows (flush-before-drop of the backing
+        # store's dirty pages, which the unlimited run never flushes).
+        assert run.virtual_ms - base.virtual_ms == pytest.approx(
+            run.memcg_stall_ms + run.memcg_reclaim_cost_ms, abs=1e-6)
+        assert run.memcg_reclaim_flushed_kb > 0
+        assert run.memcg_stall_ms > 0
+    reclaimed = [r.memcg_reclaimed_kb for r in runs]
+    assert reclaimed == sorted(reclaimed) and reclaimed[0] < reclaimed[-1]
+    # Conservation, exact: every reclaimed byte is a dropped-clean or
+    # flushed-dirty page and the counters agree — checked on the live
+    # cgroup object of a fresh run.
+    from repro.bench.harness import BenchEnvironment
+    from repro.bench.writeback import apply_memcg_limits, apply_vm_tunables
+    env = BenchEnvironment(page_cache_mb=256)
+    apply_vm_tunables(env, {"dirty_background_bytes": 0})
+    cgroup = apply_memcg_limits(env, 2, 1)
+    sc, basedir = env.cntr_access()
+    sc.makedirs(f"{basedir}/wb")
+    from repro.fs.constants import OpenFlags
+    fd = sc.open(f"{basedir}/wb/c.dat", OpenFlags.O_CREAT | OpenFlags.O_WRONLY, 0o644)
+    for _ in range(64):
+        sc.write(fd, b"c" * (128 << 10))
+        sc.fsync(fd)
+    sc.close(fd)
+    stats = cgroup.memcg_stats
+    assert stats.pages_reclaimed == stats.pages_dropped + stats.pages_flushed
+    assert stats.bytes_reclaimed == stats.pages_reclaimed * 4096
+    assert cgroup.mem_cache_bytes <= 2 << 20
+
+
+def test_committed_bench_json_history_is_append_only():
+    """Byte-level guard: the pre-memcg scenarios' rows are pinned by hash.
+    Regenerating the file may only append new scenarios (or new keys on new
+    rows); rewriting published history fails here."""
+    with open(BENCH_JSON) as fh:
+        scenarios = json.load(fh)["scenarios"]
+    historical = {name: scenarios[name] for name in HISTORICAL_SCENARIOS}
+    canon = json.dumps(historical, indent=2, sort_keys=True)
+    assert hashlib.sha256(canon.encode()).hexdigest() == \
+        HISTORICAL_SCENARIOS_SHA256

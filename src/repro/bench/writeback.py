@@ -32,6 +32,19 @@ virtual time) and ``read_bdi`` (a cold sequential read through CntrFS under
 a falling per-device read bandwidth — bytes fetched are conserved and the
 virtual-time deltas are exactly the BDI read-busy time).  Rows of the older
 sweeps carry none of the new fields, keeping them byte-identical.
+
+The cgroup memory controller added the ``memcg`` sweep: the writing process
+is attached to ``/bench/memcg`` through the cgroupfs files (mkdir +
+``cgroup.procs``, the operator path) and a commit-per-record workload runs
+under a shrinking ``memory.max`` with ``memory.high = max/2``.  A smaller
+budget means more per-cgroup reclaim and more writer stall time, and the
+virtual-time delta against the unlimited base row decomposes *exactly* into
+``memcg_stall_ms + memcg_reclaim_cost_ms`` — the fsync cadence keeps the
+client's reclaim victims clean (free drops) while the server's deferred
+fsyncs leave the backing store's pages dirty, so every flush-before-drop
+reclaim pays a cost the base row never does, and nothing can leak outside
+the measured stall/reclaim windows.  As always, the older scenario rows
+carry none of the new fields.
 """
 
 from __future__ import annotations
@@ -70,6 +83,13 @@ class WritebackRunResult:
     bdi_read_mb_s: int | None = None
     read_kb: float = 0.0
     bdi_read_busy_ms: float = 0.0
+    #: Memcg-sweep fields (None = not a memcg row; keys omitted likewise).
+    memcg_max_mb: int | None = None
+    memcg_high_mb: int = 0
+    memcg_reclaimed_kb: float = 0.0
+    memcg_reclaim_flushed_kb: float = 0.0
+    memcg_stall_ms: float = 0.0
+    memcg_reclaim_cost_ms: float = 0.0
 
     def to_dict(self) -> dict:
         out = {
@@ -94,6 +114,13 @@ class WritebackRunResult:
             out["bdi_read_mb_s"] = self.bdi_read_mb_s
             out["read_kb"] = round(self.read_kb, 1)
             out["bdi_read_busy_ms"] = round(self.bdi_read_busy_ms, 3)
+        if self.memcg_max_mb is not None:
+            out["memcg_max_mb"] = self.memcg_max_mb
+            out["memcg_high_mb"] = self.memcg_high_mb
+            out["memcg_reclaimed_kb"] = round(self.memcg_reclaimed_kb, 1)
+            out["memcg_reclaim_flushed_kb"] = round(self.memcg_reclaim_flushed_kb, 1)
+            out["memcg_stall_ms"] = round(self.memcg_stall_ms, 3)
+            out["memcg_reclaim_cost_ms"] = round(self.memcg_reclaim_cost_ms, 3)
         return out
 
 
@@ -106,12 +133,34 @@ def apply_vm_tunables(env: BenchEnvironment, settings: dict[str, int]) -> None:
         sc.close(fd)
 
 
+def apply_memcg_limits(env: BenchEnvironment, max_mb: int, high_mb: int):
+    """Create ``/bench/memcg`` through the cgroupfs, apply the memory knobs
+    and move the writing (client) process into it — exactly the file writes
+    an operator (or a container engine) would perform.  Returns the live
+    cgroup so the harness can read its ``memory.stat`` counters."""
+    sc = env.host_sc
+    cg_dir = "/sys/fs/cgroup/bench/memcg"
+    sc.makedirs(cg_dir)
+
+    def write(name: str, payload: str) -> None:
+        fd = sc.open(f"{cg_dir}/{name}", OpenFlags.O_WRONLY)
+        sc.write(fd, payload.encode())
+        sc.close(fd)
+
+    write("memory.max", f"{max_mb << 20}\n" if max_mb else "max\n")
+    write("memory.high", f"{high_mb << 20}\n" if high_mb else "max\n")
+    write("cgroup.procs", f"{env.client_sc.process.pid}\n")
+    return env.machine.kernel.cgroups.lookup("/bench/memcg")
+
+
 def run_dirty_workload(scenario: str, settings: dict[str, int] | None = None,
                        size_mb: int = 16, record_kb: int = 64,
                        fsync_every: int = 0, think_ns: int = 0,
                        page_cache_mb: int = 512, mem_total_mb: int = 0,
                        bdi_write_mb_s: int = 0,
-                       reclaim_mem_mb: int | None = None) -> WritebackRunResult:
+                       reclaim_mem_mb: int | None = None,
+                       memcg_max_mb: int | None = None,
+                       memcg_high_mb: int = 0) -> WritebackRunResult:
     """Write ``size_mb`` MiB sequentially through a CntrFS mount.
 
     ``fsync_every`` issues an fsync every N records (database commit /
@@ -127,6 +176,11 @@ def run_dirty_workload(scenario: str, settings: dict[str, int] | None = None,
     the boot state), the modelled memory shrinks to the given size and
     reclaim is enabled — ``0`` keeps reclaim off but still performs the drop,
     giving the sweep a comparable baseline row.
+
+    ``memcg_max_mb`` attaches the writing process to the ``/bench/memcg``
+    cgroup (through the cgroupfs files) with the given ``memory.max`` —
+    ``0`` attaches without limits, giving the sweep a comparable base row —
+    and ``memcg_high_mb`` sets the ``memory.high`` throttle ceiling.
     """
     env = BenchEnvironment(page_cache_mb=page_cache_mb)
     if mem_total_mb:
@@ -145,6 +199,9 @@ def run_dirty_workload(scenario: str, settings: dict[str, int] | None = None,
         if reclaim_mem_mb:
             mem.total_bytes = reclaim_mem_mb << 20
             mem.reclaim_enabled = True
+    memcg_group = None
+    if memcg_max_mb is not None:
+        memcg_group = apply_memcg_limits(env, memcg_max_mb, memcg_high_mb)
     sc, base = env.cntr_access()
     sc.makedirs(f"{base}/wb")
     total = size_mb << 20
@@ -172,6 +229,17 @@ def run_dirty_workload(scenario: str, settings: dict[str, int] | None = None,
     wall = time.perf_counter() - start_wall
     virtual_ns = clock.now_ns - start_virtual
 
+    memcg_kwargs = {}
+    if memcg_group is not None:
+        mstats = memcg_group.memcg_stats
+        memcg_kwargs = {
+            "memcg_max_mb": memcg_max_mb,
+            "memcg_high_mb": memcg_high_mb,
+            "memcg_reclaimed_kb": mstats.bytes_reclaimed / 1024,
+            "memcg_reclaim_flushed_kb": mstats.pages_flushed * 4096 / 1024,
+            "memcg_stall_ms": mstats.throttle_stall_ns / 1e6,
+            "memcg_reclaim_cost_ms": mstats.reclaim_cost_ns / 1e6,
+        }
     stats = engine.stats
     reclaim = env.machine.kernel.vm.reclaim_stats
     return WritebackRunResult(
@@ -190,6 +258,7 @@ def run_dirty_workload(scenario: str, settings: dict[str, int] | None = None,
         reclaim_mem_mb=reclaim_mem_mb,
         reclaimed_kb=reclaim.bytes_reclaimed / 1024,
         reclaim_flushed_kb=reclaim.pages_flushed * 4096 / 1024,
+        **memcg_kwargs,
     )
 
 
@@ -330,6 +399,25 @@ def sweep(size_mb: int = 16) -> dict[str, list[WritebackRunResult]]:
         run_read_workload("read_bdi", size_mb=size_mb,
                           bdi_read_mb_s=bandwidth)
         for bandwidth in (0, 800, 200, 50)
+    ]
+
+    # Cgroup memory budgets: a commit-per-record writer attached to
+    # /bench/memcg under a shrinking memory.max (memory.high = max/2),
+    # background flushers disabled.  The fsync cadence keeps the *client's*
+    # pages clean, so its reclaim victims drop for free, while the CntrFS
+    # server defers its own fsyncs (delay_sync) — the backing store's dirty
+    # pages are flushed by nothing but per-cgroup reclaim, a cost the
+    # unlimited base row never pays.  That separation makes the virtual-time
+    # delta against the base row decompose into
+    # memcg_stall_ms + memcg_reclaim_cost_ms *exactly*, to the nanosecond.
+    # A smaller budget ⇒ more reclaimed bytes, more flush-before-drop and
+    # more writer stall.  The 0 row is attached but unlimited.
+    scenarios["memcg"] = [
+        run_dirty_workload("memcg", {"dirty_background_bytes": 0},
+                           size_mb=size_mb, record_kb=128, fsync_every=1,
+                           memcg_max_mb=mem_max,
+                           memcg_high_mb=mem_max // 2)
+        for mem_max in (0, 8, 4, 2)
     ]
     return scenarios
 

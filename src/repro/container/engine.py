@@ -11,6 +11,7 @@ were enough for Cntr's engine adapters.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import itertools
 from dataclasses import dataclass, field
@@ -21,6 +22,7 @@ from repro.fs.mount import MountNamespace
 from repro.fs.tmpfs import TmpFS
 from repro.fs.vfs import VNode
 from repro.kernel.capabilities import CapabilitySet
+from repro.kernel.cgroups import CgroupLimits
 from repro.kernel.machine import Machine
 from repro.kernel.namespaces import (
     CgroupNamespace,
@@ -57,6 +59,10 @@ class Container:
     status: str = "created"          # created | running | exited
     labels: dict[str, str] = field(default_factory=dict)
     procfs: ProcFS | None = None
+    #: Resource limits applied to the container's cgroup at start; the memory
+    #: knobs are enforced by the kernel's memory controller (page-cache
+    #: budget, memcg reclaim and memory.high write throttling).
+    limits: CgroupLimits | None = None
 
     @property
     def init_pid(self) -> int | None:
@@ -98,8 +104,16 @@ class ContainerEngine:
                command: list[str] | None = None,
                hostname: str | None = None,
                extra_capabilities: set[str] = frozenset(),
-               dropped_capabilities: set[str] = frozenset()) -> Container:
-        """Create (but do not start) a container from an image."""
+               dropped_capabilities: set[str] = frozenset(),
+               limits: CgroupLimits | None = None) -> Container:
+        """Create (but do not start) a container from an image.
+
+        ``limits`` is the ``docker run --memory`` surface: the limits object
+        becomes the container cgroup's at start, so the memory controller
+        budgets the container's page cache — and, because injected debugging
+        tools join the same cgroup (the paper's §3.2.3 semantics), theirs
+        too.
+        """
         container_name = self.container_name_for(name, image)
         if any(c.name == container_name for c in self.containers.values()):
             raise ContainerError(f"container name already in use: {container_name}")
@@ -122,6 +136,7 @@ class ContainerEngine:
         container.labels["command"] = " ".join(command or [])
         container.labels["cap_add"] = ",".join(sorted(extra_capabilities))
         container.labels["cap_drop"] = ",".join(sorted(dropped_capabilities))
+        container.limits = limits
         self.containers[container_id] = container
         return container
 
@@ -193,7 +208,14 @@ class ContainerEngine:
 
         # 4. cgroup, capabilities, LSM profile, user — privileges drop last.
         container.cgroup_path = self._cgroup_path(container)
-        self.kernel.cgroups.attach(init.pid, container.cgroup_path)
+        cgroup = self.kernel.cgroups.attach(init.pid, container.cgroup_path)
+        if container.limits is not None:
+            # Wire the engine-level limits into the cgroup the memory
+            # controller enforces; everything attached here (the workload and
+            # any injected tools) is budgeted by them from now on.  A copy,
+            # so cgroupfs writes to one container never mutate the caller's
+            # object or a sibling created from the same limits.
+            cgroup.limits = dataclasses.replace(container.limits)
         cap_add = set(filter(None, container.labels.get("cap_add", "").split(",")))
         cap_drop = set(filter(None, container.labels.get("cap_drop", "").split(",")))
         init.caps = CapabilitySet.for_container(extra=cap_add, dropped=cap_drop)

@@ -151,6 +151,11 @@ class PageCache:
         #: registration.  When set, every growth is followed by a balance
         #: pass so the cache stays inside the kernel-wide memory budget.
         self.pressure = None
+        #: Memory controller (``MemcgController``); assigned at filesystem
+        #: registration.  Residency changes are reported per inode so pages
+        #: are charged to (and reclaimed from) the owning cgroup.  ``None``
+        #: (the default) keeps the cache outside any cgroup accounting.
+        self.memcg = None
 
     # ------------------------------------------------------------- inspection
     def __len__(self) -> int:
@@ -278,6 +283,7 @@ class PageCache:
             dropped += len(ext)
             del self._live[ext.eid]
         self._pages -= dropped
+        self._memcg_delta(ino, -dropped)
         self._dirty_exts.pop(ino, None)
         self._dirty_count.pop(ino, None)
         self._maybe_compact_heap()
@@ -300,6 +306,8 @@ class PageCache:
 
     def invalidate_all(self) -> None:
         """Drop the whole cache (used when a FUSE mount does not keep caches)."""
+        if self.memcg is not None:
+            self.memcg.cache_cleared(self)
         self._by_ino.clear()
         self._live.clear()
         self._heap.clear()
@@ -318,8 +326,16 @@ class PageCache:
         counter.value = max(counter.value, self._seqs.value)
         self._seqs = counter
 
-    def oldest_seq(self) -> int | None:
-        """Sequence number of the LRU-oldest live extent (None when empty)."""
+    def oldest_seq(self, ino_filter=None) -> int | None:
+        """Sequence number of the LRU-oldest live extent (None when empty).
+
+        With ``ino_filter`` (a predicate over inode numbers), only extents of
+        matching inodes are considered — the per-cgroup reclaim order, which
+        scans the live extents instead of the global heap.
+        """
+        if ino_filter is not None:
+            ext = self._oldest_matching(ino_filter)
+            return None if ext is None else ext.seq
         while self._heap:
             seq, _start_page, eid = self._heap[0]
             if eid in self._live:
@@ -327,7 +343,17 @@ class PageCache:
             heapq.heappop(self._heap)
         return None
 
-    def reclaim_oldest(self, max_pages: int, flush_inode) -> tuple[int, int]:
+    def _oldest_matching(self, ino_filter) -> "_Extent | None":
+        """The LRU-oldest live extent whose inode passes ``ino_filter``."""
+        best = None
+        for ext in self._live.values():
+            if ino_filter(ext.ino) and \
+                    (best is None or (ext.seq, ext.start) < (best.seq, best.start)):
+                best = ext
+        return best
+
+    def reclaim_oldest(self, max_pages: int, flush_inode,
+                       ino_filter=None) -> tuple[int, int]:
         """Evict up to ``max_pages`` from the LRU-oldest extent (reclaim path).
 
         A dirty victim is written back *first* through ``flush_inode(ino)``
@@ -338,10 +364,20 @@ class PageCache:
         eviction this path never counts evictions/writebacks in
         :class:`PageCacheStats` — the reclaim coordinator keeps its own
         accounting and the engine charged the flush.
+
+        ``ino_filter`` restricts the victim choice to matching inodes (the
+        per-cgroup reclaim path); the global path keeps using the heap top.
         """
-        if max_pages <= 0 or self.oldest_seq() is None:
+        if max_pages <= 0:
             return 0, 0
-        ext = self._live[self._heap[0][2]]
+        if ino_filter is None:
+            if self.oldest_seq() is None:
+                return 0, 0
+            ext = self._live[self._heap[0][2]]
+        else:
+            ext = self._oldest_matching(ino_filter)
+            if ext is None:
+                return 0, 0
         was_dirty = ext.dirty
         if ext.dirty:
             flush_inode(ext.ino)
@@ -355,21 +391,36 @@ class PageCache:
         i = bisect_right(lst, ext.start, key=_start) - 1
         take = min(len(ext), max_pages)
         self._pages -= take
+        self._memcg_delta(ext.ino, -take)
         ext.start += take
         if ext.start >= ext.end:
-            heapq.heappop(self._heap)
+            if self._heap and self._heap[0][2] == ext.eid:
+                heapq.heappop(self._heap)
             del self._live[ext.eid]
             lst.pop(i)
             if not lst:
                 del self._by_ino[ext.ino]
+            if ino_filter is not None:
+                # The filtered victim may not be the heap top; its stale heap
+                # entry is tolerated (and compacted) like a removed range's.
+                self._maybe_compact_heap()
         return (0, take) if was_dirty else (take, 0)
 
     def balance_pressure(self) -> None:
-        """Let the kernel-wide memory-pressure coordinator react to growth."""
+        """Let the memory controllers react to growth: the per-cgroup limits
+        first (memcg reclaim), then the kernel-wide budget — the same
+        layering as memcg reclaim under global reclaim in Linux."""
+        if self.memcg is not None:
+            self.memcg.balance()
         if self.pressure is not None:
             self.pressure.balance()
 
     # ------------------------------------------------------------- internals
+    def _memcg_delta(self, ino: int, delta_pages: int) -> None:
+        """Report a residency change of ``ino`` to the memory controller."""
+        if self.memcg is not None and delta_pages:
+            self.memcg.cache_delta(self, ino, delta_pages * self.page_size)
+
     def _remove_range(self, ino: int, a: int, b: int) -> list[tuple[int, int, bool]]:
         """Carve ``[a, b)`` out of the inode's extents.
 
@@ -419,6 +470,7 @@ class PageCache:
                 lst.pop(i)
         if not lst:
             del self._by_ino[ino]
+        self._memcg_delta(ino, -sum(hi - lo for lo, hi, _ in removed))
         self._maybe_compact_heap()
         return removed
 
@@ -463,6 +515,7 @@ class PageCache:
                     dirty_index = self._dirty_exts.setdefault(ino, {})
                 dirty_index[ext.eid] = ext
         lst[pos:pos] = new
+        self._memcg_delta(ino, sum(hi - lo for lo, hi, _ in segments))
 
     def _new_extent(self, ino: int, start: int, end: int, dirty: bool,
                     seq: int | None = None) -> _Extent:
@@ -518,6 +571,7 @@ class PageCache:
                 self._note_dirty_pages(ext.ino, -take)
             prev_ino, prev_end, prev_dirty = ext.ino, ext.start + take, ext.dirty
             self._pages -= take
+            self._memcg_delta(ext.ino, -take)
             ext.start += take
             if ext.start >= ext.end:
                 heapq.heappop(self._heap)

@@ -292,6 +292,9 @@ class WritebackStats:
     flushes: int = 0                 # flush() calls that flushed at least one inode
     flushed_bytes: int = 0           # pending bytes drained by flushes
     discarded_bytes: int = 0         # pending bytes dropped without a flush
+    #: Virtual time writers through this engine spent stalled by the memory
+    #: controller (balance_dirty_pages-style memory.high throttling).
+    throttle_stall_ns: int = 0
     flushes_by_reason: dict = field(default_factory=dict)
 
     @property
@@ -332,6 +335,11 @@ class WritebackEngine:
         #: The backing device's writeback state; flushes are shaped by its
         #: modelled write bandwidth (None or bandwidth 0 = unshaped).
         self.bdi = bdi
+        #: Memory controller (``MemcgController``); assigned at filesystem
+        #: registration.  Dirty bytes are then charged to the owning cgroup
+        #: and writers over ``memory.high`` are stalled.  ``None`` (the
+        #: default) keeps the engine outside any cgroup accounting.
+        self.memcg = None
         self.stats = WritebackStats()
         #: ino -> unflushed dirty bytes.  Flushed/discarded inodes are popped,
         #: never left behind as zero entries.
@@ -382,6 +390,11 @@ class WritebackEngine:
         self._total += nbytes
         if self.clock is not None and ino not in self._first_dirty_ns:
             self._first_dirty_ns[ino] = self.clock.now_ns
+        if self.memcg is not None:
+            # Charge the dirty bytes to the writer's cgroup; a writer over
+            # its memory.high ceiling is stalled here, before the flusher
+            # threads react (the balance_dirty_pages call site in Linux).
+            self.memcg.note_dirty(self, ino, nbytes)
         self._run_flushers()
 
     def discard(self, ino: int, nbytes: int | None = None) -> int:
@@ -405,6 +418,8 @@ class WritebackEngine:
             self._first_dirty_ns.pop(ino, None)
         self._total -= dropped
         self.stats.discarded_bytes += dropped
+        if self.memcg is not None:
+            self.memcg.dirty_discarded(self, ino, dropped)
         return dropped
 
     # ------------------------------------------------------------- flushing
@@ -433,6 +448,8 @@ class WritebackEngine:
         self.stats.flushed_bytes += flushed
         self.stats.flushes_by_reason[reason] = \
             self.stats.flushes_by_reason.get(reason, 0) + 1
+        if self.memcg is not None:
+            self.memcg.dirty_flushed(self, items)
         self._flushing = True
         try:
             self.flush_fn(items, reason)
@@ -560,6 +577,10 @@ class VmSysctl:
 
     def __init__(self, meminfo: MemInfo | None = None) -> None:
         self.meminfo = meminfo or MemInfo()
+        #: The cgroup memory controller (``Kernel.memcg``); when set,
+        #: filesystem registration also wires each page cache and tunable
+        #: engine into the per-cgroup charge accounting.
+        self.memcg = None
         self._engines: list[WritebackEngine] = []
         self._filesystems: list["Filesystem"] = []
         self._bdis: dict[str, BacklogDeviceInfo] = {}
@@ -619,6 +640,8 @@ class VmSysctl:
         if cache is not None:
             cache.share_seq_counter(self._page_seq)
             cache.pressure = self
+        if self.memcg is not None:
+            self.memcg.register_fs(fs)
 
     def unregister_fs(self, fs: "Filesystem") -> None:
         """Unregister a filesystem whose last mount went away."""
@@ -630,6 +653,8 @@ class VmSysctl:
         cache = getattr(fs, "page_cache", None)
         if cache is not None and cache.pressure is self:
             cache.pressure = None
+        if self.memcg is not None:
+            self.memcg.unregister_fs(fs)
 
     def engines(self) -> list[WritebackEngine]:
         """The registered engines (reports / debugging)."""

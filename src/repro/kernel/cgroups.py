@@ -22,7 +22,12 @@ class CgroupLimits:
     cpu_shares: int = 1024
     cpu_quota_us: int | None = None
     cpu_period_us: int = 100_000
+    #: ``memory.max``: hard page-cache budget enforced by per-cgroup reclaim
+    #: (None or 0 = unlimited, matching the cgroupfs "max" sentinel).
     memory_limit_bytes: int | None = None
+    #: ``memory.high``: soft ceiling; charging past it applies
+    #: balance_dirty_pages-style write throttling instead of reclaim.
+    memory_high_bytes: int | None = None
     pids_max: int | None = None
     blkio_weight: int = 500
 
@@ -31,6 +36,24 @@ class CgroupLimits:
         if self.cpu_quota_us is None:
             return 1.0
         return min(1.0, self.cpu_quota_us / self.cpu_period_us)
+
+
+@dataclass
+class MemcgStats:
+    """Memory-controller accounting for one cgroup (``memory.stat``)."""
+
+    reclaims: int = 0              # enforcement passes that reclaimed something
+    pages_dropped: int = 0         # clean pages dropped without writeback
+    pages_flushed: int = 0         # dirty pages flushed via their engine first
+    bytes_reclaimed: int = 0       # total bytes freed by per-cgroup reclaim
+    reclaim_cost_ns: int = 0       # virtual time spent inside reclaim passes
+    throttle_events: int = 0       # note_dirty calls that stalled the writer
+    throttle_stall_ns: int = 0     # virtual time charged as writer stalls
+
+    @property
+    def pages_reclaimed(self) -> int:
+        """Every reclaimed page was either dropped clean or flushed first."""
+        return self.pages_dropped + self.pages_flushed
 
 
 class Cgroup:
@@ -43,7 +66,16 @@ class Cgroup:
         self.procs: set[int] = set()
         self.limits = CgroupLimits()
         self.stats_cpu_usage_ns = 0
+        #: High watermark of ``mem_cache_bytes`` (``memory.peak``), driven by
+        #: the memory controller's charge path.
         self.stats_memory_peak = 0
+        #: Hierarchical charge counters (this cgroup plus every descendant):
+        #: resident page-cache bytes (``memory.current``) and unflushed dirty
+        #: bytes (``memory.stat`` ``file_dirty``), maintained by
+        #: :class:`repro.kernel.memcg.MemcgController`.
+        self.mem_cache_bytes = 0
+        self.mem_dirty_bytes = 0
+        self.memcg_stats = MemcgStats()
 
     @property
     def path(self) -> str:

@@ -18,6 +18,7 @@ from repro.fs.writeback import MemInfo, VmSysctl
 from repro.kernel.capabilities import CapabilitySet
 from repro.kernel.cgroups import CgroupHierarchy
 from repro.kernel.lsm import LsmRegistry, UNCONFINED
+from repro.kernel.memcg import MemcgController
 from repro.kernel.namespaces import (
     MntNamespace,
     Namespace,
@@ -98,10 +99,15 @@ class Kernel:
         #: Modelled memory size; /proc/meminfo renders it and the
         #: vm.dirty_*_ratio knobs resolve against it.
         self.mem = MemInfo()
+        #: The cgroup v2 memory controller: per-cgroup page-cache budgets,
+        #: memcg reclaim and memory.high write throttling.  Filesystem
+        #: registration (below) wires caches and engines into it.
+        self.memcg = MemcgController(self.cgroups, self.clock)
         #: Kernel-wide vm.* knobs (/proc/sys/vm) plus the memory model behind
         #: them; mounting a filesystem registers it (and its writeback
         #: engine, if any) here.
         self.vm = VmSysctl(meminfo=self.mem)
+        self.vm.memcg = self.memcg
         self.processes: dict[int, Process] = {}
         self._next_pid = 1
         self._pty_index = 0

@@ -199,10 +199,12 @@ def boot(cost_model: CostModel | None = None, tracer: Tracer | None = None,
     sc.makedirs("/sys/fs/cgroup")
     sc.makedirs("/sys/fs/fuse/connections")
     # /sys/class/bdi: per-device writeback knobs (read_ahead_kb); devices
-    # appear here as their filesystems are mounted.
-    from repro.kernel.sysfs import BdiSysFS
+    # appear here as their filesystems are mounted.  /sys/fs/cgroup: the
+    # writable cgroup v2 hierarchy driving the memory controller.
+    from repro.kernel.sysfs import BdiSysFS, CgroupFS
     sc.makedirs("/sys/class/bdi")
     sc.mount(BdiSysFS("bdi-sysfs", kernel), "/sys/class/bdi")
+    sc.mount(CgroupFS("cgroupfs", kernel), "/sys/fs/cgroup")
 
     # Register the FUSE character-device driver (deferred import: the fuse
     # package depends on repro.kernel.objects but not on this module).

@@ -40,6 +40,9 @@ class Syscalls:
 
     # ------------------------------------------------------------- context
     def _charge(self) -> None:
+        # The memory controller attributes page-cache and dirty charges to
+        # the cgroup of the process whose syscall is executing ("current").
+        self.kernel.memcg.set_current(self.process.pid)
         self.kernel.clock.advance(self.kernel.costs.syscall_ns)
 
     def _ctx(self) -> PathContext:

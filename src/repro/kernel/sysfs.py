@@ -1,4 +1,4 @@
-"""The ``/sys/class/bdi`` surface: per-device writeback/readahead knobs.
+"""Synthetic sysfs surfaces: ``/sys/class/bdi`` and ``/sys/fs/cgroup``.
 
 Linux exposes every backing device's writeback state under
 ``/sys/class/bdi/<dev>/``; the knob that matters for the reproduction is
@@ -13,6 +13,18 @@ Reads render the live knob value; writes retune the live
 :class:`repro.fs.writeback.BacklogDeviceInfo` object, so the next cache-miss
 fetch on that device uses the new window.  Invalid values are ``EINVAL``,
 matching the sysctl convention.
+
+:class:`CgroupFS` is the same idea for the cgroup v2 hierarchy: a *writable*
+synthetic filesystem mounted at ``/sys/fs/cgroup`` whose directories mirror
+the live :class:`repro.kernel.cgroups.CgroupHierarchy` (``mkdir`` creates a
+cgroup, ``rmdir`` removes an empty one) and whose files are the memory
+controller's interface — ``memory.max`` / ``memory.high`` (writable;
+``max``/``0`` mean unlimited, anything non-integer or negative is
+``EINVAL``, and lowering ``memory.max`` below the current usage triggers
+synchronous reclaim, per Linux semantics), the read-only ``memory.current``
+/ ``memory.peak`` / ``memory.stat``, and ``cgroup.procs`` (read the member
+pids, write a pid to move a process, the operation Cntr performs on its
+injected tools).
 """
 
 from __future__ import annotations
@@ -27,6 +39,7 @@ from repro.fs.inode import DirectoryInode, Inode, RegularInode
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.fs.writeback import BacklogDeviceInfo
+    from repro.kernel.cgroups import Cgroup
     from repro.kernel.kernel import Kernel
 
 #: Files generated inside every ``/sys/class/bdi/<dev>`` directory.
@@ -170,3 +183,247 @@ class BdiSysFS(Filesystem):
         entry = self._entries.get(ino)
         if entry is None or entry.kind != "knob":
             raise FsError.eacces("bdi sysfs directories are read-only")
+
+
+# ---------------------------------------------------------------------------
+# /sys/fs/cgroup — the writable synthetic cgroupfs
+# ---------------------------------------------------------------------------
+#: Files generated inside every cgroup directory.
+CGROUP_FILES = ("cgroup.procs", "memory.current", "memory.high", "memory.max",
+                "memory.peak", "memory.stat")
+#: The files a write is allowed to reach (everything else is read-only).
+CGROUP_WRITABLE = ("cgroup.procs", "memory.high", "memory.max")
+
+
+@dataclass(frozen=True)
+class CgroupEntry:
+    """What a synthetic cgroupfs inode refers to."""
+
+    kind: str          # "dir" | "knob"
+    cg_path: str       # cgroup path within the hierarchy ("/" for the root)
+    name: str
+
+
+class CgroupFS(Filesystem):
+    """The ``/sys/fs/cgroup`` mount, bound to the kernel's cgroup hierarchy."""
+
+    fs_type = "cgroup2"
+    supports_direct_io = False
+    supports_export_handles = False
+    #: Directories appear with ``CgroupHierarchy.create`` calls made by
+    #: container engines, not only through this filesystem's own mkdir, so
+    #: the dentry generation cannot track the namespace.
+    dcacheable = False
+
+    def __init__(self, name: str, kernel: "Kernel") -> None:
+        super().__init__(name, kernel.clock, kernel.costs, kernel.tracer,
+                         capacity_bytes=0)
+        self.kernel = kernel
+        self._entries: dict[int, CgroupEntry] = {
+            self.root_ino: CgroupEntry("dir", "/", "/")}
+        self._path_to_ino: dict[tuple[str, str, str], int] = {}
+
+    # ------------------------------------------------------------- plumbing
+    def _cgroup(self, path: str) -> "Cgroup":
+        return self.kernel.cgroups.lookup(path)
+
+    def _synthetic_inode(self, entry: CgroupEntry) -> Inode:
+        key = (entry.kind, entry.cg_path, entry.name)
+        ino = self._path_to_ino.get(key)
+        if ino is not None and ino in self._inodes:
+            return self._inodes[ino]
+        if entry.kind == "dir":
+            inode = DirectoryInode(ino=self._alloc_ino(),
+                                   mode=FileMode.S_IFDIR | 0o755)
+        else:
+            mode = 0o644 if entry.name in CGROUP_WRITABLE else 0o444
+            inode = RegularInode(ino=self._alloc_ino(),
+                                 mode=FileMode.S_IFREG | mode)
+        inode.fs_name = self.name
+        self._inodes[inode.ino] = inode
+        self._entries[inode.ino] = entry
+        self._path_to_ino[key] = inode.ino
+        return inode
+
+    def entry_of(self, ino: int) -> CgroupEntry:
+        """The synthetic entry behind an inode number."""
+        entry = self._entries.get(ino)
+        if entry is None:
+            raise FsError.estale(f"cgroupfs ino {ino}")
+        return entry
+
+    @staticmethod
+    def _child_path(parent_path: str, name: str) -> str:
+        return f"{parent_path.rstrip('/')}/{name}"
+
+    def _forget_path(self, path: str) -> None:
+        """Drop the synthetic inodes of a removed cgroup directory."""
+        for key in [k for k in self._path_to_ino if k[1] == path]:
+            ino = self._path_to_ino.pop(key)
+            self._inodes.pop(ino, None)
+            self._entries.pop(ino, None)
+
+    # ------------------------------------------------------------- fs interface
+    def lookup(self, dir_ino: int, name: str) -> Inode:
+        self._charge_metadata("lookup")
+        entry = self.entry_of(dir_ino)
+        if entry.kind != "dir":
+            raise FsError.enotdir(name)
+        cgroup = self._cgroup(entry.cg_path)
+        if name in CGROUP_FILES:
+            return self._synthetic_inode(CgroupEntry("knob", entry.cg_path, name))
+        if name in cgroup.children:
+            child_path = self._child_path(entry.cg_path, name)
+            return self._synthetic_inode(CgroupEntry("dir", child_path, name))
+        raise FsError.enoent(name)
+
+    def readdir(self, dir_ino: int) -> list[tuple[str, int, int]]:
+        self._charge_metadata("readdir")
+        entry = self.entry_of(dir_ino)
+        if entry.kind != "dir":
+            raise FsError.enotdir(entry.name)
+        cgroup = self._cgroup(entry.cg_path)
+        out = [(".", dir_ino, int(FileMode.S_IFDIR)),
+               ("..", dir_ino, int(FileMode.S_IFDIR))]
+        for name in CGROUP_FILES:
+            inode = self._synthetic_inode(CgroupEntry("knob", entry.cg_path, name))
+            out.append((name, inode.ino, int(FileMode.S_IFREG)))
+        for name in cgroup.children:
+            child_path = self._child_path(entry.cg_path, name)
+            inode = self._synthetic_inode(CgroupEntry("dir", child_path, name))
+            out.append((name, inode.ino, int(FileMode.S_IFDIR)))
+        return out
+
+    def mkdir(self, dir_ino: int, name: str, mode: int, uid: int = 0,
+              gid: int = 0) -> DirectoryInode:
+        self._charge_metadata("mkdir")
+        entry = self.entry_of(dir_ino)
+        if entry.kind != "dir":
+            raise FsError.enotdir(name)
+        parent = self._cgroup(entry.cg_path)
+        if "/" in name or not name or name in CGROUP_FILES:
+            raise FsError.einval(name)
+        if name in parent.children:
+            raise FsError.eexist(name)
+        child_path = self._child_path(entry.cg_path, name)
+        self.kernel.cgroups.create(child_path)
+        inode = self._synthetic_inode(CgroupEntry("dir", child_path, name))
+        assert isinstance(inode, DirectoryInode)
+        return inode
+
+    def rmdir(self, dir_ino: int, name: str) -> None:
+        self._charge_metadata("rmdir")
+        entry = self.entry_of(dir_ino)
+        if entry.kind != "dir":
+            raise FsError.enotdir(name)
+        parent = self._cgroup(entry.cg_path)
+        if name not in parent.children:
+            raise FsError.enoent(name)
+        child_path = self._child_path(entry.cg_path, name)
+        # EBUSY while member processes or children remain, as in Linux.
+        self.kernel.cgroups.remove(child_path)
+        self._forget_path(child_path)
+
+    # The rest of the namespace is immutable: cgroupfs only ever contains
+    # cgroup directories and controller files.
+    def create(self, dir_ino: int, name: str, mode: int, uid: int = 0, gid: int = 0):
+        raise FsError.eacces("cgroupfs does not support regular files")
+
+    def unlink(self, dir_ino: int, name: str) -> None:
+        raise FsError.eacces("cgroupfs files cannot be unlinked")
+
+    def rename(self, old_dir: int, old_name: str, new_dir: int, new_name: str,
+               flags: int = 0) -> None:
+        raise FsError.eacces("cgroupfs entries cannot be renamed")
+
+    def symlink(self, dir_ino: int, name: str, target: str, uid: int = 0, gid: int = 0):
+        raise FsError.eacces("cgroupfs does not support symlinks")
+
+    def mknod(self, dir_ino: int, name: str, mode: int, rdev: int = 0,
+              uid: int = 0, gid: int = 0):
+        raise FsError.eacces("cgroupfs does not support device nodes")
+
+    # ------------------------------------------------------------- content
+    def _generate(self, entry: CgroupEntry) -> bytes:
+        cgroup = self._cgroup(entry.cg_path)
+        if entry.name == "memory.current":
+            return f"{cgroup.mem_cache_bytes}\n".encode()
+        if entry.name == "memory.peak":
+            return f"{cgroup.stats_memory_peak}\n".encode()
+        if entry.name in ("memory.max", "memory.high"):
+            limit = cgroup.limits.memory_limit_bytes if entry.name == "memory.max" \
+                else cgroup.limits.memory_high_bytes
+            if limit is None or limit <= 0:
+                return b"max\n"
+            return f"{limit}\n".encode()
+        if entry.name == "memory.stat":
+            return self.kernel.memcg.memory_stat_text(cgroup).encode()
+        if entry.name == "cgroup.procs":
+            return "".join(f"{pid}\n" for pid in sorted(cgroup.procs)).encode()
+        raise FsError.enoent(entry.name)
+
+    def read(self, ino: int, offset: int, size: int) -> bytes:
+        entry = self.entry_of(ino)
+        if entry.kind != "knob":
+            raise FsError.eisdir(entry.name)
+        content = self._generate(entry)
+        self._charge_read(ino, offset, min(size, len(content)))
+        return content[offset:offset + size]
+
+    def getattr(self, ino: int):
+        self._charge_metadata("getattr")
+        inode = self.iget(ino)
+        entry = self._entries.get(ino)
+        if entry is not None:
+            self._cgroup(entry.cg_path)      # ENOENT once the cgroup is gone
+            if entry.kind == "knob" and isinstance(inode, RegularInode):
+                content = self._generate(entry)
+                inode.data.truncate(0)
+                inode.data.write(0, content)
+        return inode.stat(st_dev=self.fs_id)
+
+    def write(self, ino: int, offset: int, data: bytes) -> int:
+        entry = self._entries.get(ino)
+        if entry is None or entry.kind != "knob":
+            raise FsError.eacces("cgroupfs directories are read-only")
+        if entry.name not in CGROUP_WRITABLE:
+            raise FsError.eacces(f"{entry.name} is read-only")
+        cgroup = self._cgroup(entry.cg_path)
+        text = data.decode("ascii", errors="replace").strip()
+        self._charge_metadata("sysctl")
+        if entry.name == "cgroup.procs":
+            try:
+                pid = int(text)
+            except ValueError:
+                raise FsError.einval(f"cgroup.procs: {text!r}") from None
+            if pid not in self.kernel.processes:
+                raise FsError.esrch(f"pid {pid}")
+            self.kernel.cgroups.attach(pid, entry.cg_path)
+            return len(data)
+        # memory.max / memory.high: "max" (or 0) means unlimited, as on Linux.
+        if text == "max":
+            value = None
+        else:
+            try:
+                value = int(text)
+            except ValueError:
+                raise FsError.einval(f"{entry.name}: {text!r}") from None
+            if value < 0:
+                raise FsError.einval(f"{entry.name} = {value}")
+            if value == 0:
+                value = None
+        if entry.name == "memory.max":
+            cgroup.limits.memory_limit_bytes = value
+            if value is not None and cgroup.mem_cache_bytes > value:
+                # Linux reclaims synchronously when the new limit sits below
+                # the current usage instead of rejecting the write.
+                self.kernel.memcg.enforce(cgroup)
+        else:
+            cgroup.limits.memory_high_bytes = value
+        return len(data)
+
+    def truncate(self, ino: int, size: int) -> None:
+        # O_TRUNC on a knob file (shell `echo N >` idiom) is a no-op.
+        entry = self._entries.get(ino)
+        if entry is None or entry.kind != "knob":
+            raise FsError.eacces("cgroupfs directories are read-only")

@@ -1,11 +1,11 @@
-"""The generic test group: 134 filesystem regression tests.
+"""The generic test group: 150 filesystem regression tests.
 
 Each test is registered with an xfstests-style number.  Four of them
 (generic/228, generic/375, generic/391, generic/426) reproduce the cases the
 paper reports as failing on CntrFS because of deliberate design decisions
 (RLIMIT_FSIZE not enforced, ACL-aware setgid clearing delegated to the backing
 store, O_DIRECT unsupported in favour of mmap, inodes not exportable by
-handle); the remaining 130 pass on both the native filesystem and CntrFS.
+handle); the remaining 146 pass on both the native filesystem and CntrFS.
 Generic 91-114 harden the writeback/caching surface grown by the
 memory-pressure model: fsync/fdatasync/O_SYNC durability, the procfs
 ``drop_caches`` file, truncate-vs-dirty-pages interactions, rename over open
@@ -14,6 +14,12 @@ read-shaping wave: the page-cache budget under ``MemAvailable``, LRU reclaim
 flushing dirty pages before dropping them, ``vfs_cache_pressure`` dcache
 shrinking, the ``dirty_writeback_centisecs`` periodic flusher, per-device
 ``read_ahead_kb`` and read-bandwidth shaping, and sysctl input validation.
+Generic 131-146 pin the cgroup memory controller behind the synthetic
+``/sys/fs/cgroup``: hierarchical charge/uncharge conservation,
+tightest-limit-wins, ``memory.max`` honoured by per-cgroup reclaim
+(``max``/0 = unlimited, lowering below usage reclaims synchronously),
+deterministic ``memory.high`` write throttling, cross-cgroup isolation,
+``cgroup.procs`` migration and EINVAL/EACCES/ESRCH input validation.
 """
 
 from __future__ import annotations
@@ -1841,6 +1847,418 @@ def test_reclaim_then_drop_caches_settles_clean(env):
         budget = vm.cache_budget_bytes()
         env.check(budget is not None and budget >= 0, "budget stays defined")
         env.check_equal(env.read_file(path), payload, "content intact")
+
+
+# ---------------------------------------------------------------------------
+# Cgroup memory controller (generic/131-146)
+# ---------------------------------------------------------------------------
+CGROUPFS = "/sys/fs/cgroup"
+
+
+def _cg_file_write(env, path: str, payload: bytes) -> None:
+    fd = env.sc.open(path, OpenFlags.O_WRONLY)
+    try:
+        env.sc.write(fd, payload)
+    finally:
+        env.sc.close(fd)
+
+
+def _cg_file_read(env, path: str) -> bytes:
+    fd = env.sc.open(path, OpenFlags.O_RDONLY)
+    try:
+        return env.sc.read(fd, 1 << 14)
+    finally:
+        env.sc.close(fd)
+
+
+def _memcg_stat(env, cg_dir: str) -> dict[str, int]:
+    """Parse a cgroup's ``memory.stat`` into a dict."""
+    text = _cg_file_read(env, f"{cg_dir}/memory.stat").decode()
+    return {line.split()[0]: int(line.split()[1])
+            for line in text.splitlines() if line}
+
+
+@contextlib.contextmanager
+def _memcg(env, max_bytes: int | None = None, high_bytes: int | None = None,
+           attach: bool = True):
+    """A fresh cgroup with the test process attached, everything applied
+    through the cgroupfs files (the operator path); detaches the process and
+    removes the cgroup afterwards, so the shared machine stays untouched."""
+    kernel = env.machine.kernel
+    pid = env.sc.process.pid
+    original = kernel.cgroups.cgroup_of(pid).path
+    name = env.unique_name("memcg")
+    cg_dir = f"{CGROUPFS}/{name}"
+    env.sc.mkdir(cg_dir)
+    try:
+        if max_bytes is not None:
+            _cg_file_write(env, f"{cg_dir}/memory.max", f"{max_bytes}\n".encode())
+        if high_bytes is not None:
+            _cg_file_write(env, f"{cg_dir}/memory.high", f"{high_bytes}\n".encode())
+        if attach:
+            _cg_file_write(env, f"{cg_dir}/cgroup.procs", f"{pid}\n".encode())
+        yield kernel.cgroups.lookup(f"/{name}"), cg_dir
+    finally:
+        procs_file = f"{CGROUPFS}{original.rstrip('/')}/cgroup.procs"
+        _cg_file_write(env, procs_file, f"{pid}\n".encode())
+        env.sc.rmdir(cg_dir)
+
+
+@generic(131, "auto", "quick", "cgroup")
+def test_memory_current_tracks_page_cache(env):
+    """memory.current follows the cgroup's page-cache charges exactly: zero
+    at creation, the written bytes while resident, zero after drop_caches."""
+    with _memcg(env) as (cgroup, cg_dir):
+        env.check_equal(_cg_file_read(env, f"{cg_dir}/memory.current"), b"0\n",
+                        "a fresh cgroup holds no charges")
+        env.create_file(env.path("charged"), b"C" * (256 << 10))
+        current = int(_cg_file_read(env, f"{cg_dir}/memory.current"))
+        env.check_equal(current, 256 << 10,
+                        "memory.current charges the written pages")
+        env.check_equal(current, cgroup.mem_cache_bytes,
+                        "the file renders the live counter")
+        _echo_drop_caches(env, 1)
+        env.check_equal(int(_cg_file_read(env, f"{cg_dir}/memory.current")), 0,
+                        "dropping the caches uncharges everything")
+
+
+@generic(132, "auto", "quick", "cgroup")
+def test_memcg_charge_uncharge_conservation(env):
+    """Hierarchical conservation: the root cgroup's counters equal the
+    kernel-wide Cached/Dirty totals at every step — charges can neither leak
+    nor double-count."""
+    kernel = env.machine.kernel
+    root, vm = kernel.cgroups.root, kernel.vm
+
+    def check(when: str) -> None:
+        env.check_equal(root.mem_cache_bytes, vm.cached_bytes_total(),
+                        f"root memory.current == Cached ({when})")
+        env.check_equal(root.mem_dirty_bytes, vm.dirty_bytes_total(),
+                        f"root file_dirty == Dirty ({when})")
+
+    check("before")
+    with _memcg(env) as (cgroup, _cg_dir):
+        env.create_file(env.path("conserve"), b"K" * (512 << 10))
+        check("while charged")
+        env.check(cgroup.mem_cache_bytes <= root.mem_cache_bytes,
+                  "a child's charges are part of the root's")
+        env.read_file(env.path("conserve"))
+        check("after re-reading")
+    _echo_drop_caches(env, 1)
+    check("after drop_caches")
+
+
+@generic(133, "auto", "quick", "cgroup", "reclaim")
+def test_memory_max_honoured_by_reclaim(env):
+    """Growth past memory.max triggers per-cgroup reclaim: usage is bounded
+    by the limit while the data stays fully readable."""
+    payload = b"".join(bytes([i % 241]) * 1024 for i in range(1024))  # 1 MiB
+    with _memcg(env, max_bytes=256 << 10) as (cgroup, cg_dir):
+        path = env.path("bounded")
+        env.create_file(path, payload)
+        current = int(_cg_file_read(env, f"{cg_dir}/memory.current"))
+        env.check(current <= 256 << 10,
+                  f"memory.current {current} exceeds memory.max")
+        env.check(cgroup.memcg_stats.pages_reclaimed > 0,
+                  "outgrowing the limit reclaimed pages")
+        env.check_equal(env.read_file(path), payload,
+                        "reclaimed data reads back intact")
+
+
+@generic(134, "auto", "quick", "cgroup")
+def test_memory_max_zero_and_max_mean_unlimited(env):
+    """Both ``0`` and ``max`` disable the limit: no workload reclaims, and
+    the knob reads back "max"."""
+    with _memcg(env) as (cgroup, cg_dir):
+        for sentinel in (b"0\n", b"max\n"):
+            _cg_file_write(env, f"{cg_dir}/memory.max", sentinel)
+            env.check_equal(_cg_file_read(env, f"{cg_dir}/memory.max"), b"max\n",
+                            f"{sentinel!r} reads back as unlimited")
+            env.create_file(env.path(env.unique_name("unlimited")),
+                            b"U" * (512 << 10))
+            env.check_equal(cgroup.memcg_stats.pages_reclaimed, 0,
+                            "an unlimited cgroup never reclaims")
+
+
+@generic(135, "auto", "quick", "cgroup", "reclaim")
+def test_memcg_hierarchy_tightest_limit_wins(env):
+    """A parent's memory.max bounds its whole subtree even when the child's
+    own limit is looser — the tightest limit along the path wins."""
+    kernel = env.machine.kernel
+    pid = env.sc.process.pid
+    original = kernel.cgroups.cgroup_of(pid).path
+    parent_dir = f"{CGROUPFS}/{env.unique_name('tight')}"
+    child_dir = f"{parent_dir}/leaf"
+    env.sc.mkdir(parent_dir)
+    env.sc.mkdir(child_dir)
+    try:
+        _cg_file_write(env, f"{parent_dir}/memory.max", b"131072\n")
+        _cg_file_write(env, f"{child_dir}/memory.max", b"1048576\n")
+        _cg_file_write(env, f"{child_dir}/cgroup.procs", f"{pid}\n".encode())
+        child = kernel.cgroups.cgroup_of(pid)
+        env.check_equal(child.effective_memory_limit(), 131072,
+                        "the parent's tighter limit is the effective one")
+        env.create_file(env.path("treewide"), b"T" * (512 << 10))
+        env.check(child.mem_cache_bytes <= 131072,
+                  "the child's usage is bounded by the parent's limit")
+        parent = child.parent
+        env.check(parent.mem_cache_bytes <= 131072,
+                  "the parent's hierarchical usage respects its own limit")
+        env.check(parent.memcg_stats.pages_reclaimed > 0,
+                  "the over-limit parent did the reclaiming")
+    finally:
+        _cg_file_write(env, f"{CGROUPFS}{original.rstrip('/')}/cgroup.procs",
+                       f"{pid}\n".encode())
+        env.sc.rmdir(child_dir)
+        env.sc.rmdir(parent_dir)
+
+
+@generic(136, "auto", "quick", "cgroup", "reclaim")
+def test_memcg_reclaim_is_isolated_per_cgroup(env):
+    """A greedy cgroup under pressure reclaims only its own pages: a
+    neighbour's charges — and resident pages — survive untouched."""
+    with _memcg(env) as (neighbour, _dir):
+        env.create_file(env.path("neighbour"), b"N" * (256 << 10))
+        env.read_file(env.path("neighbour"))
+        neighbour_usage = neighbour.mem_cache_bytes
+        env.check_equal(neighbour_usage, 256 << 10, "the neighbour is charged")
+        with _memcg(env, max_bytes=128 << 10) as (greedy, _greedy_dir):
+            env.create_file(env.path("greedy"), b"G" * (512 << 10))
+            env.check(greedy.memcg_stats.pages_reclaimed > 0,
+                      "the greedy cgroup was reclaimed")
+            env.check_equal(neighbour.mem_cache_bytes, neighbour_usage,
+                            "the neighbour's charges are untouched")
+        # The neighbour's pages are still resident: re-reading them is pure
+        # page-cache hits (no new misses).
+        misses_before = env.fs_under_test.page_cache.stats.misses
+        env.read_file(env.path("neighbour"))
+        env.check_equal(env.fs_under_test.page_cache.stats.misses, misses_before,
+                        "the neighbour's pages stayed resident")
+
+
+@generic(137, "auto", "quick", "cgroup", "reclaim", "writeback")
+def test_memcg_reclaim_flushes_dirty_pages_first(env):
+    """Per-cgroup reclaim writes dirty victims back through the owning
+    engine (reason "reclaim") before dropping them; the data survives."""
+    engine = env.fs_under_test.writeback
+    payload = b"".join(bytes([i % 233]) * 1024 for i in range(256))  # 256 KiB
+    with _vm_knobs(env, dirty_background_bytes=0, dirty_bytes=0):
+        with _memcg(env, max_bytes=128 << 10) as (cgroup, _dir):
+            reclaim_before = engine.stats.flushes_by_reason.get("reclaim", 0)
+            path = env.path("dirty-victim")
+            fd = env.sc.open(path, CREAT_WR, 0o644)
+            try:
+                env.sc.write(fd, payload)
+                env.check(cgroup.memcg_stats.pages_flushed > 0,
+                          "reclaim flushed dirty pages before dropping them")
+                env.check(engine.stats.flushes_by_reason.get("reclaim", 0)
+                          > reclaim_before,
+                          "the owning engine saw reclaim-reason flushes")
+                env.check(cgroup.mem_cache_bytes <= 128 << 10,
+                          "usage settled under the limit")
+            finally:
+                env.sc.close(fd)
+            env.check_equal(env.read_file(path), payload,
+                            "reclaimed dirty data reads back intact")
+
+
+@generic(138, "auto", "quick", "cgroup", "writeback")
+def test_memory_high_throttle_is_deterministic(env):
+    """Writers over memory.high stall for exactly bytes * throttle_ns_per_byte
+    of virtual time — twice the same workload, twice the same stall."""
+    kernel = env.machine.kernel
+    rate = kernel.memcg.throttle_ns_per_byte
+    record = 64 << 10
+
+    def run_once(tag: str) -> tuple[int, int]:
+        with _memcg(env, high_bytes=record) as (cgroup, _dir):
+            fd = env.sc.open(env.path(f"throttled-{tag}"), CREAT_WR, 0o644)
+            try:
+                for _ in range(4):
+                    env.sc.write(fd, b"S" * record)
+            finally:
+                env.sc.close(fd)
+            return (cgroup.memcg_stats.throttle_stall_ns,
+                    cgroup.memcg_stats.throttle_events)
+
+    first = run_once("a")
+    second = run_once("b")
+    env.check_equal(first, second, "the stall is deterministic")
+    # The first record lands exactly at the ceiling (not over); the next
+    # three each stall for their full size.
+    env.check_equal(first, (3 * record * rate, 3),
+                    "stall == bytes-dirtied-over-high * throttle rate")
+
+
+@generic(139, "auto", "quick", "cgroup", "writeback")
+def test_memcg_throttle_off_without_memory_high(env):
+    """With no memory.high configured nothing ever stalls: the cgroup and
+    engine throttle counters stay untouched."""
+    engine = env.fs_under_test.writeback
+    stalled_before = engine.stats.throttle_stall_ns
+    with _memcg(env) as (cgroup, _dir):
+        fd = env.sc.open(env.path("unthrottled"), CREAT_WR, 0o644)
+        try:
+            for _ in range(4):
+                env.sc.write(fd, b"F" * (64 << 10))
+        finally:
+            env.sc.close(fd)
+        env.check_equal(cgroup.memcg_stats.throttle_events, 0,
+                        "no stall events without a ceiling")
+        env.check_equal(cgroup.memcg_stats.throttle_stall_ns, 0,
+                        "no stall time without a ceiling")
+    env.check_equal(engine.stats.throttle_stall_ns, stalled_before,
+                    "the engine saw no writer stalls")
+
+
+@generic(140, "auto", "quick", "cgroup", "sysctl")
+def test_memcg_file_validation(env):
+    """Bad cgroupfs writes are rejected with the Linux errnos and leave the
+    knobs untouched: EINVAL for garbage limits, EACCES for read-only files,
+    ESRCH for unknown pids."""
+    with _memcg(env, attach=False) as (_cgroup, cg_dir):
+        for knob in ("memory.max", "memory.high"):
+            for payload in (b"-1", b"words", b"1.5"):
+                fd = env.sc.open(f"{cg_dir}/{knob}", OpenFlags.O_WRONLY)
+                try:
+                    env.check_errno(errno.EINVAL, env.sc.write, fd, payload)
+                finally:
+                    env.sc.close(fd)
+            env.check_equal(_cg_file_read(env, f"{cg_dir}/{knob}"), b"max\n",
+                            f"rejected writes left {knob} untouched")
+        for readonly in ("memory.current", "memory.peak", "memory.stat"):
+            fd = env.sc.open(f"{cg_dir}/{readonly}", OpenFlags.O_WRONLY)
+            try:
+                env.check_errno(errno.EACCES, env.sc.write, fd, b"1")
+            finally:
+                env.sc.close(fd)
+        fd = env.sc.open(f"{cg_dir}/cgroup.procs", OpenFlags.O_WRONLY)
+        try:
+            env.check_errno(errno.ESRCH, env.sc.write, fd, b"999999")
+            env.check_errno(errno.EINVAL, env.sc.write, fd, b"not-a-pid")
+        finally:
+            env.sc.close(fd)
+
+
+@generic(141, "auto", "quick", "cgroup", "reclaim")
+def test_memory_max_below_usage_reclaims_synchronously(env):
+    """Lowering memory.max below the current usage reclaims synchronously
+    during the write instead of rejecting it (Linux semantics)."""
+    with _memcg(env) as (cgroup, cg_dir):
+        env.create_file(env.path("pre-grown"), b"P" * (512 << 10))
+        env.check_equal(cgroup.mem_cache_bytes, 512 << 10, "fully charged")
+        _cg_file_write(env, f"{cg_dir}/memory.max", b"131072\n")
+        env.check(cgroup.mem_cache_bytes <= 131072,
+                  "the write itself reclaimed the excess")
+        env.check(cgroup.memcg_stats.pages_reclaimed >= (384 << 10) // 4096,
+                  "at least the excess pages were reclaimed")
+
+
+@generic(142, "auto", "quick", "cgroup", "writeback")
+def test_memory_stat_coherent_with_engine(env):
+    """memory.stat renders the same state the caches and engines enforce:
+    ``file`` matches the charged pages and ``file_dirty`` the engine's
+    unflushed pending, before and after fsync."""
+    engine = env.fs_under_test.writeback
+    with _vm_knobs(env, dirty_background_bytes=0, dirty_bytes=0):
+        with _memcg(env) as (_cgroup, cg_dir):
+            fd = env.sc.open(env.path("stat-coherent"), CREAT_WR, 0o644)
+            try:
+                env.sc.write(fd, b"D" * (128 << 10))
+                ino = env.sc.fstat(fd).st_ino
+                stat = _memcg_stat(env, cg_dir)
+                env.check_equal(stat["file"], 128 << 10, "file == charged pages")
+                env.check_equal(stat["file_dirty"], engine.pending(ino),
+                                "file_dirty == the engine's pending bytes")
+                env.check_equal(stat["file_dirty"], 128 << 10,
+                                "every written byte is still dirty")
+                env.sc.fsync(fd)
+                stat = _memcg_stat(env, cg_dir)
+                env.check_equal(stat["file_dirty"], 0, "fsync uncharged dirty")
+                env.check_equal(stat["file"], 128 << 10, "pages stay resident")
+            finally:
+                env.sc.close(fd)
+
+
+@generic(143, "auto", "quick", "cgroup")
+def test_cgroup_procs_round_trip(env):
+    """Writing a pid to cgroup.procs moves the process: the file lists it
+    and /proc/<pid>/cgroup follows, exactly what Cntr does to its injected
+    tools."""
+    pid = env.sc.process.pid
+    with _memcg(env) as (cgroup, cg_dir):
+        procs = _cg_file_read(env, f"{cg_dir}/cgroup.procs").decode()
+        env.check(str(pid) in procs.split(), "cgroup.procs lists the member")
+        proc_line = env.read_file(f"/proc/{pid}/cgroup").decode().strip()
+        env.check_equal(proc_line, f"0::{cgroup.path}",
+                        "/proc/<pid>/cgroup shows the new membership")
+    proc_line = env.read_file(f"/proc/{pid}/cgroup").decode().strip()
+    env.check(not proc_line.endswith(cgroup.path),
+              "detaching restored the previous membership")
+
+
+@generic(144, "auto", "quick", "cgroup")
+def test_cgroupfs_mkdir_rmdir_semantics(env):
+    """mkdir/rmdir on the cgroupfs create and remove live cgroups; EBUSY
+    protects populated ones and removed paths vanish with ENOENT."""
+    kernel = env.machine.kernel
+    pid = env.sc.process.pid
+    original = kernel.cgroups.cgroup_of(pid).path
+    name = env.unique_name("mkrm")
+    cg_dir = f"{CGROUPFS}/{name}"
+    env.sc.makedirs(f"{cg_dir}/nested")
+    env.check_equal(kernel.cgroups.lookup(f"/{name}/nested").name, "nested",
+                    "mkdir created the cgroup in the live hierarchy")
+    env.check("nested" in env.sc.listdir(cg_dir), "readdir shows the child")
+    env.check_errno(errno.EBUSY, env.sc.rmdir, cg_dir)      # has a child
+    _cg_file_write(env, f"{cg_dir}/nested/cgroup.procs", f"{pid}\n".encode())
+    env.check_errno(errno.EBUSY, env.sc.rmdir, f"{cg_dir}/nested")  # has a proc
+    _cg_file_write(env, f"{CGROUPFS}{original.rstrip('/')}/cgroup.procs",
+                   f"{pid}\n".encode())
+    env.sc.rmdir(f"{cg_dir}/nested")
+    env.sc.rmdir(cg_dir)
+    env.check_errno(errno.ENOENT, env.sc.stat, f"{cg_dir}/memory.current")
+    env.check_errno(errno.ENOENT, env.sc.listdir, cg_dir)
+
+
+@generic(145, "auto", "quick", "cgroup")
+def test_memory_peak_high_watermark(env):
+    """memory.peak is the high watermark of memory.current: it survives
+    uncharging and only ever rises."""
+    with _memcg(env) as (_cgroup, cg_dir):
+        env.create_file(env.path("peak-a"), b"A" * (256 << 10))
+        peak = int(_cg_file_read(env, f"{cg_dir}/memory.peak"))
+        env.check(peak >= 256 << 10, "the peak covers the first burst")
+        _echo_drop_caches(env, 1)
+        env.check_equal(int(_cg_file_read(env, f"{cg_dir}/memory.current")), 0,
+                        "the charges are gone")
+        env.check_equal(int(_cg_file_read(env, f"{cg_dir}/memory.peak")), peak,
+                        "the watermark survives the uncharge")
+        env.create_file(env.path("peak-b"), b"B" * (512 << 10))
+        env.check(int(_cg_file_read(env, f"{cg_dir}/memory.peak")) >= 512 << 10,
+                  "a larger burst raises the watermark")
+
+
+@generic(146, "auto", "quick", "cgroup", "reclaim")
+def test_meminfo_coherent_under_memcg_reclaim(env):
+    """Per-cgroup reclaim keeps /proc/meminfo coherent: Cached and Dirty
+    track the registered caches and engines, and the root cgroup's counters
+    agree with both."""
+    kernel = env.machine.kernel
+    with _memcg(env, max_bytes=128 << 10) as (cgroup, _dir):
+        env.create_file(env.path("coherent"), b"M" * (512 << 10))
+        env.check(cgroup.memcg_stats.pages_reclaimed > 0, "pressure reclaimed")
+        fields = {}
+        for line in env.read_file("/proc/meminfo").decode().splitlines():
+            fields[line.split(":")[0]] = int(line.split()[1])
+        vm = kernel.vm
+        env.check_equal(fields["Cached"], vm.cached_bytes_total() >> 10,
+                        "meminfo Cached matches the registered caches")
+        env.check_equal(fields["Dirty"], vm.dirty_bytes_total() >> 10,
+                        "meminfo Dirty matches the registered engines")
+        env.check_equal(kernel.cgroups.root.mem_cache_bytes,
+                        vm.cached_bytes_total(),
+                        "root memory.current == Cached, byte-exact")
 
 
 # ---------------------------------------------------------------------------
