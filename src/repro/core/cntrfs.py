@@ -336,3 +336,37 @@ class CntrFS(FuseServer):
         vnode = self._vnode(request.nodeid)
         size = vnode.inode().size
         return FuseReply(unique=request.unique, size=size)
+
+    # ------------------------------------------------------ crash bookkeeping
+    def crash_snapshot(self, nodeid: int):
+        """Pre-image of a backing file's content, for the client crash model.
+
+        The client's writeback cache forwards WRITEs to the server eagerly so
+        the simulated data stays consistent, but those bytes are *not* durable
+        until the client flushes its dirty pages.  Before the first unflushed
+        write dirties a file, the client captures this pre-image; if the
+        client power-fails it hands the image back via :meth:`crash_restore`.
+        Pure bookkeeping — no costs, no stats, no page-cache traffic.
+        """
+        vnode = self._nodes.get(nodeid)
+        if vnode is None:
+            return None
+        try:
+            inode = vnode.inode()
+        except FsError:
+            return None
+        if not isinstance(inode, RegularInode):
+            return None
+        return inode.data.clone()
+
+    def crash_restore(self, nodeid: int, snapshot) -> None:
+        """Rewind a backing file to a :meth:`crash_snapshot` pre-image."""
+        vnode = self._nodes.get(nodeid)
+        if vnode is None or snapshot is None:
+            return
+        try:
+            inode = vnode.inode()
+        except FsError:
+            return
+        if isinstance(inode, RegularInode):
+            inode.data = snapshot

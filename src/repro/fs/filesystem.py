@@ -84,6 +84,29 @@ class Filesystem:
         """Invalidate every VFS dentry-cache entry pointing into this filesystem."""
         self.dentry_gen += 1
 
+    # ------------------------------------------------------------ crash model
+    def crash(self) -> None:
+        """Power-fail this filesystem: discard every piece of volatile state.
+
+        The base implementation models a *kernel-regenerated* filesystem
+        (procfs, sysfs, devfs, ...): nothing it shows is backed by caches, so
+        only the transient per-boot state — advisory locks, open-file pins
+        and cached dentries — is dropped.  Filesystems whose contents live in
+        RAM (tmpfs) or behind a page cache and journal (ext4, the FUSE
+        client) override this with their own loss semantics.
+        """
+        self._locks.clear()
+        self._pins.clear()
+        self.invalidate_dentries()
+
+    def remount(self) -> None:
+        """Bring the filesystem back after :meth:`crash` (power restored).
+
+        The base implementation has nothing to replay; durable filesystems
+        override this to rebuild their live tree from the journal.
+        """
+        self.invalidate_dentries()
+
     def drop_caches(self, mode: int = 3) -> None:
         """Apply ``echo mode > /proc/sys/vm/drop_caches`` to this filesystem.
 

@@ -112,6 +112,18 @@ class FileData:
             pos += chunk
         return
 
+    def clone(self) -> "FileData":
+        """An independent copy sharing nothing with the original.
+
+        Cost is proportional to the number of materialised pages, so the
+        ``store=False`` benchmark mode clones in O(1) regardless of size.
+        The crash-consistency journal uses clones as its durable data images.
+        """
+        copy = FileData(store=self.store)
+        copy._size = self._size
+        copy._pages = {idx: bytearray(page) for idx, page in self._pages.items()}
+        return copy
+
     def to_bytes(self) -> bytes:
         """Full file contents."""
         return self.read(0, self._size)

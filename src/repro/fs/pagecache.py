@@ -182,6 +182,10 @@ class PageCache:
             return self._dirty_count.get(ino, 0)
         return sum(self._dirty_count.values())
 
+    def dirty_inodes(self) -> list[int]:
+        """Inode numbers that currently have dirty pages, sorted."""
+        return sorted(self._dirty_count)
+
     def is_resident(self, ino: int, page: int) -> bool:
         """True when the page is cached (and refresh its LRU position)."""
         lst = self._by_ino.get(ino)

@@ -62,3 +62,26 @@ class TmpFS(Filesystem):
         if mode & 1:
             self.writeback.flush()
         super().drop_caches(mode)
+
+    def crash(self) -> None:
+        """Power-fail: tmpfs lives entirely in RAM, so *everything* is lost.
+
+        The tree resets to an empty root — the state a fresh tmpfs mount
+        presents after reboot.  ``sync``/``fsync`` never made tmpfs data
+        durable (there is no backing store), exactly as in Linux.
+        """
+        from repro.fs.filesystem import ROOT_INO
+        from repro.fs.inode import DirectoryInode
+
+        self.writeback.crash_discard()
+        self._inodes = {ROOT_INO: DirectoryInode(
+            ino=ROOT_INO, mode=self.root().mode, nlink=2, fs_name=self.name)}
+        self.root_ino = ROOT_INO
+        # _next_ino stays monotonic: stale references (old FUSE nodeids,
+        # cached stats) must never alias a post-crash inode.
+        super().crash()
+
+    def remount(self) -> None:
+        """Power restored: re-arm the engine; the empty tree *is* the mount."""
+        self.writeback.retune()
+        super().remount()

@@ -422,6 +422,20 @@ class WritebackEngine:
             self.memcg.dirty_discarded(self, ino, dropped)
         return dropped
 
+    def crash_discard(self) -> int:
+        """Power-fail: every unflushed byte is lost without a writeback.
+
+        Drops the pending accounting for all inodes (through :meth:`discard`,
+        so cgroup dirty charges are uncharged too) and disarms the kupdate
+        timer — a crashed engine must never fire against the shared clock.
+        Remounting re-arms it via :meth:`retune`.  Returns the bytes lost.
+        """
+        dropped = 0
+        for ino in list(self._pending):
+            dropped += self.discard(ino)
+        self.disarm_periodic_flusher()
+        return dropped
+
     # ------------------------------------------------------------- flushing
     def flush(self, ino: int | None = None, reason: str = WB_REASON_SYNC) -> int:
         """Write back pending data (all inodes, or just ``ino``).

@@ -102,6 +102,12 @@ class FuseClientFs(Filesystem):
                 dirty_background_bytes=costs.writeback_batch_bytes),
             self._writeback_flush, clock=clock, bdi=self.bdi)
         self._pending_forgets: list[int] = []
+        #: Crash pre-images: backing-file content captured before the first
+        #: unflushed writeback write dirties an inode.  The eager WRITE
+        #: forwarding below keeps the simulated data consistent, but those
+        #: bytes are not durable until the dirty pages flush — on a client
+        #: power-fail the server rewinds each still-dirty file to its shadow.
+        self._crash_shadow: dict[int, FileData] = {}
         #: When True (the default, as in Linux) every write triggers an
         #: uncached security.capability xattr lookup round trip.
         self.xattr_lookup_on_write = True
@@ -510,6 +516,7 @@ class FuseClientFs(Filesystem):
             self.connection.request(FuseRequest(
                 FuseOpcode.GETXATTR, ino, args={"name": "security.capability"}))
         if self.options.writeback_cache:
+            self._capture_crash_shadow(ino)
             self.page_cache.write(ino, offset, size)
             self.clock.advance(self.costs.page_cache_hit_per_byte_ns * size)
             # Data still has to reach the server for correctness; the request
@@ -556,6 +563,9 @@ class FuseClientFs(Filesystem):
             self.clock.advance(self._batched_overhead(requests, False, pending, 0))
             self.clock.advance(self.costs.fuse_writeback_flush_ns)
             self.page_cache.clean(node)
+            # The flushed bytes are on the server now: the inode's data would
+            # survive a client crash, so its pre-image shadow is retired.
+            self._crash_shadow.pop(node, None)
 
     def _drop_pagecache_range(self, ino: int, start_page: int,
                               end_page: int | None = None) -> int:
@@ -570,12 +580,17 @@ class FuseClientFs(Filesystem):
         dropped = self.page_cache.invalidate_range(ino, start_page, end_page)
         if dropped and self.page_cache.dirty_page_count(ino) == 0:
             self.writeback.discard(ino)
+            # Every formerly-dirty page was truncated or punched away, and
+            # those same extents were zeroed synchronously on the server —
+            # nothing volatile distinguishes the live file from its shadow.
+            self._crash_shadow.pop(ino, None)
         return dropped
 
     def truncate(self, ino: int, size: int) -> None:
         reply = self._send(FuseOpcode.SETATTR, ino, {"size": size})
         if reply.attr is not None:
             self._update_proxy(ino, reply.attr)
+        self._shadow_truncate(ino, size)
         self._truncate_pagecache(ino, size)
 
     def _truncate_pagecache(self, ino: int, size: int) -> None:
@@ -589,6 +604,13 @@ class FuseClientFs(Filesystem):
         self._send(FuseOpcode.FALLOCATE, ino,
                    {"mode": mode, "offset": offset, "length": length})
         self._attr_fresh.discard(ino)
+        shadow = self._crash_shadow.get(ino)
+        if shadow is not None:
+            # The server applied this synchronously; a crash must not undo it.
+            if mode & FallocateMode.PUNCH_HOLE:
+                shadow.punch_hole(offset, length)
+            elif not mode & FallocateMode.KEEP_SIZE:
+                shadow.truncate(max(len(shadow), offset + length))
         if mode & FallocateMode.PUNCH_HOLE:
             # Linux truncate_pagecache_range: pages wholly inside the hole
             # are dropped, so reads of the hole are not page-cache hits; the
@@ -605,6 +627,63 @@ class FuseClientFs(Filesystem):
     def sync(self) -> None:
         self.flush_writeback()
         self._send(FuseOpcode.FSYNC, 1, {"datasync": False})
+
+    # ------------------------------------------------------------ crash model
+    def _capture_crash_shadow(self, ino: int) -> None:
+        """Snapshot the backing file before its first unflushed dirtying.
+
+        Pure bookkeeping: the snapshot travels outside the FUSE protocol and
+        charges nothing, so the clean-path cost profile is untouched.
+        """
+        if ino in self._crash_shadow:
+            return
+        server = getattr(self.connection, "server", None)
+        snapshot_of = getattr(server, "crash_snapshot", None)
+        if snapshot_of is None:
+            return
+        shadow = snapshot_of(ino)
+        if shadow is not None:
+            self._crash_shadow[ino] = shadow
+
+    def _shadow_truncate(self, ino: int, size: int) -> None:
+        """Mirror a synchronous (hence durable) truncate onto the pre-image."""
+        shadow = self._crash_shadow.get(ino)
+        if shadow is not None:
+            shadow.truncate(size)
+
+    def crash(self) -> None:
+        """Power-fail the client mount: the writeback cache's loss window.
+
+        Metadata operations (create, rename, truncate, xattrs, ...) reached
+        the server synchronously and survive.  Data written through the
+        writeback cache was forwarded eagerly only to keep the simulated
+        bytes consistent — until the dirty pages flush it is *not* durable,
+        so every still-dirty backing file is rewound to its pre-image shadow.
+        All client-side caches (pages, dentries, attributes, proxy inodes)
+        die with the kernel, and the flusher timer is disarmed.
+        """
+        server = getattr(self.connection, "server", None)
+        restore = getattr(server, "crash_restore", None)
+        if restore is not None:
+            for nodeid, shadow in self._crash_shadow.items():
+                restore(nodeid, shadow)
+        self._crash_shadow.clear()
+        self.page_cache.invalidate_all()
+        self.writeback.crash_discard()
+        self._entry_cache.clear()
+        self._attr_fresh.clear()
+        self._pending_forgets.clear()
+        # Proxy inodes are kernel memory; remount re-fetches them on demand.
+        self._inodes.clear()
+        super().crash()
+
+    def remount(self) -> None:
+        """Reconnect after :meth:`crash`: refresh the root, re-arm writeback."""
+        reply = self._send(FuseOpcode.GETATTR, 1, {})
+        if reply.attr is not None:
+            self._update_proxy(1, reply.attr)
+        self.writeback.retune()
+        super().remount()
 
     # ------------------------------------------------------------ attributes
     def getattr(self, ino: int):
@@ -624,6 +703,7 @@ class FuseClientFs(Filesystem):
         if reply.attr is not None:
             self._update_proxy(ino, reply.attr)
         if size is not None:
+            self._shadow_truncate(ino, size)
             self._truncate_pagecache(ino, size)
 
     # ------------------------------------------------------------ xattrs

@@ -284,6 +284,24 @@ class Kernel:
         self._pty_index += 1
         return idx
 
+    # ------------------------------------------------------------- crash model
+    def crash(self) -> None:
+        """Power-fail the machine and bring it straight back up.
+
+        Every filesystem under vm control crashes according to its own loss
+        semantics — tmpfs resets to an empty tree, ext4 drops its caches and
+        replays the journal on remount, a FUSE client loses its writeback
+        cache — and is remounted immediately.  Processes and their descriptor
+        tables survive in the simulation (the harness keeps driving them);
+        handles into vanished inodes surface ESTALE/ENOENT on next use, which
+        is exactly the stale-handle behaviour crash tests want to observe.
+        """
+        filesystems = self.vm.filesystems()
+        for fs in filesystems:
+            fs.crash()
+        for fs in filesystems:
+            fs.remount()
+
     # ------------------------------------------------------------- misc
     def ptrace_allowed(self, tracer: Process, target: Process) -> bool:
         """Yama-style check: same PID namespace (or a descendant) + CAP_SYS_PTRACE."""

@@ -215,5 +215,9 @@ def boot(cost_model: CostModel | None = None, tracer: Tracer | None = None,
     # container runtimes then make their namespaces private, and Cntr relies
     # on re-marking everything private inside its nested namespace.
     mounts.make_shared(mounts.root_mount, recursive=True)
+    # The freshly-populated root tree is the installed system: checkpoint it
+    # into the journal's durable image so a simulated power failure replays
+    # back to a booted host instead of an empty disk.  Pure bookkeeping.
+    rootfs.checkpoint()
     return Machine(kernel=kernel, init=init, rootfs=rootfs, procfs=procfs,
                    devfs=devfs, tmpfs=tmpfs)

@@ -28,6 +28,17 @@ class DeterministicRandom(random.Random):
         """Reset the stream back to its initial seed."""
         super().seed(self._initial_seed)
 
+    def substream(self, name: str) -> "DeterministicRandom":
+        """An independent deterministic stream derived from this one's seed.
+
+        Derivation uses only the *initial* seed, never the current stream
+        position, so ``rng.substream("ops")`` yields the same stream no
+        matter how much of ``rng`` was already consumed — the property the
+        fsstress fuzzer relies on to keep its op, crash-point and payload
+        streams independent yet reproducible from one seed.
+        """
+        return DeterministicRandom(f"{self._initial_seed}/{name}")
+
     def zipf_index(self, n: int, skew: float = 1.1) -> int:
         """Pick an index in ``[0, n)`` with a Zipf-like popularity skew."""
         if n <= 0:

@@ -1,0 +1,5 @@
+"""Seeded fsstress-style fuzzing for the crash-consistency engine."""
+
+from repro.stress.fsstress import FsStress, StressReport
+
+__all__ = ["FsStress", "StressReport"]

@@ -1,0 +1,48 @@
+"""CLI: ``python -m repro.stress --seeds 20 --ops 300``.
+
+Runs the seeded differential crash fuzzer over a range of seeds and exits
+nonzero on the first recorded divergence, printing every failing seed so a
+run can be replayed exactly with ``--base-seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.stress.fsstress import FsStress
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.stress",
+        description="seeded differential crash-consistency fuzzer")
+    parser.add_argument("--seeds", type=int, default=20,
+                        help="number of consecutive seeds to run (default 20)")
+    parser.add_argument("--base-seed", type=int, default=1,
+                        help="first seed of the range (default 1)")
+    parser.add_argument("--ops", type=int, default=300,
+                        help="operations per seed, split over rounds (default 300)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="crash rounds per seed (default 3)")
+    args = parser.parse_args(argv)
+
+    ops_per_round = max(1, args.ops // args.rounds)
+    failures = 0
+    for seed in range(args.base_seed, args.base_seed + args.seeds):
+        report = FsStress(seed, ops_per_round=ops_per_round,
+                          rounds=args.rounds).run()
+        print(report.format_line())
+        if not report.passed:
+            failures += 1
+            for divergence in report.divergences:
+                print(f"  {divergence}")
+    if failures:
+        print(f"{failures}/{args.seeds} seeds diverged", file=sys.stderr)
+        return 1
+    print(f"{args.seeds} seeds, no divergence")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

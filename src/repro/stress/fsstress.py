@@ -1,0 +1,364 @@
+"""Seeded differential fsstress: crash fuzzing across both xfstests rigs.
+
+The fuzzer drives the *same* pseudo-random operation soup — writes, truncates,
+renames, hole punches, fsyncs — through two independently booted machines, one
+mounting the native ext4 model and one mounting CntrFS over tmpfs, with a
+power failure injected at a seeded point in every round.  Two oracles watch:
+
+* **Differential equivalence** — before the crash the two rigs saw identical
+  syscall sequences, so every per-operation result (bytes written, errno) and
+  the full content tree must match bit for bit.  Post-crash the rigs are
+  *allowed* to differ (ext4 loses uncommitted metadata, CntrFS keeps it — the
+  server applied it synchronously), which is exactly the consistency trade-off
+  the paper's delayed-sync optimization makes.
+
+* **The durability ledger** — whenever an fsync/fdatasync/sync succeeds, the
+  affected files' exact content is recorded; any later mutation of a path
+  voids its entry.  After the crash every still-valid entry must resolve to a
+  file with byte-identical content on *both* rigs: fsync is a promise each
+  environment keeps under its own journal/writeback semantics.
+
+Determinism is absolute: the op stream, payloads and crash points all derive
+from :class:`repro.sim.rng.DeterministicRandom` substreams of one seed, and
+nothing reads wall-clock time, so one seed reproduces one run bit for bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.fs.constants import FallocateMode, OpenFlags
+from repro.fs.errors import FsError
+from repro.fs.inode import DirectoryInode, RegularInode, SymlinkInode
+from repro.sim.rng import DeterministicRandom
+from repro.xfstests.harness import (
+    TestEnvironment,
+    cntrfs_environment,
+    native_environment,
+)
+
+#: Maximum file size the op soup will produce (offsets + extents stay inside).
+MAX_FILE_BYTES = 64 << 10
+#: Largest single write extent.
+MAX_WRITE_BYTES = 16 << 10
+
+#: Operation mix, roughly fsstress-shaped: data ops dominate, sync points and
+#: namespace churn are common enough that every round exercises the journal.
+OP_WEIGHTS = (
+    ("write", 30),
+    ("truncate", 8),
+    ("punch", 6),
+    ("rename", 8),
+    ("unlink", 6),
+    ("open", 10),
+    ("close", 6),
+    ("fsync", 10),
+    ("fdatasync", 6),
+    ("sync", 4),
+)
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class StressRig:
+    """One environment under fuzz: fd table, content peeking, the ledger."""
+
+    def __init__(self, env: TestEnvironment, workdir: str) -> None:
+        self.env = env
+        self.workdir = workdir
+        self.fds: dict[str, int] = {}
+        #: name -> content digest recorded at the last successful sync point.
+        self.ledger: dict[str, str] = {}
+        self._peek_fs, self._peek_prefix = self._peek_target()
+
+    # --------------------------------------------------------------- plumbing
+    def _peek_target(self):
+        """Filesystem + relative path used for zero-cost content inspection.
+
+        The native rig peeks the ext4 model directly.  The CntrFS rig peeks
+        the *backing* tmpfs through the server's export root: the client's
+        proxy inodes store no bytes, but every write is forwarded eagerly, so
+        pre-crash the backing content equals the client's view and post-crash
+        it *is* the surviving truth.
+        """
+        fs = self.env.fs_under_test
+        server = getattr(getattr(fs, "connection", None), "server", None)
+        # /mnt/cntr/... and /mnt/backing/... share the path tail after /mnt/X.
+        rel = "/".join(self.workdir.split("/")[3:])
+        if server is not None:
+            export = server._nodes[1]  # noqa: SLF001 - fuzzer-internal peek
+            return export.fs, rel
+        return fs, rel
+
+    def _peek_dir_ino(self) -> int | None:
+        fs = self._peek_fs
+        inode = fs._inodes.get(fs.root_ino)  # noqa: SLF001
+        for part in self._peek_prefix.split("/"):
+            if not part:
+                continue
+            if not isinstance(inode, DirectoryInode):
+                return None
+            child = inode.entries.get(part)
+            if child is None:
+                return None
+            inode = fs._inodes.get(child)  # noqa: SLF001
+        return inode.ino if inode is not None else None
+
+    def peek_tree(self) -> dict[str, tuple[str, object]]:
+        """Zero-cost map of the workdir: name -> (kind, size/digest/target)."""
+        fs = self._peek_fs
+        dir_ino = self._peek_dir_ino()
+        if dir_ino is None:
+            return {}
+        root = fs._inodes.get(dir_ino)  # noqa: SLF001
+        out: dict[str, tuple[str, object]] = {}
+        if not isinstance(root, DirectoryInode):
+            return out
+        for name, ino in sorted(root.entries.items()):
+            if name in (".", ".."):
+                continue
+            inode = fs._inodes.get(ino)  # noqa: SLF001
+            if isinstance(inode, RegularInode):
+                out[name] = ("file", _digest(inode.data.to_bytes()))
+            elif isinstance(inode, DirectoryInode):
+                out[name] = ("dir", len(inode.entries))
+            elif isinstance(inode, SymlinkInode):
+                out[name] = ("symlink", inode.target)
+            elif inode is not None:
+                out[name] = ("special", inode.mode)
+        return out
+
+    def peek_file_digest(self, name: str) -> str | None:
+        tree = self.peek_tree()
+        entry = tree.get(name)
+        if entry is None or entry[0] != "file":
+            return None
+        return str(entry[1])
+
+    def state_hash(self) -> str:
+        """Deterministic digest of the workdir tree (no timestamps)."""
+        acc = hashlib.sha256()
+        for name, (kind, detail) in sorted(self.peek_tree().items()):
+            acc.update(f"{name}|{kind}|{detail}\n".encode())
+        return acc.hexdigest()
+
+    # ------------------------------------------------------------ crash/reset
+    def power_fail(self) -> None:
+        """Cut power: open descriptors vanish without a close, then the
+        filesystem crashes and remounts per its own loss semantics."""
+        process = self.env.sc.process
+        for fd in self.fds.values():
+            process.fds.pop(fd, None)
+        self.fds.clear()
+        self.env.power_fail()
+
+    def reset(self) -> None:
+        """Remove every surviving file and sync, leaving an empty durable dir."""
+        sc = self.env.sc
+        for fd in list(self.fds.values()):
+            try:
+                sc.close(fd)
+            except FsError:
+                pass
+        self.fds.clear()
+        for name in sorted(self.peek_tree()):
+            try:
+                sc.unlink(f"{self.workdir}/{name}")
+            except FsError:
+                pass
+        self.env.make_durable()
+        self.ledger.clear()
+
+
+@dataclass
+class StressReport:
+    """Outcome of one seeded fuzzing run."""
+
+    seed: int
+    rounds: int = 0
+    ops_applied: int = 0
+    crashes: int = 0
+    divergences: list[str] = field(default_factory=list)
+    #: Per-round (pre-crash state hash, crash index) — the determinism trace.
+    state_trace: list[tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when no oracle flagged a divergence."""
+        return not self.divergences
+
+    def format_line(self) -> str:
+        """One status line for the CLI."""
+        status = "ok" if self.passed else f"FAIL ({len(self.divergences)})"
+        return (f"seed={self.seed} rounds={self.rounds} ops={self.ops_applied} "
+                f"crashes={self.crashes} {status}")
+
+
+class FsStress:
+    """The seeded differential fuzzer."""
+
+    def __init__(self, seed: int | str, ops_per_round: int = 100,
+                 rounds: int = 3, file_pool: int = 8) -> None:
+        rng = DeterministicRandom(seed)
+        self._op_rng = rng.substream("ops")
+        self._data_rng = rng.substream("data")
+        self._crash_rng = rng.substream("crash")
+        self.ops_per_round = ops_per_round
+        self.rounds = rounds
+        self.names = [f"f{i}" for i in range(file_pool)]
+        self.report = StressReport(seed=rng.initial_seed)
+        self._ops = [name for name, weight in OP_WEIGHTS for _ in range(weight)]
+        self.rigs: list[StressRig] = []
+
+    # ---------------------------------------------------------------- setup
+    def _build_rigs(self) -> None:
+        for build in (native_environment, cntrfs_environment):
+            env = build()
+            workdir = f"{env.test_dir}/stress"
+            env.sc.makedirs(workdir)
+            env.make_durable()
+            self.rigs.append(StressRig(env, workdir))
+
+    # ------------------------------------------------------------- op engine
+    def _apply(self, rig: StressRig, op: str, name: str, other: str,
+               offset: int, size: int, fill: int):
+        """Run one op on one rig; returns ("ok", result) or ("err", errno)."""
+        sc = rig.env.sc
+        path = f"{rig.workdir}/{name}"
+        try:
+            if op == "open":
+                if name not in rig.fds:
+                    rig.fds[name] = sc.open(
+                        path, OpenFlags.O_CREAT | OpenFlags.O_RDWR, 0o644)
+                return "ok", None
+            if op == "close":
+                fd = rig.fds.pop(name, None)
+                if fd is not None:
+                    sc.close(fd)
+                return "ok", None
+            if op == "write":
+                fd = rig.fds.get(name)
+                if fd is None:
+                    return "ok", "noop"
+                written = sc.pwrite(fd, bytes([fill]) * size, offset)
+                rig.ledger.pop(name, None)
+                return "ok", written
+            if op == "truncate":
+                fd = rig.fds.get(name)
+                if fd is None:
+                    return "ok", "noop"
+                sc.ftruncate(fd, size)
+                rig.ledger.pop(name, None)
+                return "ok", None
+            if op == "punch":
+                fd = rig.fds.get(name)
+                if fd is None:
+                    return "ok", "noop"
+                sc.fallocate(fd, FallocateMode.PUNCH_HOLE |
+                             FallocateMode.KEEP_SIZE, offset, max(1, size))
+                rig.ledger.pop(name, None)
+                return "ok", None
+            if op == "rename":
+                sc.rename(path, f"{rig.workdir}/{other}")
+                if name != other:
+                    # The fd table is keyed by name: the moved inode's fd
+                    # follows it to its new name, and a descriptor for the
+                    # replaced file would otherwise keep fsyncing an orphan
+                    # the ledger can no longer observe through the path.
+                    replaced = rig.fds.pop(other, None)
+                    if replaced is not None:
+                        sc.close(replaced)
+                    if name in rig.fds:
+                        rig.fds[other] = rig.fds.pop(name)
+                rig.ledger.pop(name, None)
+                rig.ledger.pop(other, None)
+                return "ok", None
+            if op == "unlink":
+                if name in rig.fds:
+                    # Keep the soup simple: no unlink-while-open churn here
+                    # (generic/166+ covers it); drop the descriptor first.
+                    sc.close(rig.fds.pop(name))
+                sc.unlink(path)
+                rig.ledger.pop(name, None)
+                return "ok", None
+            if op in ("fsync", "fdatasync"):
+                fd = rig.fds.get(name)
+                if fd is None:
+                    return "ok", "noop"
+                (sc.fsync if op == "fsync" else sc.fdatasync)(fd)
+                digest = rig.peek_file_digest(name)
+                if digest is not None:
+                    rig.ledger[name] = digest
+                return "ok", None
+            if op == "sync":
+                rig.env.make_durable()
+                for fname, (kind, detail) in rig.peek_tree().items():
+                    if kind == "file":
+                        rig.ledger[fname] = str(detail)
+                return "ok", None
+        except FsError as exc:
+            return "err", exc.errno
+        raise AssertionError(f"unknown op {op}")
+
+    def _one_op(self, index: int) -> None:
+        rng = self._op_rng
+        op = rng.choice(self._ops)
+        name = rng.choice(self.names)
+        other = rng.choice(self.names)
+        offset = rng.randrange(0, MAX_FILE_BYTES - MAX_WRITE_BYTES)
+        size = rng.randrange(1, MAX_WRITE_BYTES) if op != "truncate" \
+            else rng.randrange(0, MAX_FILE_BYTES)
+        fill = self._data_rng.randrange(256)
+        outcomes = [self._apply(rig, op, name, other, offset, size, fill)
+                    for rig in self.rigs]
+        self.report.ops_applied += 1
+        if outcomes[0] != outcomes[1]:
+            self.report.divergences.append(
+                f"op {index} {op}({name}): native={outcomes[0]} "
+                f"cntrfs={outcomes[1]}")
+
+    # ------------------------------------------------------------- round loop
+    def _check_ledgers(self) -> None:
+        for rig, label in zip(self.rigs, ("native", "cntrfs")):
+            for name, digest in sorted(rig.ledger.items()):
+                survived = rig.peek_file_digest(name)
+                if survived != digest:
+                    self.report.divergences.append(
+                        f"{label}: fsynced {name} broke its durability "
+                        f"promise: expected {digest[:12]}, "
+                        f"found {survived and survived[:12]}")
+
+    def run(self) -> StressReport:
+        """Execute the fuzzing run and return its report."""
+        self._build_rigs()
+        for _round in range(self.rounds):
+            crash_at = self._crash_rng.randrange(1, self.ops_per_round + 1)
+            for index in range(crash_at):
+                self._one_op(index)
+                if self.report.divergences:
+                    return self.report
+            hashes = [rig.state_hash() for rig in self.rigs]
+            if hashes[0] != hashes[1]:
+                self.report.divergences.append(
+                    f"round {_round}: pre-crash trees differ: "
+                    f"{hashes[0][:12]} vs {hashes[1][:12]}")
+                return self.report
+            self.report.state_trace.append((hashes[0], crash_at))
+            for rig in self.rigs:
+                rig.power_fail()
+            self.report.crashes += 1
+            self._check_ledgers()
+            if self.report.divergences:
+                return self.report
+            for rig in self.rigs:
+                rig.reset()
+            empties = [rig.state_hash() for rig in self.rigs]
+            if empties[0] != empties[1]:
+                self.report.divergences.append(
+                    f"round {_round}: post-reset trees differ")
+                return self.report
+            self.report.rounds += 1
+        return self.report

@@ -1,11 +1,11 @@
-"""The generic test group: 150 filesystem regression tests.
+"""The generic test group: 203 filesystem regression tests.
 
 Each test is registered with an xfstests-style number.  Four of them
 (generic/228, generic/375, generic/391, generic/426) reproduce the cases the
 paper reports as failing on CntrFS because of deliberate design decisions
 (RLIMIT_FSIZE not enforced, ACL-aware setgid clearing delegated to the backing
 store, O_DIRECT unsupported in favour of mmap, inodes not exportable by
-handle); the remaining 146 pass on both the native filesystem and CntrFS.
+handle); the remaining 199 pass on both the native filesystem and CntrFS.
 Generic 91-114 harden the writeback/caching surface grown by the
 memory-pressure model: fsync/fdatasync/O_SYNC durability, the procfs
 ``drop_caches`` file, truncate-vs-dirty-pages interactions, rename over open
@@ -20,6 +20,19 @@ tightest-limit-wins, ``memory.max`` honoured by per-cgroup reclaim
 (``max``/0 = unlimited, lowering below usage reclaims synchronously),
 deterministic ``memory.high`` write throttling, cross-cgroup isolation,
 ``cgroup.procs`` migration and EINVAL/EACCES/ESRCH input validation.
+Generic 151-165 (group ``locks``) pin POSIX byte-range semantics: disjoint
+vs overlapping ranges, read/write compatibility, to-EOF locks, same-owner
+upgrade/replace, release on close/unlock, lock identity following the inode
+through rename, hard links and unlink, and advisoriness.  Generic 166-185
+(group ``crash``) exercise the power-fail + journal-replay engine:
+fsync/fdatasync/O_SYNC durability promises, ordered truncate/punch replay
+(re-extended gaps read zeros, never stale bytes), compound-transaction
+commits, uncommitted-change loss semantics (where ext4 rolls back but
+CntrFS's synchronous server keeps state — the paper's delayed-sync
+trade-off), timer lifecycle across crashes and double power failures.
+Generic 186-203 (group ``stress``) run seeded fsstress-style op soups
+checked byte-for-byte against a pure in-memory shadow model, the last six
+with a mid-soup power failure audited by a durability ledger.
 """
 
 from __future__ import annotations
@@ -39,6 +52,7 @@ from repro.fs.constants import (
 from repro.fs.errors import FsError
 from repro.kernel.capabilities import CapabilitySet, KNOWN_CAPABILITIES
 from repro.kernel.syscalls import Syscalls
+from repro.sim.rng import DeterministicRandom
 from repro.xfstests.harness import TestCase, TestEnvironment, TestFailure
 
 #: Registry filled by the @generic decorator.
@@ -2344,6 +2358,714 @@ def test_exportable_file_handles(env):
         env.check_equal(env.sc.read(fd, 100), b"handle me")
     finally:
         env.sc.close(fd)
+
+
+# ---------------------------------------------------------------------------
+# Advisory locking, extended: POSIX byte ranges, lock lifetime, advisoriness
+# ---------------------------------------------------------------------------
+def _lock_procs(env, count=2):
+    return [unprivileged(env, uid=0, keep_caps=frozenset(KNOWN_CAPABILITIES))
+            for _ in range(count)]
+
+
+@generic(151, "auto", "quick", "locks")
+def test_disjoint_ranges_do_not_conflict(env):
+    path = env.path("range-disjoint")
+    env.create_file(path, b"R" * 4096)
+    a, b = _lock_procs(env)
+    fd1, fd2 = a.open(path, RW), b.open(path, RW)
+    try:
+        a.flock(fd1, LockType.F_WRLCK, start=0, length=100)
+        b.flock(fd2, LockType.F_WRLCK, start=100, length=100)
+    finally:
+        a.close(fd1)
+        b.close(fd2)
+
+
+@generic(152, "auto", "quick", "locks")
+def test_overlapping_write_ranges_conflict(env):
+    path = env.path("range-overlap")
+    env.create_file(path, b"R" * 4096)
+    a, b = _lock_procs(env)
+    fd1, fd2 = a.open(path, RW), b.open(path, RW)
+    try:
+        a.flock(fd1, LockType.F_WRLCK, start=0, length=200)
+        env.check_errno(errno.EAGAIN, b.flock, fd2, LockType.F_WRLCK,
+                        start=100, length=200)
+    finally:
+        a.close(fd1)
+        b.close(fd2)
+
+
+@generic(153, "auto", "quick", "locks")
+def test_read_lock_blocks_overlapping_write(env):
+    path = env.path("range-rw")
+    env.create_file(path, b"R" * 4096)
+    a, b = _lock_procs(env)
+    fd1, fd2 = a.open(path, RW), b.open(path, RW)
+    try:
+        a.flock(fd1, LockType.F_RDLCK, start=0, length=500)
+        env.check_errno(errno.EAGAIN, b.flock, fd2, LockType.F_WRLCK,
+                        start=400, length=100)
+        # ... but another read lock on the same bytes is fine.
+        b.flock(fd2, LockType.F_RDLCK, start=400, length=100)
+    finally:
+        a.close(fd1)
+        b.close(fd2)
+
+
+@generic(154, "auto", "quick", "locks")
+def test_unlock_releases_the_range(env):
+    path = env.path("range-unlock")
+    env.create_file(path, b"R" * 4096)
+    a, b = _lock_procs(env)
+    fd1, fd2 = a.open(path, RW), b.open(path, RW)
+    try:
+        a.flock(fd1, LockType.F_WRLCK, start=0, length=100)
+        env.check_errno(errno.EAGAIN, b.flock, fd2, LockType.F_WRLCK,
+                        start=50, length=10)
+        a.flock(fd1, LockType.F_UNLCK, start=0, length=100)
+        b.flock(fd2, LockType.F_WRLCK, start=50, length=10)
+    finally:
+        a.close(fd1)
+        b.close(fd2)
+
+
+@generic(155, "auto", "quick", "locks")
+def test_to_eof_lock_covers_every_higher_offset(env):
+    path = env.path("range-eof")
+    env.create_file(path, b"R" * 4096)
+    a, b = _lock_procs(env)
+    fd1, fd2 = a.open(path, RW), b.open(path, RW)
+    try:
+        a.flock(fd1, LockType.F_WRLCK, start=1000, length=0)
+        env.check_errno(errno.EAGAIN, b.flock, fd2, LockType.F_WRLCK,
+                        start=1 << 30, length=16)
+        b.flock(fd2, LockType.F_WRLCK, start=0, length=1000)
+    finally:
+        a.close(fd1)
+        b.close(fd2)
+
+
+@generic(156, "auto", "quick", "locks")
+def test_same_owner_upgrades_read_to_write(env):
+    path = env.path("range-upgrade")
+    env.create_file(path, b"R" * 4096)
+    a, b = _lock_procs(env)
+    fd1, fd2 = a.open(path, RW), b.open(path, RW)
+    try:
+        a.flock(fd1, LockType.F_RDLCK, start=0, length=100)
+        a.flock(fd1, LockType.F_WRLCK, start=0, length=100)
+        env.check_errno(errno.EAGAIN, b.flock, fd2, LockType.F_RDLCK,
+                        start=0, length=100)
+    finally:
+        a.close(fd1)
+        b.close(fd2)
+
+
+@generic(157, "auto", "quick", "locks")
+def test_close_releases_range_locks(env):
+    path = env.path("range-close")
+    env.create_file(path, b"R" * 4096)
+    a, b = _lock_procs(env)
+    fd1 = a.open(path, RW)
+    a.flock(fd1, LockType.F_WRLCK, start=0, length=0)
+    a.close(fd1)
+    fd2 = b.open(path, RW)
+    try:
+        b.flock(fd2, LockType.F_WRLCK, start=0, length=0)
+    finally:
+        b.close(fd2)
+
+
+@generic(158, "auto", "quick", "locks")
+def test_unlink_under_lock(env):
+    """An unlinked-but-locked file keeps its lock; a fresh file under the
+    same name starts with a clean lock table."""
+    path = env.path("lock-unlink")
+    env.create_file(path, b"L" * 64)
+    a, b = _lock_procs(env)
+    fd1 = a.open(path, RW)
+    try:
+        a.flock(fd1, LockType.F_WRLCK)
+        env.sc.unlink(path)
+        env.create_file(path, b"fresh")
+        fd2 = b.open(path, RW)
+        try:
+            b.flock(fd2, LockType.F_WRLCK)
+        finally:
+            b.close(fd2)
+        env.check_equal(a.pread(fd1, 4, 0), b"LLLL",
+                        "old inode stays readable under its lock")
+    finally:
+        a.close(fd1)
+
+
+@generic(159, "auto", "quick", "locks")
+def test_lock_follows_inode_across_rename(env):
+    path = env.path("lock-rename-src")
+    moved = env.path("lock-rename-dst")
+    env.create_file(path, b"L" * 64)
+    a, b = _lock_procs(env)
+    fd1 = a.open(path, RW)
+    try:
+        a.flock(fd1, LockType.F_WRLCK)
+        env.sc.rename(path, moved)
+        fd2 = b.open(moved, RW)
+        try:
+            env.check_errno(errno.EAGAIN, b.flock, fd2, LockType.F_WRLCK)
+        finally:
+            b.close(fd2)
+    finally:
+        a.close(fd1)
+
+
+@generic(160, "auto", "quick", "locks")
+def test_lock_shared_through_hard_links(env):
+    path = env.path("lock-link-a")
+    alias = env.path("lock-link-b")
+    env.create_file(path, b"L" * 64)
+    env.sc.link(path, alias)
+    a, b = _lock_procs(env)
+    fd1, fd2 = a.open(path, RW), b.open(alias, RW)
+    try:
+        a.flock(fd1, LockType.F_WRLCK)
+        env.check_errno(errno.EAGAIN, b.flock, fd2, LockType.F_WRLCK)
+    finally:
+        a.close(fd1)
+        b.close(fd2)
+
+
+@generic(161, "auto", "quick", "locks")
+def test_writer_blocked_until_all_readers_release(env):
+    path = env.path("lock-readers")
+    env.create_file(path, b"L" * 64)
+    r1, r2, w = _lock_procs(env, 3)
+    fd1, fd2 = r1.open(path, RW), r2.open(path, RW)
+    fd3 = w.open(path, RW)
+    try:
+        r1.flock(fd1, LockType.F_RDLCK)
+        r2.flock(fd2, LockType.F_RDLCK)
+        env.check_errno(errno.EAGAIN, w.flock, fd3, LockType.F_WRLCK)
+        r1.flock(fd1, LockType.F_UNLCK)
+        env.check_errno(errno.EAGAIN, w.flock, fd3, LockType.F_WRLCK)
+        r2.flock(fd2, LockType.F_UNLCK)
+        w.flock(fd3, LockType.F_WRLCK)
+    finally:
+        r1.close(fd1)
+        r2.close(fd2)
+        w.close(fd3)
+
+
+@generic(162, "auto", "quick", "locks")
+def test_conflict_is_per_range_not_per_file(env):
+    path = env.path("lock-per-range")
+    env.create_file(path, b"L" * 4096)
+    a, b = _lock_procs(env)
+    fd1, fd2 = a.open(path, RW), b.open(path, RW)
+    try:
+        a.flock(fd1, LockType.F_WRLCK, start=0, length=100)
+        a.flock(fd1, LockType.F_WRLCK, start=200, length=100)
+        env.check_errno(errno.EAGAIN, b.flock, fd2, LockType.F_WRLCK,
+                        start=250, length=10)
+        b.flock(fd2, LockType.F_WRLCK, start=100, length=100)
+    finally:
+        a.close(fd1)
+        b.close(fd2)
+
+
+@generic(163, "auto", "quick", "locks")
+def test_locks_survive_fsync_and_sync(env):
+    path = env.path("lock-sync")
+    env.create_file(path, b"L" * 64)
+    a, b = _lock_procs(env)
+    fd1, fd2 = a.open(path, RW), b.open(path, RW)
+    try:
+        a.flock(fd1, LockType.F_WRLCK)
+        a.pwrite(fd1, b"sync me", 0)
+        a.fsync(fd1)
+        env.make_durable()
+        env.check_errno(errno.EAGAIN, b.flock, fd2, LockType.F_WRLCK)
+    finally:
+        a.close(fd1)
+        b.close(fd2)
+
+
+@generic(164, "auto", "quick", "locks")
+def test_partial_unlock_keeps_other_ranges(env):
+    path = env.path("lock-partial")
+    env.create_file(path, b"L" * 4096)
+    a, b = _lock_procs(env)
+    fd1, fd2 = a.open(path, RW), b.open(path, RW)
+    try:
+        a.flock(fd1, LockType.F_WRLCK, start=0, length=100)
+        a.flock(fd1, LockType.F_WRLCK, start=200, length=100)
+        a.flock(fd1, LockType.F_UNLCK, start=0, length=100)
+        b.flock(fd2, LockType.F_WRLCK, start=0, length=100)
+        env.check_errno(errno.EAGAIN, b.flock, fd2, LockType.F_WRLCK,
+                        start=200, length=100)
+    finally:
+        a.close(fd1)
+        b.close(fd2)
+
+
+@generic(165, "auto", "quick", "locks")
+def test_locks_are_advisory(env):
+    path = env.path("lock-advisory")
+    env.create_file(path, b"A" * 64)
+    a, b = _lock_procs(env)
+    fd1, fd2 = a.open(path, RW), b.open(path, RW)
+    try:
+        a.flock(fd1, LockType.F_WRLCK)
+        # A non-cooperating process reads and writes straight through.
+        env.check_equal(b.pread(fd2, 4, 0), b"AAAA", "advisory read")
+        b.pwrite(fd2, b"BBBB", 0)
+        env.check_equal(a.pread(fd1, 4, 0), b"BBBB", "advisory write")
+    finally:
+        a.close(fd1)
+        b.close(fd2)
+
+
+# ---------------------------------------------------------------------------
+# Crash consistency: power-fail injection and journal replay.  Every case
+# starts with make_durable() so state left by earlier cases in the shared
+# environment is pinned down before the power goes out.
+# ---------------------------------------------------------------------------
+def _drop_fd_raw(env, fd: int) -> None:
+    """Lose a descriptor the way a power failure does: no close, no flush."""
+    env.sc.process.fds.pop(fd, None)
+
+
+@generic(166, "auto", "quick", "crash")
+def test_fsynced_data_survives_power_fail(env):
+    env.make_durable()
+    path = env.path("crash-fsynced")
+    fd = env.sc.open(path, CREAT_RW, 0o644)
+    env.sc.write(fd, b"promised" * 512)
+    env.sc.fsync(fd)
+    _drop_fd_raw(env, fd)
+    env.power_fail()
+    env.check_equal(env.read_file(path), b"promised" * 512,
+                    "fsync is a durability promise")
+
+
+@generic(167, "auto", "quick", "crash")
+def test_unsynced_create_loss_semantics(env):
+    """ext4 loses an uncommitted create entirely; CntrFS keeps it because
+    the server applied the metadata (and the close-time flush) synchronously
+    — the paper's delayed-sync consistency trade-off, made visible."""
+    env.make_durable()
+    path = env.path("crash-unsynced")
+    env.create_file(path, b"maybe" * 100)
+    env.power_fail()
+    if env.is_cntrfs:
+        env.check_equal(env.read_file(path), b"maybe" * 100,
+                        "server-side state survives a client crash")
+    else:
+        env.check(not env.sc.exists(path),
+                  "an uncommitted create must not survive an ext4 crash")
+
+
+@generic(168, "auto", "quick", "crash")
+def test_dirty_tail_after_fsync_is_lost(env):
+    env.make_durable()
+    path = env.path("crash-tail")
+    fd = env.sc.open(path, CREAT_RW, 0o644)
+    env.sc.write(fd, b"D" * 1000)
+    env.sc.fsync(fd)
+    env.sc.pwrite(fd, b"T" * 8192, 1000)   # never flushed
+    _drop_fd_raw(env, fd)
+    env.power_fail()
+    env.check_equal(env.read_file(path), b"D" * 1000,
+                    "the unflushed tail dies with the caches")
+
+
+@generic(169, "auto", "quick", "crash")
+def test_fdatasync_makes_extension_durable(env):
+    env.make_durable()
+    path = env.path("crash-fdatasync")
+    fd = env.sc.open(path, CREAT_RW, 0o644)
+    env.sc.write(fd, b"E" * 3000)
+    env.sc.fdatasync(fd)
+    _drop_fd_raw(env, fd)
+    env.power_fail()
+    env.check_equal(env.read_file(path), b"E" * 3000,
+                    "fdatasync covers data and the i_size extension")
+
+
+@generic(170, "auto", "quick", "crash")
+def test_osync_writes_survive(env):
+    env.make_durable()
+    path = env.path("crash-osync")
+    fd = env.sc.open(path, CREAT_WR | OpenFlags.O_SYNC, 0o644)
+    env.sc.write(fd, b"S" * 2048)
+    _drop_fd_raw(env, fd)
+    env.power_fail()
+    env.check_equal(env.read_file(path), b"S" * 2048,
+                    "O_SYNC data is durable at write return")
+
+
+@generic(171, "auto", "quick", "crash")
+def test_committed_truncate_down_survives(env):
+    env.make_durable()
+    path = env.path("crash-shrink")
+    fd = env.sc.open(path, CREAT_RW, 0o644)
+    env.sc.write(fd, b"F" * 4096)
+    env.sc.fsync(fd)
+    env.sc.ftruncate(fd, 100)
+    env.sc.fsync(fd)
+    _drop_fd_raw(env, fd)
+    env.power_fail()
+    env.check_equal(env.read_file(path), b"F" * 100,
+                    "a committed shrink holds after replay")
+
+
+@generic(172, "auto", "quick", "crash")
+def test_truncate_down_then_up_reads_zeros(env):
+    """Replay must never resurrect pre-truncate bytes in the re-extended gap
+    — the delayed-allocation guarantee (zeros, not stale data)."""
+    env.make_durable()
+    path = env.path("crash-downup")
+    fd = env.sc.open(path, CREAT_RW, 0o644)
+    env.sc.write(fd, b"G" * 1000)
+    env.sc.fsync(fd)
+    env.sc.ftruncate(fd, 100)
+    env.sc.ftruncate(fd, 2000)
+    env.sc.fsync(fd)
+    _drop_fd_raw(env, fd)
+    env.power_fail()
+    data = env.read_file(path)
+    env.check_equal(len(data), 2000, "committed size")
+    env.check_equal(data[:100], b"G" * 100, "surviving prefix")
+    env.check_equal(data[100:], b"\x00" * 1900,
+                    "the re-extended gap must read zeros, not stale bytes")
+
+
+@generic(173, "auto", "quick", "crash")
+def test_committed_punch_stays_punched(env):
+    env.make_durable()
+    path = env.path("crash-punch")
+    fd = env.sc.open(path, CREAT_RW, 0o644)
+    env.sc.write(fd, b"H" * 8192)
+    env.sc.fsync(fd)
+    env.sc.fallocate(fd, FallocateMode.PUNCH_HOLE | FallocateMode.KEEP_SIZE,
+                     0, 4096)
+    env.sc.fsync(fd)
+    _drop_fd_raw(env, fd)
+    env.power_fail()
+    data = env.read_file(path)
+    env.check_equal(data[:4096], b"\x00" * 4096, "the hole survives the crash")
+    env.check_equal(data[4096:], b"H" * 4096, "bytes outside the hole survive")
+
+
+@generic(174, "auto", "quick", "crash")
+def test_uncommitted_truncate_loss_semantics(env):
+    env.make_durable()
+    path = env.path("crash-uncommitted-trunc")
+    fd = env.sc.open(path, CREAT_RW, 0o644)
+    env.sc.write(fd, b"I" * 500)
+    env.sc.fsync(fd)
+    env.sc.ftruncate(fd, 10)       # never committed
+    _drop_fd_raw(env, fd)
+    env.power_fail()
+    data = env.read_file(path)
+    if env.is_cntrfs:
+        env.check_equal(data, b"I" * 10, "SETATTR reached the server")
+    else:
+        env.check_equal(data, b"I" * 500,
+                        "an uncommitted shrink never happened on ext4")
+
+
+@generic(175, "auto", "quick", "crash")
+def test_committed_rename_survives(env):
+    env.make_durable()
+    src, dst = env.path("crash-ren-src"), env.path("crash-ren-dst")
+    env.create_file(src, b"J" * 200)
+    fd = env.sc.open(src, RW)
+    env.sc.fsync(fd)
+    env.sc.rename(src, dst)
+    env.sc.fsync(fd)               # commits the rename (compound txn)
+    _drop_fd_raw(env, fd)
+    env.power_fail()
+    env.check(not env.sc.exists(src), "the old name is gone")
+    env.check_equal(env.read_file(dst), b"J" * 200, "the new name holds")
+
+
+@generic(176, "auto", "quick", "crash")
+def test_uncommitted_rename_loss_semantics(env):
+    env.make_durable()
+    src, dst = env.path("crash-uren-src"), env.path("crash-uren-dst")
+    env.create_file(src, b"K" * 100)
+    env.make_durable()
+    env.sc.rename(src, dst)        # never committed
+    env.power_fail()
+    if env.is_cntrfs:
+        env.check(env.sc.exists(dst) and not env.sc.exists(src),
+                  "the server applied the rename synchronously")
+    else:
+        env.check(env.sc.exists(src) and not env.sc.exists(dst),
+                  "an uncommitted rename rolls back on ext4")
+
+
+@generic(177, "auto", "quick", "crash")
+def test_committed_unlink_stays_gone(env):
+    env.make_durable()
+    path = env.path("crash-unlink")
+    env.create_file(path, b"L" * 100)
+    env.make_durable()
+    env.sc.unlink(path)
+    anchor = env.path("crash-unlink-anchor")
+    fd = env.sc.open(anchor, CREAT_RW, 0o644)
+    env.sc.fsync(fd)               # commits the whole compound transaction
+    env.sc.close(fd)
+    env.power_fail()
+    env.check(not env.sc.exists(path),
+              "a committed unlink must not resurrect the file")
+
+
+@generic(178, "auto", "quick", "crash")
+def test_fsync_commits_the_compound_transaction(env):
+    """Like jbd2, any fsync publishes every running metadata record — a
+    sibling file's create becomes durable on the back of an unrelated fsync."""
+    env.make_durable()
+    hitchhiker = env.path("crash-hitchhiker")
+    env.create_file(hitchhiker, b"M" * 64)
+    env.make_durable()             # data flushed; metadata already recorded
+    anchor = env.path("crash-anchor")
+    fd = env.sc.open(anchor, CREAT_RW, 0o644)
+    env.sc.write(fd, b"N" * 64)
+    env.sc.fsync(fd)
+    env.sc.close(fd)
+    env.power_fail()
+    env.check_equal(env.read_file(hitchhiker), b"M" * 64,
+                    "the sibling create rode the compound commit")
+    env.check_equal(env.read_file(anchor), b"N" * 64, "the anchor itself")
+
+
+@generic(179, "auto", "quick", "crash")
+def test_committed_xattr_survives(env):
+    env.make_durable()
+    path = env.path("crash-xattr")
+    env.create_file(path, b"O" * 10)
+    env.sc.setxattr(path, "user.tag", b"sticky")
+    fd = env.sc.open(path, RW)
+    env.sc.fsync(fd)
+    env.sc.close(fd)
+    env.power_fail()
+    env.check_equal(env.sc.getxattr(path, "user.tag"), b"sticky",
+                    "committed xattr after replay")
+
+
+@generic(180, "auto", "quick", "crash")
+def test_committed_hard_link_survives(env):
+    env.make_durable()
+    path, alias = env.path("crash-link-a"), env.path("crash-link-b")
+    env.create_file(path, b"P" * 100)
+    env.sc.link(path, alias)
+    fd = env.sc.open(path, RW)
+    env.sc.fsync(fd)
+    env.sc.close(fd)
+    env.power_fail()
+    env.check_equal(env.read_file(alias), b"P" * 100, "alias content")
+    env.check_equal(env.sc.stat(path).st_nlink, 2, "link count after replay")
+
+
+@generic(181, "auto", "quick", "crash")
+def test_crash_with_no_dirty_state_is_a_noop(env):
+    env.make_durable()
+    path = env.path("crash-clean")
+    env.create_file(path, b"Q" * 300)
+    env.make_durable()
+    before = env.read_file(path)
+    env.power_fail()
+    env.check_equal(env.read_file(path), before,
+                    "a clean crash changes nothing observable")
+
+
+@generic(182, "auto", "quick", "crash")
+def test_double_power_fail(env):
+    env.make_durable()
+    path = env.path("crash-double")
+    fd = env.sc.open(path, CREAT_RW, 0o644)
+    env.sc.write(fd, b"R" * 128)
+    env.sc.fsync(fd)
+    _drop_fd_raw(env, fd)
+    env.power_fail()
+    env.power_fail()
+    env.check_equal(env.read_file(path), b"R" * 128,
+                    "back-to-back crashes replay to the same state")
+
+
+@generic(183, "auto", "quick", "crash")
+def test_open_descriptor_works_after_remount(env):
+    """Inode numbers are stable across replay (native) and nodeids outlive
+    the client (CntrFS), so a surviving descriptor still reads the durable
+    content after the crash."""
+    env.make_durable()
+    path = env.path("crash-fd")
+    fd = env.sc.open(path, CREAT_RW, 0o644)
+    env.sc.write(fd, b"S" * 256)
+    env.sc.fsync(fd)
+    env.power_fail()
+    try:
+        env.check_equal(env.sc.pread(fd, 256, 0), b"S" * 256,
+                        "durable bytes through a pre-crash descriptor")
+    finally:
+        env.sc.process.fds.pop(fd, None)
+
+
+@generic(184, "auto", "quick", "crash")
+def test_crash_disarms_writeback_timer(env):
+    """A crashed engine must never fire against the shared clock; the
+    remount re-arms it and background writeback works again."""
+    env.make_durable()
+    engine = env.fs_under_test.writeback
+    path = env.path("crash-timer")
+    fd = env.sc.open(path, CREAT_RW, 0o644)
+    env.sc.write(fd, b"T" * 512)
+    _drop_fd_raw(env, fd)
+    env.fs_under_test.crash()
+    env.check_equal(engine.total_pending, 0,
+                    "crash_discard drops every pending byte")
+    env.check(engine._flusher_timer is None,
+              "the kupdate timer is disarmed by the crash")
+    env.fs_under_test.remount()
+    fd = env.sc.open(path, CREAT_RW, 0o644)
+    env.sc.write(fd, b"U" * 64)
+    env.sc.fsync(fd)
+    env.sc.close(fd)
+    env.check_equal(env.read_file(path), b"U" * 64, "writeback works again")
+
+
+@generic(185, "auto", "quick", "crash")
+def test_synced_directory_tree_survives(env):
+    env.make_durable()
+    base = env.path("crash-tree")
+    env.sc.makedirs(f"{base}/a/b")
+    env.create_file(f"{base}/a/x", b"V" * 10)
+    env.create_file(f"{base}/a/b/y", b"W" * 20)
+    env.sc.symlink(f"{base}/a/x", f"{base}/a/b/z")
+    env.make_durable()
+    env.power_fail()
+    env.check_equal(env.read_file(f"{base}/a/x"), b"V" * 10, "file in tree")
+    env.check_equal(env.read_file(f"{base}/a/b/y"), b"W" * 20, "nested file")
+    env.check_equal(env.sc.readlink(f"{base}/a/b/z"), f"{base}/a/x", "symlink")
+
+
+# ---------------------------------------------------------------------------
+# Seeded stress soups: a deterministic fsstress-style op mix checked against
+# a pure in-memory shadow model, with optional power failure + durability
+# ledger.  Single-environment by construction — every assertion holds on
+# both the native model and CntrFS.
+# ---------------------------------------------------------------------------
+def _soup_shadow_write(shadow: bytearray, offset: int, data: bytes) -> None:
+    if offset > len(shadow):
+        shadow.extend(b"\x00" * (offset - len(shadow)))
+    shadow[offset:offset + len(data)] = data
+
+
+def _stress_soup(env, seed: str, ops: int, pool: int = 4,
+                 crash: bool = False) -> None:
+    rng = DeterministicRandom(seed)
+    base = env.path(f"soup-{seed.replace('/', '-')}")
+    env.sc.makedirs(base)
+    env.make_durable()
+    names = [f"s{i}" for i in range(pool)]
+    shadow: dict[str, bytearray] = {}
+    fds: dict[str, int] = {}
+    ledger: dict[str, bytes] = {}
+    choices = ["write"] * 6 + ["truncate", "punch", "rename", "unlink",
+                               "fsync", "fsync"]
+    for _ in range(ops):
+        op = rng.choice(choices)
+        name, other = rng.choice(names), rng.choice(names)
+        path = f"{base}/{name}"
+        if op == "write":
+            if name not in fds:
+                fds[name] = env.sc.open(path, CREAT_RW, 0o644)
+                shadow.setdefault(name, bytearray())
+            offset = rng.randrange(0, 16384)
+            data = bytes([rng.randrange(33, 127)]) * rng.randrange(1, 4096)
+            env.sc.pwrite(fds[name], data, offset)
+            _soup_shadow_write(shadow[name], offset, data)
+            ledger.pop(name, None)
+        elif op == "truncate" and name in fds:
+            size = rng.randrange(0, 20000)
+            env.sc.ftruncate(fds[name], size)
+            blob = shadow[name]
+            if size <= len(blob):
+                del blob[size:]
+            else:
+                blob.extend(b"\x00" * (size - len(blob)))
+            ledger.pop(name, None)
+        elif op == "punch" and name in fds:
+            offset = rng.randrange(0, 8192)
+            length = rng.randrange(1, 8192)
+            env.sc.fallocate(fds[name], FallocateMode.PUNCH_HOLE |
+                             FallocateMode.KEEP_SIZE, offset, length)
+            blob = shadow[name]
+            end = min(len(blob), offset + length)
+            if offset < end:
+                blob[offset:end] = b"\x00" * (end - offset)
+            ledger.pop(name, None)
+        elif op == "rename" and name in shadow and name != other:
+            env.sc.rename(path, f"{base}/{other}")
+            if other in fds:
+                env.sc.close(fds.pop(other))
+            if name in fds:
+                fds[other] = fds.pop(name)
+            shadow[other] = shadow.pop(name)
+            ledger.pop(name, None)
+            ledger.pop(other, None)
+        elif op == "unlink" and name in shadow:
+            if name in fds:
+                env.sc.close(fds.pop(name))
+            env.sc.unlink(path)
+            shadow.pop(name)
+            ledger.pop(name, None)
+        elif op == "fsync" and name in fds:
+            env.sc.fsync(fds[name])
+            ledger[name] = bytes(shadow[name])
+    # Differential check: live tree vs the shadow model, byte for byte.
+    for name, blob in sorted(shadow.items()):
+        env.check_equal(env.read_file(f"{base}/{name}", size=1 << 20),
+                        bytes(blob), f"shadow-model divergence on {name}")
+    env.check_equal(sorted(env.sc.listdir(base)), sorted(shadow),
+                    "directory listing vs shadow namespace")
+    if crash:
+        for fd in fds.values():
+            env.sc.process.fds.pop(fd, None)
+        fds.clear()
+        env.power_fail()
+        for name, blob in sorted(ledger.items()):
+            env.check_equal(env.read_file(f"{base}/{name}", size=1 << 20),
+                            blob, f"durability ledger broken for {name}")
+    # Leave the shared environment clean (and durable) for later cases.
+    for fd in fds.values():
+        env.sc.close(fd)
+    for name in env.sc.listdir(base):
+        env.sc.unlink(f"{base}/{name}")
+    env.sc.rmdir(base)
+    env.make_durable()
+
+
+def _stress_case(number: int, seed: str, ops: int, pool: int, crash: bool):
+    @generic(number, "auto", "stress")
+    def soup(env, _seed=seed, _ops=ops, _pool=pool, _crash=crash):
+        _stress_soup(env, _seed, _ops, pool=_pool, crash=_crash)
+    soup.__name__ = f"test_stress_soup_{number}"
+    return soup
+
+
+# generic/186-197: shadow-model soups of growing size and churn.
+for _i, _number in enumerate(range(186, 198)):
+    _stress_case(_number, seed=f"soup/{_number}", ops=40 + 10 * _i,
+                 pool=3 + _i % 4, crash=False)
+
+# generic/198-203: the same soups with a power failure and ledger audit.
+for _i, _number in enumerate(range(198, 204)):
+    _stress_case(_number, seed=f"soupcrash/{_number}", ops=50 + 15 * _i,
+                 pool=3 + _i % 3, crash=True)
 
 
 def tests_by_id() -> dict[str, TestCase]:

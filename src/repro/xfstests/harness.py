@@ -106,6 +106,27 @@ class TestEnvironment:
         finally:
             self.sc.close(fd)
 
+    # ------------------------------------------------------------- crash model
+    def make_durable(self) -> None:
+        """``sync`` the filesystem under test: everything before this call is
+        on stable storage and must survive a subsequent :meth:`power_fail`.
+
+        Crash cases in the shared environment call this first so state left
+        behind by *earlier* cases is pinned down before the power goes out.
+        """
+        self.fs_under_test.sync()
+
+    def power_fail(self) -> None:
+        """Power-fail the filesystem under test and bring it back.
+
+        Native ext4 drops its volatile state and replays the journal; the
+        CntrFS client loses its writeback cache (the backing store and server
+        survive — the container-crash scenario the paper's consistency
+        trade-off is about).  The mount is usable again on return.
+        """
+        self.fs_under_test.crash()
+        self.fs_under_test.remount()
+
     # ------------------------------------------------------------- assertions
     def check(self, condition: bool, message: str) -> None:
         """Fail the test when ``condition`` is false."""
