@@ -88,7 +88,7 @@ def test_flush_count_deltas_explain_virtual_time(dirty_bytes_sweep):
     virtual = [r.virtual_ms for r in dirty_bytes_sweep]
     assert virtual == sorted(virtual, reverse=True) and virtual[0] > virtual[-1]
     per_flush_ns = costs.fuse_writeback_flush_ns + costs.disk_seek_ns
-    for a, b in zip(dirty_bytes_sweep, dirty_bytes_sweep[1:]):
+    for a, b in zip(dirty_bytes_sweep, dirty_bytes_sweep[1:], strict=False):
         expected_delta_ms = (a.flushes - b.flushes) * per_flush_ns / 1e6
         assert (a.virtual_ms - b.virtual_ms) == \
             pytest.approx(expected_delta_ms, rel=1e-3)

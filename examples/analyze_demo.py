@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Walkthrough: the static-analysis gate catching a determinism bug.
+
+The simulator's replay guarantee — same seed, byte-identical run — dies the
+moment simulation code reads the wall clock.  This demo copies a real cost
+model into a scratch package, injects the classic mistake (timestamping an
+event with ``time.time()``), and shows ``repro.analyze`` rejecting it; then
+it shows the suppression workflow and why an unused suppression is itself an
+error.
+
+Run with:  PYTHONPATH=src python examples/analyze_demo.py
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import repro
+from repro.analyze import AnalysisConfig, run_analysis
+
+INJECTION = '''
+
+def _debug_stamp():
+    """The classic mistake: wall-clock timestamps in simulation code."""
+    import time
+    return time.time()
+'''
+
+
+def show(title: str, findings) -> None:
+    print(f"--- {title}")
+    if not findings:
+        print("    clean")
+    for f in findings:
+        print(f"    {Path(f.path).name}:{f.line}: [{f.rule}] {f.message}")
+    print()
+
+
+def main() -> None:
+    src = Path(repro.__file__).parent
+    scratch = Path(tempfile.mkdtemp(prefix="analyze_demo_"))
+    try:
+        # A scratch copy of the sim layer — the clock, cost tables, RNG.
+        pkg = scratch / "demo"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        shutil.copy(src / "sim" / "costs.py", pkg / "costs.py")
+
+        config = AnalysisConfig(layers=("demo",), hard_bans=(),
+                                errno_layers=(), rng_modules=("demo.rng",),
+                                wallclock_allow=())
+
+        show("pristine copy of repro/sim/costs.py",
+             run_analysis([pkg], config=config))
+
+        # Inject the bug a tired commit at 2am actually writes.
+        target = pkg / "costs.py"
+        target.write_text(target.read_text() + INJECTION)
+        findings = run_analysis([pkg], config=config)
+        show("after injecting a time.time() call", findings)
+        assert any(f.rule == "determinism" for f in findings), \
+            "the analyzer must catch the wall-clock read"
+
+        # Suppressing it makes the run clean again — but the silence is
+        # line-anchored and audited, not a blanket waiver.
+        text = target.read_text().replace(
+            "    return time.time()",
+            "    return time.time()  # simlint: ignore[determinism]")
+        target.write_text(text)
+        show("with a line-anchored suppression", run_analysis([pkg], config=config))
+
+        # Fix the bug but forget the suppression: the stale silence is
+        # itself a finding, so exemptions can never outlive their excuse.
+        text = target.read_text().replace(
+            "    return time.time()  # simlint: ignore[determinism]",
+            "    return 0  # simlint: ignore[determinism]")
+        target.write_text(text)
+        show("bug fixed, suppression forgotten", run_analysis([pkg], config=config))
+    finally:
+        shutil.rmtree(scratch)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Static invariant checkers for the simulator (``python -m repro.analyze``).
+
+The package enforces the contracts the runtime oracles (bench pins, the
+differential fuzzer) can only verify after the fact — determinism, clock
+accounting, package layering, errno discipline and timer/RNG hygiene — as
+AST analyses that gate CI before the test matrix runs.  See ANALYSIS.md for
+the rule catalogue and the suppression workflow.
+
+The package deliberately imports nothing from the rest of the tree (it is
+the one component allowed to know *about* every layer without depending on
+any — enforced by its own layering rule's hard ban).
+"""
+
+from repro.analyze.core import (
+    AnalysisConfig,
+    DEFAULT_CONFIG,
+    Finding,
+    RULES,
+    SUPPRESSION_RULE,
+    render_findings,
+    run_analysis,
+)
+
+__all__ = [
+    "AnalysisConfig",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "RULES",
+    "SUPPRESSION_RULE",
+    "render_findings",
+    "run_analysis",
+]

@@ -1,0 +1,133 @@
+"""CLI for the invariant checker suite.
+
+Usage::
+
+    python -m repro.analyze                 # analyze src/repro, text output
+    python -m repro.analyze --json          # machine-readable findings
+    python -m repro.analyze --rule layering # run one rule
+    python -m repro.analyze --list-rules
+    python -m repro.analyze --check-suppression-registry ANALYSIS.md
+
+Exit status: 0 clean, 1 findings (or registry mismatch), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+from repro.analyze.core import (
+    RULES, _load_rules, collect_files, DEFAULT_CONFIG, render_findings,
+    run_analysis,
+)
+
+
+def _default_root() -> Path:
+    """The ``repro`` package directory this module was loaded from."""
+    return Path(__file__).resolve().parent.parent
+
+
+def _registry_entries(text: str) -> set[str]:
+    """Extract ```file.py:rule`` bullets from the "Suppression registry"
+    section, ignoring fenced code blocks (format examples don't register)."""
+    entries: set[str] = set()
+    in_section = in_fence = False
+    for line in text.splitlines():
+        if line.startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        if line.startswith("#"):
+            in_section = "suppression registry" in line.lower()
+            continue
+        if in_section and line.lstrip().startswith("-"):
+            entries.update(re.findall(r"`([^`\s]+\.py:[a-z\-]+)`", line))
+    return entries
+
+
+def _check_suppression_registry(roots: list[Path], registry: Path) -> int:
+    """Verify suppressions and the ANALYSIS.md registry agree, both ways.
+
+    The registry section lists one bullet per suppression as
+    ``- `path:rule` — reason``.  CI fails when a suppression lands in the
+    tree without its entry (the count of silences can never grow silently)
+    and when an entry outlives its suppression (the registry can never
+    overstate how silenced the tree is).
+    """
+    files = collect_files(roots, DEFAULT_CONFIG)
+    in_tree: list[str] = []
+    for sf in files:
+        for _line, rules in sorted(sf.suppressions.items()):
+            rel = sf.path
+            for r in sorted(rules):
+                in_tree.append(f"{rel.name}:{r}")
+    text = registry.read_text() if registry.exists() else ""
+    registered = _registry_entries(text)
+    missing = [s for s in in_tree if s not in registered]
+    stale = sorted(registered - set(in_tree))
+    if missing:
+        print("suppressions without an ANALYSIS.md registry entry:", file=sys.stderr)
+        for s in missing:
+            print(f"  {s}", file=sys.stderr)
+        print(f"add a `- `file.py:rule` — reason` bullet to {registry} "
+              f"for each, or remove the suppression", file=sys.stderr)
+    if stale:
+        print("registry entries with no matching suppression in the tree:",
+              file=sys.stderr)
+        for s in stale:
+            print(f"  {s}", file=sys.stderr)
+        print(f"remove the stale bullet(s) from {registry}", file=sys.stderr)
+    if missing or stale:
+        return 1
+    print(f"suppression registry ok: {len(in_tree)} suppression(s), "
+          f"{len(registered)} registered")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="AST-based invariant checkers for the simulator")
+    parser.add_argument("roots", nargs="*", type=Path,
+                        help="package roots to analyze (default: the "
+                             "installed repro package)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit findings as JSON")
+    parser.add_argument("--rule", action="append", dest="rules", metavar="NAME",
+                        help="run only this rule (repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    parser.add_argument("--check-suppression-registry", type=Path, metavar="MD",
+                        help="verify every in-tree suppression is documented "
+                             "in the given ANALYSIS.md and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _load_rules()
+        for name in sorted(RULES):
+            print(f"{name:18} {RULES[name].doc}")
+        return 0
+
+    roots = args.roots or [_default_root()]
+    for root in roots:
+        if not root.is_dir():
+            print(f"not a directory: {root}", file=sys.stderr)
+            return 2
+
+    if args.check_suppression_registry is not None:
+        return _check_suppression_registry(roots, args.check_suppression_registry)
+
+    try:
+        findings = run_analysis(roots, rules=args.rules)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(render_findings(findings, as_json=args.as_json))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

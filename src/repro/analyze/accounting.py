@@ -1,0 +1,81 @@
+"""``clock-accounting`` — syscall paths must charge the virtual clock.
+
+Virtual time is the simulator's currency: results are comparable across
+machines only because every modelled kernel action pays an explicit cost
+via ``VirtualClock.advance`` (usually through a ``_charge_*`` helper).
+Two dual failure modes exist:
+
+* a syscall entry point mutates fs/page-cache/writeback state but no charge
+  is reachable from it — free work, silently deflating virtual time;
+* a documented zero-virtual-time path (journal clean-path bookkeeping, the
+  dentry-cache's warm-cost-only rule) grows a route to ``advance`` — hidden
+  work, silently inflating virtual time and moving every bench pin.
+
+Both directions run over the project call graph (:mod:`.callgraph`):
+the must-charge check follows precise *and* loose (name-matched) edges, so
+a charge anywhere plausibly reachable counts and false positives stay rare;
+the must-not-charge check follows only precise edges, so a bare name
+collision cannot manufacture a violation.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+
+from repro.analyze.callgraph import CallGraph, FunctionInfo
+from repro.analyze.core import Project, Reporter, rule
+
+
+def _entry_points(graph: CallGraph, entry_classes: tuple[str, ...]):
+    for ci in graph.classes.values():
+        if ci.name not in entry_classes:
+            continue
+        for name, fi in sorted(ci.methods.items()):
+            if not name.startswith("_"):
+                yield fi
+
+
+def _class_method(fi: FunctionInfo) -> str | None:
+    return f"{fi.cls.name}.{fi.name}" if fi.cls else None
+
+
+@rule("clock-accounting",
+      "syscall entry points that mutate state must reach a clock charge; "
+      "documented zero-cost paths must not")
+def check(project: Project, reporter: Reporter) -> None:
+    graph = project.callgraph
+    config = project.config
+    mutators = set(config.mutators)
+    charging = graph.charging_functions()
+
+    # Direction 1: every public entry-class method reaching a state mutator
+    # must also reach a charge.
+    for entry in _entry_points(graph, config.entry_classes):
+        reached = graph.reachable(entry, precise_only=False)
+        hit = sorted(
+            cm for qual in reached
+            if (cm := _class_method(graph.functions[qual])) in mutators)
+        if not hit:
+            continue
+        if not any(qual in charging for qual in reached):
+            reporter.report(
+                entry.sf, entry.node, "clock-accounting",
+                f"syscall entry point {entry.cls.name}.{entry.name} can reach "
+                f"state mutation ({hit[0]}) but no VirtualClock charge — "
+                f"uncharged kernel work deflates virtual time")
+
+    # Direction 2: zero-virtual-time paths must never reach a charge
+    # (precise edges only: a loose name match must not convict).
+    for _qual, fi in sorted(graph.functions.items()):
+        cm = _class_method(fi)
+        if cm is None or not any(fnmatch.fnmatch(cm, pat) for pat in config.zero_cost):
+            continue
+        for reached_qual in sorted(graph.reachable(fi, precise_only=True)):
+            if graph.functions[reached_qual].direct_charge:
+                where = _class_method(graph.functions[reached_qual]) \
+                    or graph.functions[reached_qual].name
+                reporter.report(
+                    fi.sf, fi.node, "clock-accounting",
+                    f"{cm} is documented zero-virtual-time but reaches a clock "
+                    f"charge via {where} — hidden cost would move every bench pin")
+                break

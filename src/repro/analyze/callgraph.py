@@ -1,0 +1,375 @@
+"""Whole-project call graph with two-tier edge resolution.
+
+Python's dynamism makes a sound static call graph impossible, so the graph
+keeps two edge sets and lets each rule pick the approximation matching the
+direction of its check:
+
+* **precise** edges — the receiver's class is known: ``self.m()`` (resolved
+  through the base-class chain), ``super().m()``, calls on names whose class
+  is pinned by a parameter annotation, a constructor assignment
+  (``x = FileData(...)``), or an inferred ``self.attr`` type, plus direct
+  calls to module-level functions resolved through the import table.
+* **loose** edges — ``obj.m()`` on an unknown receiver matches *every*
+  project function named ``m``.
+
+A "must eventually charge the clock" check follows precise + loose edges
+(over-approximating reachability keeps false positives down); a "must never
+charge" check follows only precise edges (so a name collision cannot
+manufacture a violation).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.analyze.core import Project, SourceFile
+
+#: Call-site attribute names treated as a direct virtual-clock charge.
+_CHARGE_ATTRS = ("advance",)
+_CHARGE_PREFIX = "_charge"
+_CHARGE_EXTRA = ("charge_lookup_hit",)
+
+
+def is_charge_name(name: str) -> bool:
+    """Whether a called attribute/function name is itself a clock charge."""
+    return name in _CHARGE_ATTRS or name.startswith(_CHARGE_PREFIX) or name in _CHARGE_EXTRA
+
+
+class FunctionInfo:
+    """One function or method definition."""
+
+    def __init__(self, sf: "SourceFile", node: ast.FunctionDef | ast.AsyncFunctionDef,
+                 cls: "ClassInfo | None") -> None:
+        self.sf = sf
+        self.node = node
+        self.cls = cls
+        self.name = node.name
+        owner = f"{cls.name}." if cls else ""
+        self.qualname = f"{sf.module}:{owner}{node.name}"
+        #: Qualnames of callees resolved with a known receiver type.
+        self.precise: set[str] = set()
+        #: Attribute names of calls whose receiver could not be typed.
+        self.loose: set[str] = set()
+        #: The function's own body contains a clock charge.
+        self.direct_charge = False
+
+
+class ClassInfo:
+    """One class definition: bases, methods, inferred attribute types."""
+
+    def __init__(self, sf: "SourceFile", node: ast.ClassDef) -> None:
+        self.sf = sf
+        self.node = node
+        self.name = node.name
+        self.qualname = f"{sf.module}.{node.name}"
+        #: Raw base expressions rendered to dotted names ("Filesystem",
+        #: "random.Random", ...).
+        self.base_names = [_dotted(b) for b in node.bases]
+        self.methods: dict[str, FunctionInfo] = {}
+        #: self.<attr> -> ClassInfo qualname, from constructor assignments
+        #: and annotations.
+        self.attr_types: dict[str, str] = {}
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` / ``a`` expressions to a dotted string."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+def _annotation_class_name(node: ast.AST | None) -> str | None:
+    """The class named by a *simple* annotation, if any.
+
+    Handles ``C``, ``"C"``, ``mod.C``, ``C | None`` and ``Optional[C]``.
+    Container annotations (``dict[int, C]``) name no receiver type — the
+    variable is the container, not ``C``.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        return _dotted(node)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        for side in (node.left, node.right):
+            if not (isinstance(side, ast.Constant) and side.value is None):
+                got = _annotation_class_name(side)
+                if got:
+                    return got
+        return None
+    if isinstance(node, ast.Subscript):
+        head = _dotted(node.value)
+        if head in ("Optional", "typing.Optional"):
+            return _annotation_class_name(node.slice)
+    return None
+
+
+def _import_table(sf: "SourceFile") -> dict[str, str]:
+    """Local name -> dotted import target, for one module."""
+    table: dict[str, str] = {}
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                table[local] = alias.name if alias.asname else alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return table
+
+
+class CallGraph:
+    """Indexes every function/class in a :class:`Project` and their calls."""
+
+    def __init__(self, project: "Project") -> None:
+        self.project = project
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self._by_bare_class: dict[str, list[ClassInfo]] = {}
+        self._by_func_name: dict[str, list[FunctionInfo]] = {}
+        self._imports: dict[str, dict[str, str]] = {}
+        for sf in project.files:
+            self._imports[sf.module] = _import_table(sf)
+            self._index_file(sf)
+        for ci in self.classes.values():
+            self._infer_attr_types(ci)
+        for fi in self.functions.values():
+            self._extract_calls(fi)
+        self._charging: set[str] | None = None
+
+    # ------------------------------------------------------------- indexing
+    def _index_file(self, sf: "SourceFile") -> None:
+        for node in sf.tree.body:
+            if isinstance(node, ast.ClassDef):
+                ci = ClassInfo(sf, node)
+                self.classes[ci.qualname] = ci
+                self._by_bare_class.setdefault(ci.name, []).append(ci)
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        fi = FunctionInfo(sf, item, ci)
+                        ci.methods[fi.name] = fi
+                        self.functions[fi.qualname] = fi
+                        self._by_func_name.setdefault(fi.name, []).append(fi)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fi = FunctionInfo(sf, node, None)
+                self.functions[fi.qualname] = fi
+                self._by_func_name.setdefault(fi.name, []).append(fi)
+
+    # ------------------------------------------------------ class resolution
+    def resolve_class(self, module: str, name: str | None) -> ClassInfo | None:
+        """Resolve a (possibly dotted) class name as seen from ``module``."""
+        if not name:
+            return None
+        table = self._imports.get(module, {})
+        head, _, rest = name.partition(".")
+        target = table.get(head)
+        if target:
+            dotted = f"{target}.{rest}" if rest else target
+            if dotted in self.classes:
+                return self.classes[dotted]
+        if f"{module}.{name}" in self.classes:
+            return self.classes[f"{module}.{name}"]
+        candidates = self._by_bare_class.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def bases_of(self, ci: ClassInfo) -> list[ClassInfo]:
+        out = []
+        for bn in ci.base_names:
+            base = self.resolve_class(ci.sf.module, bn)
+            if base is not None:
+                out.append(base)
+        return out
+
+    def mro(self, ci: ClassInfo) -> list[ClassInfo]:
+        """Linearized base chain (BFS; good enough for this tree)."""
+        seen, order, queue = {ci.qualname}, [ci], list(self.bases_of(ci))
+        while queue:
+            nxt = queue.pop(0)
+            if nxt.qualname in seen:
+                continue
+            seen.add(nxt.qualname)
+            order.append(nxt)
+            queue.extend(self.bases_of(nxt))
+        return order
+
+    def derives_from(self, ci: ClassInfo, base_name: str) -> bool:
+        """Whether ``ci`` (transitively) names ``base_name`` as a base."""
+        for ancestor in self.mro(ci):
+            if ancestor.name == base_name:
+                return True
+            # Also match bases outside the analyzed tree by raw name
+            # ("random.Random" matching base_name "Random").
+            for bn in ancestor.base_names:
+                if bn and bn.split(".")[-1] == base_name:
+                    return True
+        return False
+
+    def resolve_method(self, ci: ClassInfo, name: str) -> FunctionInfo | None:
+        for ancestor in self.mro(ci):
+            if name in ancestor.methods:
+                return ancestor.methods[name]
+        return None
+
+    # ----------------------------------------------------- attr-type inference
+    def _infer_attr_types(self, ci: ClassInfo) -> None:
+        for fi in ci.methods.values():
+            params = {a.arg: _annotation_class_name(a.annotation)
+                      for a in fi.node.args.args}
+            for stmt in ast.walk(fi.node):
+                target = None
+                value = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target, value = stmt.targets[0], stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    target, value = stmt.target, stmt.value
+                if not (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    continue
+                cls_name = None
+                if isinstance(stmt, ast.AnnAssign):
+                    cls_name = _annotation_class_name(stmt.annotation)
+                if cls_name is None and isinstance(value, ast.Call):
+                    cls_name = _dotted(value.func)
+                if cls_name is None and isinstance(value, ast.Name):
+                    cls_name = params.get(value.id)
+                resolved = self.resolve_class(ci.sf.module, cls_name)
+                if resolved is not None:
+                    ci.attr_types.setdefault(target.attr, resolved.qualname)
+
+    # --------------------------------------------------------- call extraction
+    def _local_types(self, fi: FunctionInfo) -> dict[str, str]:
+        """Variable name -> class qualname inside one function body."""
+        module = fi.sf.module
+        types: dict[str, str] = {}
+        args = fi.node.args
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            ci = self.resolve_class(module, _annotation_class_name(a.annotation))
+            if ci is not None:
+                types[a.arg] = ci.qualname
+        for stmt in ast.walk(fi.node):
+            target = None
+            value = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                target, value = stmt.targets[0].id, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                ci = self.resolve_class(module, _annotation_class_name(stmt.annotation))
+                if ci is not None:
+                    types[stmt.target.id] = ci.qualname
+                continue
+            if target is None:
+                continue
+            if isinstance(value, ast.Call):
+                ci = self.resolve_class(module, _dotted(value.func))
+                if ci is not None:
+                    types[target] = ci.qualname
+            elif isinstance(value, ast.Attribute) and isinstance(value.value, ast.Name) \
+                    and value.value.id == "self" and fi.cls is not None:
+                attr_cls = fi.cls.attr_types.get(value.attr)
+                if attr_cls is not None:
+                    types[target] = attr_cls
+        return types
+
+    def _extract_calls(self, fi: FunctionInfo) -> None:
+        module = fi.sf.module
+        local_types = self._local_types(fi)
+        for node in ast.walk(fi.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                if is_charge_name(func.id):
+                    fi.direct_charge = True
+                target = self._imports[module].get(func.id, f"{module}.{func.id}")
+                mod, _, base = target.rpartition(".")
+                qual = f"{mod}:{base}" if mod else None
+                if qual in self.functions:
+                    fi.precise.add(qual)
+                else:
+                    ci = self.resolve_class(module, func.id)
+                    if ci is not None and "__init__" in ci.methods:
+                        fi.precise.add(ci.methods["__init__"].qualname)
+                continue
+            if not isinstance(func, ast.Attribute):
+                continue
+            attr = func.attr
+            if is_charge_name(attr):
+                fi.direct_charge = True
+            receiver = func.value
+            target_cls: ClassInfo | None = None
+            if isinstance(receiver, ast.Name):
+                if receiver.id == "self" and fi.cls is not None:
+                    target_cls = fi.cls
+                elif receiver.id in local_types:
+                    target_cls = self.classes[local_types[receiver.id]]
+            elif isinstance(receiver, ast.Call) and isinstance(receiver.func, ast.Name) \
+                    and receiver.func.id == "super" and fi.cls is not None:
+                for base in self.bases_of(fi.cls):
+                    resolved = self.resolve_method(base, attr)
+                    if resolved is not None:
+                        fi.precise.add(resolved.qualname)
+                        break
+                continue
+            elif isinstance(receiver, ast.Attribute) and isinstance(receiver.value, ast.Name) \
+                    and receiver.value.id == "self" and fi.cls is not None:
+                attr_cls = fi.cls.attr_types.get(receiver.attr)
+                if attr_cls is not None:
+                    target_cls = self.classes[attr_cls]
+            if target_cls is not None:
+                resolved = self.resolve_method(target_cls, attr)
+                if resolved is not None:
+                    fi.precise.add(resolved.qualname)
+                else:
+                    fi.loose.add(attr)
+            else:
+                fi.loose.add(attr)
+
+    # ------------------------------------------------------------ reachability
+    def _callees(self, fi: FunctionInfo, precise_only: bool) -> Iterable[FunctionInfo]:
+        for qual in fi.precise:
+            yield self.functions[qual]
+        if not precise_only:
+            for name in fi.loose:
+                yield from self._by_func_name.get(name, ())
+
+    def reachable(self, start: FunctionInfo, precise_only: bool = False) -> set[str]:
+        """Qualnames reachable from ``start`` (inclusive)."""
+        seen = {start.qualname}
+        queue = [start]
+        while queue:
+            fi = queue.pop()
+            for callee in self._callees(fi, precise_only):
+                if callee.qualname not in seen:
+                    seen.add(callee.qualname)
+                    queue.append(callee)
+        return seen
+
+    def charging_functions(self) -> set[str]:
+        """Qualnames that (transitively, precise+loose) charge the clock."""
+        if self._charging is None:
+            charging = {q for q, fi in self.functions.items() if fi.direct_charge}
+            changed = True
+            while changed:
+                changed = False
+                for qual, fi in self.functions.items():
+                    if qual in charging:
+                        continue
+                    for callee in self._callees(fi, precise_only=False):
+                        if callee.qualname in charging:
+                            charging.add(qual)
+                            changed = True
+                            break
+            self._charging = charging
+        return self._charging

@@ -1,0 +1,247 @@
+"""``determinism`` — ban nondeterminism sources from the simulated world.
+
+The simulator's central invariant is that a seeded run replays
+byte-identically: virtual time moves only by explicit charges and every
+random choice flows from a seeded stream.  Three ingredient classes break
+that silently:
+
+* **wall clocks** — ``time.time``/``monotonic``/``perf_counter``,
+  ``datetime.now`` — smuggle host speed into results.  Only the bench
+  harnesses (which *measure* interpreter speed on purpose) may read them;
+  they are allowlisted by module name in :class:`AnalysisConfig`.
+* **OS entropy** — ``os.urandom``, ``uuid.uuid1/uuid4``, ``secrets``, the
+  module-level ``random.*`` functions (one process-global unseeded stream).
+* **hash-order dependence** — iterating a ``set`` (or ``frozenset``) feeds
+  ``PYTHONHASHSEED``-dependent order into whatever consumes the loop, and
+  ``id()`` used as a sort key orders by allocation address.  Sets remain
+  fine for membership; iteration must go through ``sorted`` or a
+  deterministically ordered container.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analyze.callgraph import _dotted
+from repro.analyze.core import Project, Reporter, SourceFile, rule
+
+#: Fully qualified callables that read the host wall clock.
+WALL_CLOCK = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today", "datetime.now",
+    "datetime.utcnow", "datetime.today", "date.today",
+}
+
+#: Fully qualified callables drawing OS entropy or global unseeded RNG state.
+ENTROPY = {
+    "os.urandom", "os.getrandom", "uuid.uuid1", "uuid.uuid4",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+    "secrets.randbelow", "secrets.choice", "random.SystemRandom",
+}
+
+#: ``random.<fn>`` module-level calls share one process-global stream whose
+#: seeding this package cannot vouch for.
+_RANDOM_MODULE_FUNCS = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "normalvariate", "expovariate",
+    "betavariate", "triangular", "vonmisesvariate", "paretovariate",
+    "weibullvariate", "lognormvariate", "getrandbits", "randbytes", "seed",
+}
+
+#: Iteration-order-insensitive consumers: iterating a set inside these is
+#: deterministic (or reduces to a scalar).
+_ORDER_SAFE_CALLS = {"sorted", "len", "sum", "min", "max", "any", "all",
+                     "set", "frozenset"}
+
+
+def _call_dotted(sf: SourceFile, node: ast.Call) -> str | None:
+    """The call target as a dotted name, resolved through plain imports."""
+    return _dotted(node.func)
+
+
+class _SetTracker(ast.NodeVisitor):
+    """Tracks which local names / self-attributes are set-typed."""
+
+    def __init__(self) -> None:
+        self.names: set[str] = set()
+        self.self_attrs: set[str] = set()
+
+    @staticmethod
+    def is_set_expr(node: ast.AST, known_names: set[str],
+                    known_attrs: set[str]) -> bool:
+        if isinstance(node, ast.Set):
+            return True
+        if isinstance(node, ast.SetComp):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node, ast.Name) and node.id in known_names:
+            return True
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name) \
+                and node.value.id == "self" and node.attr in known_attrs:
+            return True
+        if isinstance(node, ast.BoolOp):
+            return any(_SetTracker.is_set_expr(v, known_names, known_attrs)
+                       for v in node.values)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd,
+                                                                ast.Sub, ast.BitXor)):
+            # set algebra (a | b, a - b, ...) stays a set when a side is one.
+            return (_SetTracker.is_set_expr(node.left, known_names, known_attrs)
+                    or _SetTracker.is_set_expr(node.right, known_names, known_attrs))
+        return False
+
+
+def _annotation_is_set(node: ast.AST | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return False
+    if isinstance(node, ast.Name):
+        return node.id in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet")
+    if isinstance(node, ast.Subscript):
+        return _annotation_is_set(node.value)
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("Set", "FrozenSet", "AbstractSet")
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _annotation_is_set(node.left) or _annotation_is_set(node.right)
+    return False
+
+
+def _collect_set_names(sf: SourceFile) -> tuple[set[str], set[str]]:
+    """Names (locals/params, self-attrs) with set-typed bindings in a module."""
+    names: set[str] = set()
+    attrs: set[str] = set()
+    for node in ast.walk(sf.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            for a in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                if _annotation_is_set(a.annotation):
+                    names.add(a.arg)
+        elif isinstance(node, ast.AnnAssign):
+            if _annotation_is_set(node.annotation):
+                t = node.target
+                if isinstance(t, ast.Name):
+                    names.add(t.id)
+                elif isinstance(t, ast.Attribute) and isinstance(t.value, ast.Name) \
+                        and t.value.id == "self":
+                    attrs.add(t.attr)
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            if _SetTracker.is_set_expr(node.value, names, attrs):
+                t = node.targets[0]
+                if isinstance(t, ast.Name):
+                    names.add(t.id)
+                elif isinstance(t, ast.Attribute) and isinstance(t.value, ast.Name) \
+                        and t.value.id == "self":
+                    attrs.add(t.attr)
+    return names, attrs
+
+
+def _check_banned_calls(sf: SourceFile, reporter: Reporter, allow_wallclock: bool) -> None:
+    imported = {n for n in ast.walk(sf.tree) if isinstance(n, ast.Import)}
+    # Names under which nondeterminism modules are reachable in this module.
+    module_aliases: dict[str, str] = {}
+    from_imports: dict[str, str] = {}
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                module_aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                from_imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    del imported
+
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _call_dotted(sf, node)
+        if not dotted:
+            continue
+        head, _, rest = dotted.partition(".")
+        # Normalize through import aliases: `from time import monotonic` /
+        # `import time as t`.
+        resolved = from_imports.get(dotted, dotted)
+        if head in module_aliases:
+            resolved = f"{module_aliases[head]}.{rest}" if rest else module_aliases[head]
+        if resolved in WALL_CLOCK:
+            if not allow_wallclock:
+                reporter.report(sf, node, "determinism",
+                                f"wall-clock read {resolved}() — simulated code must "
+                                f"use VirtualClock (bench harnesses are allowlisted "
+                                f"via AnalysisConfig.wallclock_allow)")
+            continue
+        if resolved in ENTROPY:
+            reporter.report(sf, node, "determinism",
+                            f"OS entropy source {resolved}() — derive randomness "
+                            f"from DeterministicRandom instead")
+            continue
+        mod, _, fn = resolved.rpartition(".")
+        if mod == "random" and fn in _RANDOM_MODULE_FUNCS:
+            reporter.report(sf, node, "determinism",
+                            f"module-level random.{fn}() uses the process-global "
+                            f"unseeded stream — use a DeterministicRandom instance")
+
+
+def _check_hash_order(sf: SourceFile, reporter: Reporter) -> None:
+    names, attrs = _collect_set_names(sf)
+
+    def flag_iter(node: ast.AST, context: str) -> None:
+        reporter.report(sf, node, "determinism",
+                        f"iteration over a set in {context} leaks "
+                        f"PYTHONHASHSEED-dependent order — iterate a sorted() "
+                        f"copy or an insertion-ordered container")
+
+    class Visitor(ast.NodeVisitor):
+        def visit_For(self, node: ast.For) -> None:
+            if _SetTracker.is_set_expr(node.iter, names, attrs):
+                flag_iter(node.iter, "a for loop")
+            self.generic_visit(node)
+
+        def _comp(self, node) -> None:
+            for gen in node.generators:
+                # A set comprehension *target* is fine; its *source* order
+                # leaking into a list/dict/generator is not.
+                if isinstance(node, ast.SetComp):
+                    continue
+                if _SetTracker.is_set_expr(gen.iter, names, attrs):
+                    flag_iter(gen.iter, "a comprehension")
+            self.generic_visit(node)
+
+        visit_ListComp = _comp
+        visit_DictComp = _comp
+        visit_GeneratorExp = _comp
+
+        def visit_Call(self, node: ast.Call) -> None:
+            if isinstance(node.func, ast.Name):
+                fn = node.func.id
+                if fn in ("list", "tuple") and node.args \
+                        and _SetTracker.is_set_expr(node.args[0], names, attrs):
+                    flag_iter(node.args[0], f"{fn}() conversion")
+                if fn in ("sorted", "min", "max"):
+                    for kw in node.keywords:
+                        if kw.arg == "key" and any(
+                                isinstance(n, ast.Call) and isinstance(n.func, ast.Name)
+                                and n.func.id == "id" for n in ast.walk(kw.value)):
+                            reporter.report(sf, node, "determinism",
+                                            "id() used as an ordering key sorts by "
+                                            "allocation address — order by a stable "
+                                            "field instead")
+            self.generic_visit(node)
+
+    Visitor().visit(sf.tree)
+
+
+@rule("determinism",
+      "wall clocks, OS entropy and hash-order dependence are banned in "
+      "simulated code")
+def check(project: Project, reporter: Reporter) -> None:
+    for sf in project.files:
+        allow = sf.module in project.config.wallclock_allow
+        _check_banned_calls(sf, reporter, allow_wallclock=allow)
+        _check_hash_order(sf, reporter)

@@ -1,0 +1,98 @@
+"""``errno-discipline`` / ``hook-super`` — syscall errors carry errnos,
+lifecycle hooks compose.
+
+Every error that escapes a syscall path surfaces to callers as an errno
+(``exc.errno == errno.ENOENT``); a bare ``OSError``/``Exception`` on that
+path either crashes a harness that expected ``FsError`` or — worse — gets
+caught by a blanket handler and mapped to the wrong errno.  The rule bans
+raising the OSError family and the catch-alls inside the syscall-path
+layers; ``ValueError``/``TypeError``/``AssertionError`` stay legal for
+internal programming-contract guards that should never escape.
+
+``hook-super`` guards the crash model's composition: ``Filesystem.crash``/
+``remount``/``_inode_released`` stack behaviour across the class hierarchy
+(base drops locks/pins/dentries, subclasses add journal replay, cache
+wipes, ...), so an override that forgets ``super()`` silently sheds the
+base layer's semantics.  Every override of a lifecycle hook must contain a
+``super().<hook>()`` call.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analyze.core import Project, Reporter, rule
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    """The base name of the raised exception, or None for re-raises."""
+    exc = node.exc
+    if exc is None:
+        return None
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    # FsError.enoent(...) -> the *value* is FsError; plain Name -> itself.
+    while isinstance(exc, ast.Attribute):
+        exc = exc.value
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+@rule("errno-discipline",
+      "raises on syscall-path layers must use the errno-carrying error type")
+def check_errno(project: Project, reporter: Reporter) -> None:
+    config = project.config
+    graph = project.callgraph
+    banned = set(config.banned_exceptions)
+
+    def allowed(sf, name: str) -> bool:
+        if name == config.errno_base:
+            return True
+        ci = graph.resolve_class(sf.module, name)
+        return ci is not None and graph.derives_from(ci, config.errno_base)
+
+    for sf in project.files:
+        if not any(sf.module == p or sf.module.startswith(p + ".")
+                   for p in config.errno_layers):
+            continue
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            name = _raised_name(node)
+            if name is None or name not in banned:
+                continue
+            if allowed(sf, name):
+                continue
+            reporter.report(
+                sf, node, "errno-discipline",
+                f"raise {name} on a syscall path — use {config.errno_base} "
+                f"(fs/errors.py) so callers get a POSIX errno")
+
+
+@rule("hook-super",
+      "Filesystem lifecycle-hook overrides must delegate to super()")
+def check_hooks(project: Project, reporter: Reporter) -> None:
+    config = project.config
+    graph = project.callgraph
+    for qualname in sorted(graph.classes):
+        ci = graph.classes[qualname]
+        if ci.name == config.hook_base or not graph.derives_from(ci, config.hook_base):
+            continue
+        for hook in config.lifecycle_hooks:
+            fi = ci.methods.get(hook)
+            if fi is None:
+                continue
+            delegates = any(
+                isinstance(n, ast.Call) and isinstance(n.func, ast.Attribute)
+                and n.func.attr == hook
+                and isinstance(n.func.value, ast.Call)
+                and isinstance(n.func.value.func, ast.Name)
+                and n.func.value.func.id == "super"
+                for n in ast.walk(fi.node))
+            if not delegates:
+                reporter.report(
+                    fi.sf, fi.node, "hook-super",
+                    f"{ci.name}.{hook} overrides a lifecycle hook without "
+                    f"calling super().{hook}() — the base class's crash/"
+                    f"release semantics are silently dropped")

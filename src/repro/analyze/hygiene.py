@@ -1,0 +1,99 @@
+"""``timer-discard`` / ``rng-hygiene`` — crash-safe timers, substream RNG.
+
+**Timers.**  A :class:`ClockTimer` armed on the shared virtual clock
+outlives the component that armed it unless someone cancels it: PR 6's
+crash model hit exactly this (a crashed filesystem's kupdate timer firing
+on the next advance of the *booted* kernel's clock).  The rule requires
+that any class storing a ``clock.schedule(...)`` result keeps a cancel
+path: every ``self.<attr> = ....schedule(...)`` assignment must be matched
+by a ``self.<attr>.cancel()`` somewhere in the same class, and a
+``schedule`` result must never be discarded outright.
+
+**RNG.**  All randomness flows from ``DeterministicRandom`` and its
+``substream`` derivation; ad-hoc ``random.Random(...)`` instances and
+mid-run ``.seed(...)`` calls (which desynchronize a stream from its
+substream derivation) are banned outside the RNG module itself.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analyze.core import Project, Reporter, SourceFile, rule
+
+
+def _is_schedule_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "schedule")
+
+
+@rule("timer-discard",
+      "stored ClockTimer registrations need a cancel path; schedule results "
+      "must not be discarded")
+def check_timers(project: Project, reporter: Reporter) -> None:
+    for sf in project.files:
+        for cls in ast.walk(sf.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            stored: list[tuple[ast.AST, str]] = []
+            cancelled: set[str] = set()
+            for node in ast.walk(cls):
+                if isinstance(node, ast.Assign) and _is_schedule_call(node.value):
+                    for t in node.targets:
+                        if isinstance(t, ast.Attribute) and isinstance(t.value, ast.Name) \
+                                and t.value.id == "self":
+                            stored.append((node, t.attr))
+                elif isinstance(node, ast.Expr) and _is_schedule_call(node.value):
+                    reporter.report(
+                        sf, node, "timer-discard",
+                        "clock.schedule(...) result discarded — keep the "
+                        "ClockTimer so a crash path can cancel it")
+                elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+                        and node.func.attr == "cancel":
+                    recv = node.func.value
+                    if isinstance(recv, ast.Attribute) and isinstance(recv.value, ast.Name) \
+                            and recv.value.id == "self":
+                        cancelled.add(recv.attr)
+            for node, attr in stored:
+                if attr not in cancelled:
+                    reporter.report(
+                        sf, node, "timer-discard",
+                        f"self.{attr} holds a ClockTimer but the class never "
+                        f"calls self.{attr}.cancel() — crashed components must "
+                        f"disarm their timers (see WritebackEngine.crash_discard)")
+
+
+@rule("rng-hygiene",
+      "randomness flows from DeterministicRandom substreams; raw Random "
+      "instances and mid-run reseeding are banned")
+def check_rng(project: Project, reporter: Reporter) -> None:
+    config = project.config
+    for sf in project.files:
+        if sf.module in config.rng_modules:
+            continue
+        _check_rng_file(sf, reporter, config.rng_class)
+
+
+def _check_rng_file(sf: SourceFile, reporter: Reporter, rng_class: str) -> None:
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "seed":
+                reporter.report(
+                    sf, node, "rng-hygiene",
+                    f"mid-run .seed(...) desynchronizes a stream from its "
+                    f"substream derivation — construct a fresh "
+                    f"{rng_class} or use .substream(name)")
+            elif func.attr in ("Random", "SystemRandom") and \
+                    isinstance(func.value, ast.Name) and func.value.id == "random":
+                reporter.report(
+                    sf, node, "rng-hygiene",
+                    f"ad-hoc random.{func.attr}() instance — all randomness "
+                    f"must flow from {rng_class}")
+        elif isinstance(func, ast.Name) and func.id in ("Random", "SystemRandom"):
+            reporter.report(
+                sf, node, "rng-hygiene",
+                f"ad-hoc {func.id}() instance — all randomness must flow "
+                f"from {rng_class}")

@@ -1,0 +1,143 @@
+"""``layering`` — the package DAG is load-bearing, enforce it.
+
+The tree layers strictly: ``sim`` (clock/costs/trace/rng) knows nothing
+above it, ``fs`` builds on ``sim`` only, and the harness packages
+(``xfstests``/``bench``/``stress``) are leaves nothing imports.  The checker
+enforces three properties over the import graph:
+
+* **order** — a module's *module-scope* imports may only name layers at or
+  below its own (deferred, function-local imports are exempt from ordering:
+  they express a deliberate late binding, like the kernel registering the
+  FUSE device driver at boot);
+* **hard bans** — some edges are wrong even deferred (``fs`` importing
+  ``fuse``/``container``/``kernel`` would invert the paper's architecture);
+  these apply to every import statement wherever it sits;
+* **acyclicity** — the module-scope import graph must contain no cycles.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analyze.core import Project, Reporter, SourceFile, rule
+
+
+def _imports_of(sf: SourceFile):
+    """Yield ``(node, dotted-target, toplevel)`` for every import statement."""
+    toplevel_nodes = set()
+    for node in ast.walk(sf.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for inner in ast.walk(node):
+                if isinstance(inner, (ast.Import, ast.ImportFrom)):
+                    toplevel_nodes.add(id(inner))
+    # toplevel_nodes currently holds *function-local* imports; invert below.
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node, alias.name, id(node) not in toplevel_nodes
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            # ``from pkg.kernel import b`` binds the *submodule* pkg.kernel.b
+            # when one exists; yield the per-alias target so submodule edges
+            # (and hence cycles through them) resolve precisely.
+            for alias in node.names:
+                yield (node, f"{node.module}.{alias.name}",
+                       id(node) not in toplevel_nodes)
+
+
+def _layer_of(module: str, layers: tuple[str, ...]) -> int | None:
+    for i, prefix in enumerate(layers):
+        if module == prefix or module.startswith(prefix + "."):
+            return i
+    return None
+
+
+@rule("layering",
+      "module-scope imports must respect the package layer order; "
+      "hard-banned edges and import cycles are rejected outright")
+def check(project: Project, reporter: Reporter) -> None:
+    config = project.config
+    modules = set(project.by_module)
+    toplevel_edges: dict[str, set[str]] = {m: set() for m in project.by_module}
+
+    def target_module(dotted: str) -> str | None:
+        """Map an import target onto an analyzed module, if it is one."""
+        if dotted in modules:
+            return dotted
+        parent, _, _ = dotted.rpartition(".")
+        return parent if parent in modules else None
+
+    for sf in project.files:
+        my_layer = _layer_of(sf.module, config.layers)
+        for node, dotted, toplevel in _imports_of(sf):
+            target = target_module(dotted)
+            if target is None or target == sf.module:
+                continue
+            if toplevel:
+                toplevel_edges[sf.module].add(target)
+            # Hard bans apply to deferred imports too.
+            for importer_prefix, banned in config.hard_bans:
+                if (sf.module == importer_prefix
+                        or sf.module.startswith(importer_prefix + ".")):
+                    for b in banned:
+                        if target == b or target.startswith(b + "."):
+                            reporter.report(
+                                sf, node, "layering",
+                                f"{sf.module} must never import {target} "
+                                f"(hard ban: {importer_prefix} -> {b})")
+            if toplevel and my_layer is not None:
+                target_layer = _layer_of(target, config.layers)
+                if target_layer is not None and target_layer > my_layer:
+                    reporter.report(
+                        sf, node, "layering",
+                        f"{sf.module} (layer {config.layers[my_layer]}) imports "
+                        f"{target} (layer {config.layers[target_layer]}) at module "
+                        f"scope — higher-layer imports must be deferred or removed")
+
+    # Cycle detection over module-scope edges (iterative Tarjan SCC).
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = iter(range(1 << 30))
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(toplevel_edges[root])))]
+        index[root] = low[root] = next(counter)
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = next(counter)
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(toplevel_edges[w]))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+            if low[v] == index[v]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == v:
+                        break
+                if len(scc) > 1:
+                    cycle = " -> ".join(sorted(scc))
+                    sf = project.by_module[sorted(scc)[0]]
+                    reporter.report(sf, 1, "layering",
+                                    f"module-scope import cycle: {cycle}")
+
+    for m in sorted(modules):
+        if m not in index:
+            strongconnect(m)

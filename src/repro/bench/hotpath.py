@@ -143,7 +143,9 @@ def run_scaled_figures(scale: int = 10) -> list[HotpathResult]:
         env.backing.sync()
         env.drop_fuse_caches()
         result = _measure(env, f"figure_scaled:{workload.name}", workload.size,
-                          4096, lambda: workload.run(run_sc, f"{run_base}/scaled") or 0)
+                          4096,
+                          lambda w=workload, sc=run_sc, base=run_base:
+                              w.run(sc, f"{base}/scaled") or 0)
         results.append(result)
     return results
 

@@ -91,7 +91,7 @@ class AioStress(Workload):
         try:
             record = 64 * 1024
             blocks = 256                       # 16 MiB
-            for i in range(blocks):
+            for _ in range(blocks):
                 offset = rng.randrange(0, blocks) * record
                 sc.pwrite(fd, b"a" * record, offset)
             sc.fdatasync(fd)
@@ -117,7 +117,7 @@ class ApacheBench(Workload):
         rng = DeterministicRandom("apachebench")
         log_fd = sc.open(f"{base}/access.log", CREAT_WR | OpenFlags.O_APPEND, 0o644)
         try:
-            for i in range(self.requests):
+            for _ in range(self.requests):
                 page = rng.randrange(0, self.file_count)
                 self._read_file(sc, f"{base}/htdocs/page{page:02d}.html", 4096)
                 sc.write(log_fd, b'10.0.0.7 - - "GET /page%02d.html HTTP/1.1" 200 3072\n'

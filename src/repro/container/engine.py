@@ -91,8 +91,7 @@ class ContainerEngine:
     # ------------------------------------------------------------- naming
     def _new_container_id(self, name: str) -> str:
         seq = next(_container_counter)
-        digest = hashlib.sha256(f"{self.engine_name}:{name}:{seq}".encode()).hexdigest()
-        return digest
+        return hashlib.sha256(f"{self.engine_name}:{name}:{seq}".encode()).hexdigest()
 
     def container_name_for(self, requested: str | None, image: Image) -> str:
         """Engine-specific default naming; subclasses override."""

@@ -278,13 +278,12 @@ def attach(machine: Machine, engines, name_or_id: str | None = None,
                                    listen_path=f"{APPLICATION_MOUNTPOINT}{socket_path}",
                                    connect_sc=server_sc, target_path=socket_path))
 
-    session = CntrSession(machine=machine, container=container, context=context,
-                          options=options, cntr_process=cntr_proc,
-                          nested_process=nested_proc, shell_process=shell_proc,
-                          server=server, client_fs=client_fs,
-                          pty_master_fd=master_fd, pty_forwarder=forwarder,
-                          socket_proxies=proxies)
-    return session
+    return CntrSession(machine=machine, container=container, context=context,
+                       options=options, cntr_process=cntr_proc,
+                       nested_process=nested_proc, shell_process=shell_proc,
+                       server=server, client_fs=client_fs,
+                       pty_master_fd=master_fd, pty_forwarder=forwarder,
+                       socket_proxies=proxies)
 
 
 def _resolve_shell(sc: Syscalls, shell: str) -> str:

@@ -70,6 +70,7 @@ class Ext4Fs(Filesystem):
     def _inode_released(self, ino: int) -> None:
         # Inode eviction, as in the kernel: an unlinked file's pages —
         # including dirty ones — are discarded, never written back.
+        super()._inode_released(ino)
         self.page_cache.invalidate(ino)
         self.writeback.discard(ino)
 

@@ -316,7 +316,9 @@ def _propagate_mount(origin_ns: MountNamespace, parent: Mount, new_mount: Mount)
     """Replicate a mount event to every peer of ``parent`` in other namespaces."""
     if parent.peer_group is None:
         return
-    for ns_id, mount_id in list(_peer_groups.get(parent.peer_group, set())):
+    # Sorted copy: the peer set's iteration order is hash/insertion noise,
+    # and the propagation sequence must be deterministic for replay.
+    for ns_id, mount_id in sorted(_peer_groups.get(parent.peer_group, set())):
         if ns_id == origin_ns.ns_id and mount_id == parent.mount_id:
             continue
         peer_ns = _namespace_registry.get(ns_id)

@@ -464,14 +464,14 @@ class PageCache:
             if left:
                 ext.end = lo
                 i += 1
-            elif right:
-                ext.start = hi
-                break
-            else:
+            elif not right:
                 del self._live[ext.eid]
                 if ext.dirty:
                     self._drop_dirty_ext(ino, ext.eid)
                 lst.pop(i)
+            else:
+                ext.start = hi
+                break
         if not lst:
             del self._by_ino[ino]
         self._memcg_delta(ino, -sum(hi - lo for lo, hi, _ in removed))

@@ -54,6 +54,7 @@ class TmpFS(Filesystem):
     def _inode_released(self, ino: int) -> None:
         # A dead inode's dirty bytes vanish with it; without this the
         # pending map would grow forever across create/delete churn.
+        super()._inode_released(ino)
         self.writeback.discard(ino)
 
     def drop_caches(self, mode: int = 3) -> None:

@@ -213,7 +213,9 @@ class Kernel:
         self.clock.advance(self.costs.syscall_ns)
         if NamespaceKind.USER not in kinds and not proc.caps.has("CAP_SYS_ADMIN"):
             raise FsError.eperm("unshare requires CAP_SYS_ADMIN")
-        for kind in kinds:
+        # Iterate in enum definition order: set order is hash-seed dependent
+        # and must never decide the sequence of namespace swaps.
+        for kind in [k for k in NamespaceKind if k in kinds]:
             current = proc.namespaces[kind]
             new_ns = current.clone_for_unshare()
             proc.namespaces[kind] = new_ns
@@ -263,7 +265,9 @@ class Kernel:
     def setns_all_of(self, proc: Process, target: Process,
                      kinds: set[NamespaceKind] | None = None) -> None:
         """Join every namespace of ``target`` (what ``cntr attach`` does)."""
-        for kind in (kinds or set(NamespaceKind)):
+        # Enum definition order, not set order: the join sequence must not
+        # depend on PYTHONHASHSEED.
+        for kind in [k for k in NamespaceKind if kinds is None or k in kinds]:
             self.setns(proc, target.namespaces[kind])
 
     # ------------------------------------------------------------- devices

@@ -521,6 +521,10 @@ class Syscalls:
 
     def exit(self, code: int = 0) -> None:
         """``exit(2)``."""
+        # Like every other trap, exiting charges the syscall cost: the fd
+        # teardown below drops inodes and invalidates caches, and uncharged
+        # kernel work would deflate virtual time (clock-accounting rule).
+        self._charge()
         self.kernel.exit_process(self.process, code)
 
     def kill(self, pid: int, signal: int = 15) -> None:

@@ -322,7 +322,7 @@ class FsStress:
 
     # ------------------------------------------------------------- round loop
     def _check_ledgers(self) -> None:
-        for rig, label in zip(self.rigs, ("native", "cntrfs")):
+        for rig, label in zip(self.rigs, ("native", "cntrfs"), strict=True):
             for name, digest in sorted(rig.ledger.items()):
                 survived = rig.peek_file_digest(name)
                 if survived != digest:

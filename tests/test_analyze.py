@@ -1,0 +1,598 @@
+"""Tests for the ``repro.analyze`` invariant checker suite.
+
+Each rule gets a minimal bad-example fixture (embedded here as strings,
+written to a scratch package) asserting the checker fires exactly where
+expected — plus the suppression round trip, the unused-suppression audit,
+and the contract that the committed tree itself analyzes clean.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import AnalysisConfig, run_analysis
+
+SRC_REPRO = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def make_pkg(tmp_path: Path, files: dict[str, str], name: str = "pkg") -> Path:
+    """Write a scratch package tree and return its root directory."""
+    root = tmp_path / name
+    root.mkdir()
+    (root / "__init__.py").write_text("")
+    for rel, body in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if not (path.parent / "__init__.py").exists():
+            (path.parent / "__init__.py").write_text("")
+        path.write_text(textwrap.dedent(body))
+    return root
+
+
+FIXTURE_CONFIG = AnalysisConfig(
+    wallclock_allow=("pkg.bench",),
+    entry_classes=("Syscalls",),
+    mutators=("PageCache.write",),
+    zero_cost=("Journal.*",),
+    layers=("pkg.sim", "pkg.fs", "pkg.kernel"),
+    hard_bans=(("pkg.sim", ("pkg.fs", "pkg.kernel")),
+               ("pkg.fs", ("pkg.kernel",))),
+    errno_layers=("pkg.fs", "pkg.kernel"),
+    errno_base="FsError",
+    hook_base="Filesystem",
+    lifecycle_hooks=("crash", "remount", "_inode_released"),
+    rng_modules=("pkg.rng",),
+    rng_class="DeterministicRandom",
+)
+
+
+def analyze(root: Path, rules=None):
+    return run_analysis([root], config=FIXTURE_CONFIG, rules=rules)
+
+
+def findings_by_rule(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+class TestDeterminism:
+    def test_wall_clock_banned(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/mod.py": """\
+            import time
+
+            def stamp():
+                return time.time()
+            """})
+        (hit,) = findings_by_rule(analyze(root), "determinism")
+        assert hit.line == 4
+        assert "time.time" in hit.message
+
+    def test_from_import_alias_resolved(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/mod.py": """\
+            from time import perf_counter as pc
+
+            def stamp():
+                return pc()
+            """})
+        (hit,) = findings_by_rule(analyze(root), "determinism")
+        assert hit.line == 4
+
+    def test_bench_allowlist(self, tmp_path):
+        root = make_pkg(tmp_path, {"bench.py": """\
+            import time
+
+            def wall():
+                return time.perf_counter()
+            """})
+        assert findings_by_rule(analyze(root), "determinism") == []
+
+    def test_entropy_banned(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/mod.py": """\
+            import os
+            import uuid
+
+            def token():
+                return os.urandom(8) + uuid.uuid4().bytes
+            """})
+        hits = findings_by_rule(analyze(root), "determinism")
+        assert len(hits) == 2 and all(h.line == 5 for h in hits)
+
+    def test_global_random_banned(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/mod.py": """\
+            import random
+
+            def pick():
+                return random.randint(0, 9)
+            """})
+        (hit,) = findings_by_rule(analyze(root), "determinism")
+        assert "process-global" in hit.message
+
+    def test_set_iteration_flagged(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/mod.py": """\
+            def emit(trace):
+                pending = set()
+                pending.add(1)
+                for ino in pending:
+                    trace.append(ino)
+            """})
+        (hit,) = findings_by_rule(analyze(root), "determinism")
+        assert hit.line == 4
+
+    def test_sorted_set_iteration_ok(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/mod.py": """\
+            def emit(trace):
+                pending = {3, 1, 2}
+                for ino in sorted(pending):
+                    trace.append(ino)
+            """})
+        assert findings_by_rule(analyze(root), "determinism") == []
+
+    def test_set_annotation_tracked(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/mod.py": """\
+            def emit(pins: set[int]):
+                return list(pins)
+            """})
+        (hit,) = findings_by_rule(analyze(root), "determinism")
+        assert "list() conversion" in hit.message
+
+    def test_id_sort_key_flagged(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/mod.py": """\
+            def order(engines):
+                return sorted(engines, key=lambda e: id(e))
+            """})
+        (hit,) = findings_by_rule(analyze(root), "determinism")
+        assert "allocation address" in hit.message
+
+    def test_membership_test_ok(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/mod.py": """\
+            def check(pins: set[int], ino: int) -> bool:
+                return ino in pins and len(pins) > 0
+            """})
+        assert findings_by_rule(analyze(root), "determinism") == []
+
+
+class TestClockAccounting:
+    UNCHARGED = """\
+        class PageCache:
+            def write(self, ino, data):
+                self.pages = data
+
+        class Syscalls:
+            def __init__(self, cache: PageCache):
+                self.cache = cache
+
+            def pwrite(self, ino, data):
+                self.cache.write(ino, data)
+        """
+
+    def test_uncharged_mutation_flagged(self, tmp_path):
+        root = make_pkg(tmp_path, {"kernel/sys.py": self.UNCHARGED})
+        (hit,) = findings_by_rule(analyze(root), "clock-accounting")
+        assert "Syscalls.pwrite" in hit.message
+        assert "PageCache.write" in hit.message
+
+    def test_charged_mutation_ok(self, tmp_path):
+        charged = self.UNCHARGED.replace(
+            "self.cache.write(ino, data)",
+            "self.clock.advance(10)\n        self.cache.write(ino, data)")
+        root = make_pkg(tmp_path, {"kernel/sys.py": charged})
+        assert findings_by_rule(analyze(root), "clock-accounting") == []
+
+    def test_charge_through_helper_ok(self, tmp_path):
+        root = make_pkg(tmp_path, {"kernel/sys.py": """\
+            class PageCache:
+                def write(self, ino, data):
+                    self.pages = data
+
+            class Syscalls:
+                def __init__(self, cache: PageCache):
+                    self.cache = cache
+
+                def _charge(self):
+                    self.clock.advance(100)
+
+                def pwrite(self, ino, data):
+                    self._charge()
+                    self.cache.write(ino, data)
+            """})
+        assert findings_by_rule(analyze(root), "clock-accounting") == []
+
+    def test_zero_cost_path_reaching_charge_flagged(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/journal.py": """\
+            class Journal:
+                def record(self, op):
+                    self.clock.advance(50)
+            """})
+        (hit,) = findings_by_rule(analyze(root), "clock-accounting")
+        assert "zero-virtual-time" in hit.message
+
+    def test_zero_cost_clean_path_ok(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/journal.py": """\
+            class Journal:
+                def record(self, op):
+                    self.records.append(op)
+            """})
+        assert findings_by_rule(analyze(root), "clock-accounting") == []
+
+
+class TestLayering:
+    def test_upward_module_scope_import_flagged(self, tmp_path):
+        root = make_pkg(tmp_path, {
+            "sim/clock.py": "from pkg.fs import inode\n",
+            "fs/inode.py": "X = 1\n",
+        })
+        hits = findings_by_rule(analyze(root, rules=["layering"]), "layering")
+        # Both the layer-order violation and the sim hard ban fire.
+        assert any("hard ban" in h.message for h in hits)
+        assert any("module scope" in h.message for h in hits)
+
+    def test_deferred_upward_import_allowed(self, tmp_path):
+        root = make_pkg(tmp_path, {
+            "fs/inode.py": """\
+                def late():
+                    from pkg.kernel import boot
+                    return boot
+                """,
+            "kernel/boot.py": "X = 1\n",
+        })
+        # fs -> kernel is hard-banned even deferred...
+        hits = findings_by_rule(analyze(root, rules=["layering"]), "layering")
+        assert len(hits) == 1 and "hard ban" in hits[0].message
+
+    def test_deferred_import_without_ban_ok(self, tmp_path):
+        root = make_pkg(tmp_path, {
+            "fs/inode.py": "X = 1\n",
+            "kernel/boot.py": """\
+                def late():
+                    from pkg.fs import inode
+                    return inode
+                """,
+        })
+        assert findings_by_rule(analyze(root, rules=["layering"]), "layering") == []
+
+    def test_cycle_detected(self, tmp_path):
+        root = make_pkg(tmp_path, {
+            "kernel/a.py": "from pkg.kernel import b\n",
+            "kernel/b.py": "from pkg.kernel import a\n",
+        })
+        hits = findings_by_rule(analyze(root, rules=["layering"]), "layering")
+        assert any("cycle" in h.message for h in hits)
+
+
+class TestErrnoDiscipline:
+    def test_bare_oserror_flagged(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/vfs.py": """\
+            def resolve(path):
+                raise OSError(2, path)
+            """})
+        (hit,) = findings_by_rule(analyze(root), "errno-discipline")
+        assert hit.line == 2
+
+    def test_fs_error_subclass_ok(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/vfs.py": """\
+            class FsError(OSError):
+                pass
+
+            class QuotaError(FsError):
+                pass
+
+            def resolve(path):
+                raise QuotaError(122, path)
+
+            def lookup(path):
+                raise FsError(2, path)
+            """})
+        assert findings_by_rule(analyze(root), "errno-discipline") == []
+
+    def test_internal_guard_ok(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/vfs.py": """\
+            def advance(delta):
+                if delta < 0:
+                    raise ValueError("negative time")
+            """})
+        assert findings_by_rule(analyze(root), "errno-discipline") == []
+
+    def test_outside_errno_layers_ok(self, tmp_path):
+        root = make_pkg(tmp_path, {"sim/clock.py": """\
+            def boom():
+                raise RuntimeError("clock is not a syscall path")
+            """})
+        assert findings_by_rule(analyze(root), "errno-discipline") == []
+
+
+class TestHookSuper:
+    BASE = """\
+        class Filesystem:
+            def crash(self):
+                self.locks = {}
+
+            def _inode_released(self, ino):
+                pass
+        """
+
+    def test_missing_super_flagged(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/base.py": self.BASE, "fs/tmpfs.py": """\
+            from pkg.fs.base import Filesystem
+
+            class TmpFS(Filesystem):
+                def crash(self):
+                    self.tree = {}
+            """})
+        (hit,) = findings_by_rule(analyze(root), "hook-super")
+        assert "TmpFS.crash" in hit.message
+
+    def test_delegating_override_ok(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/base.py": self.BASE, "fs/tmpfs.py": """\
+            from pkg.fs.base import Filesystem
+
+            class TmpFS(Filesystem):
+                def crash(self):
+                    self.tree = {}
+                    super().crash()
+
+                def _inode_released(self, ino):
+                    super()._inode_released(ino)
+                    self.wb.discard(ino)
+            """})
+        assert findings_by_rule(analyze(root), "hook-super") == []
+
+    def test_non_hook_override_ignored(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/base.py": self.BASE, "fs/tmpfs.py": """\
+            from pkg.fs.base import Filesystem
+
+            class TmpFS(Filesystem):
+                def sync(self):
+                    pass
+            """})
+        assert findings_by_rule(analyze(root), "hook-super") == []
+
+
+class TestTimerDiscard:
+    def test_stored_timer_without_cancel_flagged(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/engine.py": """\
+            class Engine:
+                def arm(self):
+                    self._timer = self.clock.schedule(100, self._tick)
+            """})
+        (hit,) = findings_by_rule(analyze(root), "timer-discard")
+        assert "self._timer" in hit.message
+
+    def test_cancel_path_ok(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/engine.py": """\
+            class Engine:
+                def arm(self):
+                    self._timer = self.clock.schedule(100, self._tick)
+
+                def crash_discard(self):
+                    if self._timer is not None:
+                        self._timer.cancel()
+            """})
+        assert findings_by_rule(analyze(root), "timer-discard") == []
+
+    def test_discarded_schedule_result_flagged(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/engine.py": """\
+            class Engine:
+                def arm(self):
+                    self.clock.schedule(100, self._tick)
+            """})
+        (hit,) = findings_by_rule(analyze(root), "timer-discard")
+        assert "discarded" in hit.message
+
+
+class TestRngHygiene:
+    def test_adhoc_random_instance_flagged(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/gen.py": """\
+            import random
+
+            def make():
+                return random.Random(42)
+            """})
+        (hit,) = findings_by_rule(analyze(root), "rng-hygiene")
+        assert "random.Random" in hit.message
+
+    def test_midrun_reseed_flagged(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/gen.py": """\
+            def reset(rng):
+                rng.seed(7)
+            """})
+        (hit,) = findings_by_rule(analyze(root), "rng-hygiene")
+        assert "substream" in hit.message
+
+    def test_rng_module_exempt(self, tmp_path):
+        root = make_pkg(tmp_path, {"rng.py": """\
+            import random
+
+            class DeterministicRandom(random.Random):
+                def reseed(self):
+                    super().seed(self._initial_seed)
+            """})
+        assert findings_by_rule(analyze(root), "rng-hygiene") == []
+
+    def test_substream_usage_ok(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/gen.py": """\
+            def streams(rng):
+                return rng.substream("ops"), rng.substream("data")
+            """})
+        assert findings_by_rule(analyze(root), "rng-hygiene") == []
+
+
+class TestSuppressions:
+    def test_suppression_absorbs_finding(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/mod.py": """\
+            import time
+
+            def stamp():
+                return time.time()  # simlint: ignore[determinism]
+            """})
+        assert analyze(root) == []
+
+    def test_unused_suppression_flagged(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/mod.py": """\
+            def stamp():
+                return 42  # simlint: ignore[determinism]
+            """})
+        (hit,) = analyze(root)
+        assert hit.rule == "suppression" and "unused" in hit.message
+
+    def test_unknown_rule_in_suppression_flagged(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/mod.py": """\
+            def stamp():
+                return 42  # simlint: ignore[no-such-rule]
+            """})
+        (hit,) = analyze(root)
+        assert hit.rule == "suppression" and "unknown rule" in hit.message
+
+    def test_docstring_mention_is_not_a_suppression(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/mod.py": '''\
+            def doc():
+                """Docs may say  # simlint: ignore[determinism]  freely."""
+                return 42
+            '''})
+        assert analyze(root) == []
+
+    def test_rule_filter_skips_unused_audit(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/mod.py": """\
+            def stamp():
+                return 42  # simlint: ignore[determinism]
+            """})
+        assert analyze(root, rules=["layering"]) == []
+
+    def test_unknown_rule_selection_rejected(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/mod.py": "X = 1\n"})
+        with pytest.raises(ValueError, match="unknown rule"):
+            analyze(root, rules=["nope"])
+
+
+class TestLiveTree:
+    def test_committed_tree_is_clean(self):
+        assert run_analysis([SRC_REPRO]) == []
+
+    def test_cli_exit_codes(self, tmp_path):
+        env_src = str(SRC_REPRO.parent)
+        clean = subprocess.run(
+            [sys.executable, "-m", "repro.analyze", "--json"],
+            capture_output=True, text=True, env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"})
+        assert clean.returncode == 0, clean.stdout + clean.stderr
+        assert '"count": 0' in clean.stdout
+
+        bad = make_pkg(tmp_path, {"fs/mod.py": "import time\nT = time.time()\n"})
+        dirty = subprocess.run(
+            [sys.executable, "-m", "repro.analyze", str(bad)],
+            capture_output=True, text=True, env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"})
+        assert dirty.returncode == 1
+        assert "determinism" in dirty.stdout
+
+    def test_list_rules(self):
+        out = subprocess.run(
+            [sys.executable, "-m", "repro.analyze", "--list-rules"],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(SRC_REPRO.parent), "PATH": "/usr/bin:/bin"})
+        assert out.returncode == 0
+        for rule in ("determinism", "clock-accounting", "layering",
+                     "errno-discipline", "hook-super", "timer-discard",
+                     "rng-hygiene"):
+            assert rule in out.stdout
+
+
+class TestSuppressionRegistry:
+    def run_check(self, root, registry):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analyze", str(root),
+             "--check-suppression-registry", str(registry)],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(SRC_REPRO.parent), "PATH": "/usr/bin:/bin"})
+
+    def test_unregistered_suppression_fails(self, tmp_path):
+        root = make_pkg(tmp_path, {
+            "fs/mod.py": "X = 1  # simlint: ignore[determinism]\n"})
+        registry = tmp_path / "ANALYSIS.md"
+        registry.write_text("### Suppression registry\n\n(none)\n")
+        out = self.run_check(root, registry)
+        assert out.returncode == 1
+        assert "mod.py:determinism" in out.stderr
+
+    def test_registered_suppression_passes(self, tmp_path):
+        root = make_pkg(tmp_path, {
+            "fs/mod.py": "X = 1  # simlint: ignore[determinism]\n"})
+        registry = tmp_path / "ANALYSIS.md"
+        registry.write_text("### Suppression registry\n\n"
+                            "- `mod.py:determinism` — test fixture.\n")
+        out = self.run_check(root, registry)
+        assert out.returncode == 0, out.stderr
+
+    def test_stale_registry_entry_fails(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/mod.py": "X = 1\n"})
+        registry = tmp_path / "ANALYSIS.md"
+        registry.write_text("### Suppression registry\n\n"
+                            "- `gone.py:determinism` — removed long ago.\n")
+        out = self.run_check(root, registry)
+        assert out.returncode == 1
+        assert "gone.py:determinism" in out.stderr
+
+    def test_fenced_format_example_does_not_register(self, tmp_path):
+        root = make_pkg(tmp_path, {"fs/mod.py": "X = 1\n"})
+        registry = tmp_path / "ANALYSIS.md"
+        registry.write_text("### Suppression registry\n\n(none)\n\n"
+                            "```markdown\n"
+                            "- `example.py:determinism` — just the format.\n"
+                            "```\n")
+        out = self.run_check(root, registry)
+        assert out.returncode == 0, out.stderr
+
+    def test_committed_registry_agrees_with_tree(self):
+        repo = SRC_REPRO.parent.parent
+        out = self.run_check(SRC_REPRO, repo / "ANALYSIS.md")
+        assert out.returncode == 0, out.stderr
+
+
+class TestFixedViolations:
+    """Behavioral regressions for the live-tree violations the analyzer
+    found when first run (see ANALYSIS.md for the war stories)."""
+
+    def test_exit_charges_virtual_time(self, machine, syscalls):
+        # clock-accounting: Syscalls.exit tears down fds (reaching
+        # DirectoryInode.remove via /proc cleanup) and must charge the
+        # virtual clock like its sibling kill() does.
+        child = syscalls.spawn(["/usr/bin/child"])
+        before = machine.clock.now_ns
+        child.exit(0)
+        assert machine.clock.now_ns > before
+
+    def test_unshare_ns_id_assignment_is_deterministic(self):
+        # determinism: unshare used to iterate its `kinds` set directly, so
+        # which fresh namespace drew which sequential ns_id depended on hash
+        # order.  Two independent interpreter runs must now agree exactly.
+        script = textwrap.dedent("""\
+            from repro.kernel.machine import boot
+            from repro.kernel.namespaces import NamespaceKind
+
+            machine = boot()
+            sc = machine.spawn_host_process(["/usr/bin/p"])
+            sc.unshare(NamespaceKind.UTS, NamespaceKind.MNT, NamespaceKind.PID)
+            print([(k.name, sc.process.namespaces[k].ns_id)
+                   for k in NamespaceKind])
+            """)
+        runs = [subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True,
+            env={"PYTHONPATH": str(SRC_REPRO.parent), "PATH": "/usr/bin:/bin",
+                 "PYTHONHASHSEED": seed})
+            for seed in ("1", "2")]
+        assert all(r.returncode == 0 for r in runs), runs[0].stderr + runs[1].stderr
+        assert runs[0].stdout == runs[1].stdout
+
+    def test_filesystem_lifecycle_hooks_delegate(self):
+        # hook-super: Ext4Fs/TmpFS `_inode_released` overrides shadowed the
+        # base hook without delegating.
+        assert run_analysis([SRC_REPRO], rules=["hook-super"]) == []
+
+    def test_syscall_entry_points_all_charge(self):
+        # clock-accounting over the live tree stays clean (exit() was the
+        # one uncharged entry point).
+        assert run_analysis([SRC_REPRO], rules=["clock-accounting"]) == []
+
+    def test_no_wall_clock_outside_bench(self):
+        assert run_analysis([SRC_REPRO], rules=["determinism"]) == []

@@ -457,7 +457,7 @@ class TestMemoryPressureProperties:
             engine.flush()
             results.append((engine.stats.flushes, engine.stats.flushed_bytes,
                             clock.now_ns, engine.bdi.stats.busy_ns))
-        flushes, flushed, elapsed, busy = zip(*results)
+        flushes, flushed, elapsed, busy = zip(*results, strict=True)
         # Conservation: the flush decisions and total flushed bytes are
         # independent of the bandwidth.
         assert len(set(flushes)) == 1
