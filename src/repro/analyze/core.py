@@ -74,12 +74,16 @@ class AnalysisConfig:
     #: interpreter speed (wall time) alongside the modelled virtual time.
     wallclock_allow: tuple[str, ...] = (
         "repro.bench.hotpath",
+        "repro.bench.scale",
         "repro.bench.writeback",
     )
 
     # -- clock-accounting -------------------------------------------------
-    #: Classes whose public methods are syscall entry points.
-    entry_classes: tuple[str, ...] = ("Syscalls",)
+    #: Classes whose public methods are syscall entry points.  The
+    #: ``Scheduler`` is an entry surface too: ``run``/``spawn`` drive task
+    #: bodies that reach mutators, and the scheduler itself charges the clock
+    #: for timeslices, context switches and idle jumps.
+    entry_classes: tuple[str, ...] = ("Scheduler", "Syscalls")
     #: ``Class.method`` names that mutate fs/page-cache/writeback state.  An
     #: entry point reaching one of these must also reach a charge.
     mutators: tuple[str, ...] = (

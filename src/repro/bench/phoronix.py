@@ -299,7 +299,7 @@ class Gzip(Workload):
                 # gzip's compression is CPU bound and identical in both
                 # configurations; charging it makes the workload compute
                 # bound, which is why the paper measures no overhead here.
-                sc.kernel.clock.advance(cpu_ns_per_byte * len(data))
+                sc.kernel.clock.advance(int(cpu_ns_per_byte * len(data)))
                 sc.write(fd_out, b"g" * max(1, len(data) // 1000))
         finally:
             sc.close(fd_in)

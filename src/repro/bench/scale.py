@@ -1,0 +1,275 @@
+"""Multi-tenant scale benchmark: containers × server threads × ``cpu.max``.
+
+The paper's scalability story (§4 / Figure 4) is about what happens when many
+tenants hammer one CntrFS mount: server worker threads must drain the
+``/dev/fuse`` queue concurrently and the CPU controller must keep tenants
+inside their bandwidth.  This harness sweeps the three axes independently on
+top of the deterministic scheduler (:mod:`repro.sim.sched`):
+
+* **containers** — more tenants writing through the shared mount means more
+  total virtual time, while weighted fairness keeps their CPU shares equal;
+* **threads** — the bounded background queue (``max_background``) congests
+  writeback bursts, and more server worker loops drain the backlog faster,
+  shrinking the congestion stall;
+* **cpu.max** — a shrinking quota (written through cgroupfs, exactly the
+  ``docker run --cpus`` path) leaves per-tenant CPU *usage* unchanged but
+  adds throttled wait, stretching completion time.
+
+Every run is seeded: the pick trace digest recorded per row is
+byte-reproducible across runs and interpreters (locked by
+``tests/test_sched.py``).  Results land in ``BENCH_scale.json``; the
+committed rows are append-only history guarded by
+``benchmarks/test_bench_scale.py``.
+
+Run it directly::
+
+    PYTHONPATH=src python -m repro.bench.scale --out BENCH_scale.json
+    PYTHONPATH=src python -m repro.bench.scale --smoke   # CI matrix smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.bench.harness import BenchEnvironment
+from repro.fs.constants import OpenFlags
+from repro.fuse.options import FuseMountOptions
+from repro.sim.rng import DeterministicRandom
+
+#: Background-queue bound used for every run (the Linux default).
+MAX_BACKGROUND = 12
+#: Default per-tenant workload: 96 records × 64 KiB = 6 MiB, sized so the
+#: fsync flush burst (48 wire requests) overflows ``max_background`` and the
+#: capped sweep quotas (2ms/10ms, 1ms/10ms) sit below the ~2.5ms per period
+#: each of four tenants uses on the shared virtual CPU.
+RECORDS = 96
+RECORD_KB = 64
+SEED = 1807
+
+
+@dataclass
+class ScaleResult:
+    """One cell of the containers × threads × cpu.max matrix."""
+
+    containers: int
+    threads: int
+    cpu_max: str
+    records: int
+    record_kb: int
+    seed: int
+    virtual_ms: float
+    wall_seconds: float
+    picks: int
+    context_switches: int
+    preemptions: int
+    idle_ms: float
+    switch_cost_ms: float
+    pick_digest: str              # sha256 of the comma-joined pick trace
+    queue_queued: int
+    queue_max_depth: int
+    queue_congestion_waits: int
+    queue_congestion_wait_ms: float
+    usage_usec_total: int
+    nr_throttled_total: int
+    throttled_usec_total: int
+    tenants: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        for key in ("virtual_ms", "idle_ms", "switch_cost_ms",
+                    "queue_congestion_wait_ms"):
+            data[key] = round(data[key], 3)
+        data["wall_seconds"] = round(data["wall_seconds"], 3)
+        return data
+
+
+def _cgroupfs_write(sc, path: str, payload: bytes) -> None:
+    fd = sc.open(path, OpenFlags.O_WRONLY)
+    try:
+        sc.write(fd, payload)
+    finally:
+        sc.close(fd)
+
+
+def _cpu_stat(sc, cg_dir: str) -> dict[str, int]:
+    fd = sc.open(f"{cg_dir}/cpu.stat", OpenFlags.O_RDONLY)
+    try:
+        text = sc.read(fd, 1 << 14).decode()
+    finally:
+        sc.close(fd)
+    return {k: int(v) for k, v in (line.split() for line in text.splitlines())}
+
+
+def _tenant_body(sc, base: str, records: int, record_kb: int):
+    """One tenant's workload: sequential writes, fsync, sequential read-back.
+
+    A generator so the scheduler can preempt between syscalls; every
+    operation charges the shared virtual clock inline.
+    """
+    payload = b"s" * (record_kb << 10)
+
+    def body():
+        fd = sc.open(f"{base}/data", OpenFlags.O_CREAT | OpenFlags.O_WRONLY,
+                     0o644)
+        yield None
+        for _ in range(records):
+            sc.write(fd, payload)
+            yield None
+        sc.fsync(fd)
+        yield None
+        sc.close(fd)
+        fd = sc.open(f"{base}/data", OpenFlags.O_RDONLY)
+        yield None
+        while sc.read(fd, record_kb << 10):
+            yield None
+        sc.close(fd)
+
+    return body
+
+
+def run_scale(containers: int, threads: int, cpu_max: str = "max",
+              records: int = RECORDS, record_kb: int = RECORD_KB,
+              seed: int = SEED) -> ScaleResult:
+    """Run ``containers`` tenants through one CntrFS mount and measure."""
+    options = FuseMountOptions.paper_defaults().with_overrides(
+        max_background=MAX_BACKGROUND)
+    env = BenchEnvironment(options=options, threads=threads,
+                           page_cache_mb=512)
+    # Let dirty data accumulate so each tenant's fsync flushes one large
+    # background burst through the bounded queue.
+    for knob, value in (("dirty_background_bytes", 64 << 20),
+                        ("dirty_bytes", 128 << 20)):
+        _cgroupfs_write(env.host_sc, f"/proc/sys/vm/{knob}",
+                        f"{value}\n".encode())
+    kernel = env.machine.kernel
+    controller = kernel.cpu_controller(rng=DeterministicRandom(seed))
+    admin = env.host_sc
+    cg_dirs = []
+    for i in range(containers):
+        cg_dir = f"/sys/fs/cgroup/tenant{i}"
+        admin.mkdir(cg_dir)
+        if cpu_max != "max":
+            _cgroupfs_write(admin, f"{cg_dir}/cpu.max", cpu_max.encode())
+        cg_dirs.append(cg_dir)
+        worker = env.machine.spawn_host_process([f"/usr/bin/tenant{i}"])
+        kernel.cgroups.attach(worker.process.pid, f"/tenant{i}")
+        worker.makedirs(f"/cntr/tenant{i}")
+        controller.spawn(worker.process,
+                         _tenant_body(worker, f"/cntr/tenant{i}",
+                                      records, record_kb),
+                         name=f"tenant{i}")
+
+    start_virtual = env.machine.clock.now_ns
+    start_wall = time.perf_counter()
+    stats = controller.run()
+    wall = time.perf_counter() - start_wall
+    virtual = env.machine.clock.now_ns - start_virtual
+
+    tenants = []
+    for i, cg_dir in enumerate(cg_dirs):
+        stat = _cpu_stat(admin, cg_dir)
+        tenants.append({"tenant": f"tenant{i}", **stat})
+    queue = env.client.connection.queue_stats
+    return ScaleResult(
+        containers=containers, threads=threads, cpu_max=cpu_max,
+        records=records, record_kb=record_kb, seed=seed,
+        virtual_ms=virtual / 1e6, wall_seconds=wall,
+        picks=stats.picks, context_switches=stats.context_switches,
+        preemptions=stats.preemptions, idle_ms=stats.idle_ns / 1e6,
+        switch_cost_ms=stats.switch_cost_ns / 1e6,
+        pick_digest=hashlib.sha256(
+            ",".join(stats.pick_trace).encode()).hexdigest(),
+        queue_queued=queue.queued_total, queue_max_depth=queue.max_depth,
+        queue_congestion_waits=queue.congestion_waits,
+        queue_congestion_wait_ms=queue.congestion_wait_ns / 1e6,
+        usage_usec_total=sum(t["usage_usec"] for t in tenants),
+        nr_throttled_total=sum(t["nr_throttled"] for t in tenants),
+        throttled_usec_total=sum(t["throttled_usec"] for t in tenants),
+        tenants=tenants)
+
+
+def sweep(records: int = RECORDS, record_kb: int = RECORD_KB,
+          seed: int = SEED) -> dict[str, list[ScaleResult]]:
+    """The three independent sweeps recorded in ``BENCH_scale.json``."""
+    return {
+        # More tenants through one mount: total virtual time grows while
+        # equal weights keep per-tenant CPU usage identical.
+        "containers": [run_scale(c, 4, records=records, record_kb=record_kb,
+                                 seed=seed)
+                       for c in (1, 2, 4, 8)],
+        # More server worker loops drain the congested background queue
+        # faster: the congestion stall falls monotonically.
+        "threads": [run_scale(4, t, records=records, record_kb=record_kb,
+                              seed=seed)
+                    for t in (1, 2, 4, 8)],
+        # Shrinking cpu.max: same per-tenant usage, growing throttled wait,
+        # growing completion time.  (Four tenants share the one virtual CPU,
+        # so each runs ~2.5ms per 10ms period unthrottled; the capped rows
+        # sit below that.)
+        "cpu_max": [run_scale(4, 4, cpu_max=quota, records=records,
+                              record_kb=record_kb, seed=seed)
+                    for quota in ("max", "2000 10000", "1000 10000")],
+    }
+
+
+def smoke() -> int:
+    """Small containers × threads matrix with built-in sanity checks (CI)."""
+    for containers in (1, 2):
+        for threads in (1, 4):
+            first = run_scale(containers, threads, records=16, seed=SEED)
+            again = run_scale(containers, threads, records=16, seed=SEED)
+            assert first.pick_digest == again.pick_digest, \
+                (containers, threads)
+            assert first.virtual_ms == again.virtual_ms, (containers, threads)
+            assert first.usage_usec_total > 0, (containers, threads)
+            print(f"containers={containers} threads={threads} "
+                  f"virtual_ms={first.virtual_ms:.3f} "
+                  f"picks={first.picks} digest={first.pick_digest[:12]}")
+    # Enough work (≈2.6ms CPU) to park a 1ms/10ms-quota tenant across
+    # period boundaries, so real throttled time accrues, not just the count.
+    capped = run_scale(2, 4, cpu_max="1000 10000", records=48, seed=SEED)
+    assert capped.nr_throttled_total > 0
+    assert capped.throttled_usec_total > 0
+    print(f"cpu.max=1000/10000 throttled_usec={capped.throttled_usec_total}")
+    print("scale smoke: ok")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the small CI matrix with sanity checks")
+    parser.add_argument("--records", type=int, default=RECORDS)
+    parser.add_argument("--record-kb", type=int, default=RECORD_KB)
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--out", default="BENCH_scale.json")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return smoke()
+    results = sweep(records=args.records, record_kb=args.record_kb,
+                    seed=args.seed)
+    payload = {
+        "workload": f"{args.records}x{args.record_kb}KiB sequential writes + "
+                    "fsync + read-back per tenant through one CntrFS mount, "
+                    f"max_background={MAX_BACKGROUND}, scheduler seed "
+                    f"{args.seed}",
+        "sweeps": {name: [r.to_dict() for r in runs]
+                   for name, runs in results.items()},
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name, runs in results.items():
+        print(f"{name}: " + ", ".join(
+            f"{r.containers}x{r.threads}t[{r.cpu_max}]={r.virtual_ms:.1f}ms"
+            for r in runs))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

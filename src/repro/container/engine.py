@@ -107,11 +107,13 @@ class ContainerEngine:
                limits: CgroupLimits | None = None) -> Container:
         """Create (but do not start) a container from an image.
 
-        ``limits`` is the ``docker run --memory`` surface: the limits object
-        becomes the container cgroup's at start, so the memory controller
-        budgets the container's page cache — and, because injected debugging
-        tools join the same cgroup (the paper's §3.2.3 semantics), theirs
-        too.
+        ``limits`` is the ``docker run --memory`` / ``--cpus`` /
+        ``--cpu-shares`` surface: the limits object becomes the container
+        cgroup's at start, so the memory controller budgets the container's
+        page cache and the CPU controller enforces ``cpu.max`` bandwidth and
+        ``cpu.weight`` fairness — and, because injected debugging tools join
+        the same cgroup (the paper's §3.2.3 semantics), they are budgeted and
+        scheduled with the container they debug.
         """
         container_name = self.container_name_for(name, image)
         if any(c.name == container_name for c in self.containers.values()):

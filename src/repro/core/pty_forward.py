@@ -84,7 +84,7 @@ class PtyForwarder:
         pending = self.terminal.take_input(self.chunk_size)
         if pending:
             written = master.write(pending)
-            self.kernel.clock.advance(self.kernel.costs.copy_cost(written))
+            self.kernel.clock.advance(int(self.kernel.costs.copy_cost(written)))
             self.bytes_to_shell += written
             moved += written
 
@@ -98,7 +98,7 @@ class PtyForwarder:
                 raise
             if not data:
                 break
-            self.kernel.clock.advance(self.kernel.costs.copy_cost(len(data)))
+            self.kernel.clock.advance(int(self.kernel.costs.copy_cost(len(data))))
             self.terminal.deliver_output(data)
             self.bytes_from_shell += len(data)
             moved += len(data)

@@ -100,7 +100,7 @@ class SocketProxy:
                 if not data:
                     break
                 count = dst_sc.write(dst_fd, data)
-                self.kernel.clock.advance(self.kernel.costs.splice_cost(count))
+                self.kernel.clock.advance(int(self.kernel.costs.splice_cost(count)))
                 moved += count
                 pair.bytes_forwarded += count
         return moved

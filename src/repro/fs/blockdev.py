@@ -59,7 +59,7 @@ class BlockDevice:
         if nbytes <= 0:
             return
         sequential = self._is_sequential(offset)
-        self._clock.advance(self._costs.disk_read_cost(nbytes, sequential=sequential))
+        self._clock.advance(int(self._costs.disk_read_cost(nbytes, sequential=sequential)))
         self._next_sequential_offset = offset + nbytes
         self.stats.reads += 1
         self.stats.bytes_read += nbytes
@@ -70,7 +70,7 @@ class BlockDevice:
         if nbytes <= 0:
             return
         sequential = self._is_sequential(offset)
-        self._clock.advance(self._costs.disk_write_cost(nbytes, sequential=sequential))
+        self._clock.advance(int(self._costs.disk_write_cost(nbytes, sequential=sequential)))
         self._next_sequential_offset = offset + nbytes
         self.stats.writes += 1
         self.stats.bytes_written += nbytes

@@ -248,7 +248,7 @@ class Ext4Fs(Filesystem):
             return
         hits, misses = self.page_cache.access(ino, offset, size)
         page = self.costs.page_size
-        hit_cost = self.costs.page_cache_hit_per_byte_ns * hits * page
+        hit_cost = int(self.costs.page_cache_hit_per_byte_ns * hits * page)
         self.clock.advance(hit_cost)
         if misses:
             fetch_pages = misses
@@ -279,7 +279,8 @@ class Ext4Fs(Filesystem):
             self.clock.advance(self.costs.syscall_ns)
             return
         dirtied = self.page_cache.write(ino, offset, size)
-        cost = self.costs.page_cache_hit_per_byte_ns * size + self.costs.metadata_op_ns * 0.1
+        cost = int(self.costs.page_cache_hit_per_byte_ns * size
+                   + self.costs.metadata_op_ns * 0.1)
         self.clock.advance(cost)
         self.tracer.record(self.clock.now_ns, self.fs_type, "write", int(cost),
                            detail=f"dirtied={dirtied}")

@@ -140,13 +140,13 @@ class Filesystem:
 
     def _charge_read(self, ino: int, offset: int, size: int) -> None:
         """Charge the cost of reading ``size`` bytes."""
-        cost = self.costs.tmpfs_per_byte_ns * size + self.costs.tmpfs_op_ns
+        cost = int(self.costs.tmpfs_per_byte_ns * size + self.costs.tmpfs_op_ns)
         self.clock.advance(cost)
         self.tracer.record(self.clock.now_ns, self.fs_type, "read", cost)
 
     def _charge_write(self, ino: int, offset: int, size: int) -> None:
         """Charge the cost of writing ``size`` bytes."""
-        cost = self.costs.tmpfs_per_byte_ns * size + self.costs.tmpfs_op_ns
+        cost = int(self.costs.tmpfs_per_byte_ns * size + self.costs.tmpfs_op_ns)
         self.clock.advance(cost)
         self.tracer.record(self.clock.now_ns, self.fs_type, "write", cost)
 

@@ -120,6 +120,10 @@ class FuseClientFs(Filesystem):
         request = FuseRequest(FuseOpcode.INIT, nodeid=1,
                               args={"options": self.options})
         self.connection.attach_options = self.options
+        # Negotiate the bounded background queue (max_background /
+        # congestion_threshold); the default 0 leaves it unmodelled.
+        self.connection.configure_queue(self.options.max_background,
+                                        self.options.congestion_threshold)
         self.connection.request(request)
         self.connection.mark_mounted()
         # Fetch the real root attributes from the server.
@@ -170,9 +174,9 @@ class FuseClientFs(Filesystem):
               expected_reply_bytes: int = 0, dirop: bool = False) -> FuseReply:
         """Send one request, charging the protocol costs, and return the reply."""
         send_size = payload_size if payload_size is not None else len(payload)
-        overhead = self._request_overhead(dirop, send_size, expected_reply_bytes)
+        overhead = int(self._request_overhead(dirop, send_size, expected_reply_bytes))
         self.clock.advance(overhead)
-        self.tracer.record(self.clock.now_ns, "fuse", opcode.name.lower(), int(overhead))
+        self.tracer.record(self.clock.now_ns, "fuse", opcode.name.lower(), overhead)
         request = FuseRequest(opcode, nodeid, args=args, payload=payload)
         reply = self.connection.request(request)
         if not reply.ok:
@@ -193,11 +197,11 @@ class FuseClientFs(Filesystem):
         failing wire request.  Error paths feed no figure, so the (cheaper)
         arithmetic form keeps its one-shot charge there.
         """
-        overhead = self._batched_overhead(nreq, dirop, len(payload),
-                                          expected_reply_bytes)
+        overhead = int(self._batched_overhead(nreq, dirop, len(payload),
+                                              expected_reply_bytes))
         self.clock.advance(overhead)
         self.tracer.record(self.clock.now_ns, "fuse", opcode.name.lower(),
-                           int(overhead), detail=f"coalesced={nreq}")
+                           overhead, detail=f"coalesced={nreq}")
         request = FuseRequest(opcode, nodeid, args=args, payload=payload,
                               coalesced=nreq)
         reply = self.connection.request(request)
@@ -320,7 +324,7 @@ class FuseClientFs(Filesystem):
     def charge_lookup_hit(self, dir_ino: int, name: str, ino: int) -> None:
         if ino in self._inodes and ino in self._attr_fresh:
             # Matches the entry-cache hit path below: half an in-kernel tmpfs op.
-            self.clock.advance(self.costs.tmpfs_op_ns * 0.5)
+            self.clock.advance(int(self.costs.tmpfs_op_ns * 0.5))
         else:
             # Stale proxy attributes (e.g. after fallocate): the kernel
             # revalidates with a full LOOKUP round trip, as the entry-cache
@@ -331,7 +335,7 @@ class FuseClientFs(Filesystem):
         cached = self._entry_cache.get((dir_ino, name))
         if cached is not None and cached in self._inodes and cached in self._attr_fresh:
             # Dentry-cache hit: no round trip, only the in-kernel cost.
-            self.clock.advance(self.costs.tmpfs_op_ns * 0.5)
+            self.clock.advance(int(self.costs.tmpfs_op_ns * 0.5))
             return self._inodes[cached]
         reply = self._send(FuseOpcode.LOOKUP, dir_ino, {"name": name}, dirop=True)
         if reply.attr is None or reply.nodeid is None:
@@ -436,7 +440,7 @@ class FuseClientFs(Filesystem):
     def readlink(self, ino: int) -> str:
         inode = self._inodes.get(ino)
         if isinstance(inode, SymlinkInode) and inode.target:
-            self.clock.advance(self.costs.tmpfs_op_ns * 0.5)
+            self.clock.advance(int(self.costs.tmpfs_op_ns * 0.5))
             return inode.target
         reply = self._send(FuseOpcode.READLINK, ino, {}, expected_reply_bytes=256)
         return reply.target
@@ -456,8 +460,8 @@ class FuseClientFs(Filesystem):
             hits, misses = self.page_cache.access(ino, offset, size)
             misses_bytes = misses * self.costs.page_size
             if hits:
-                self.clock.advance(self.costs.page_cache_hit_per_byte_ns *
-                                   hits * self.costs.page_size)
+                self.clock.advance(int(self.costs.page_cache_hit_per_byte_ns *
+                                       hits * self.costs.page_size))
         if misses_bytes or self.options.direct_io:
             # Readahead: with FUSE_ASYNC_READ the kernel issues large
             # readahead-window requests, so subsequent sequential reads hit
@@ -481,6 +485,11 @@ class FuseClientFs(Filesystem):
             # backing filesystem per wire request, exactly as a chunked
             # dispatch loop would have.
             nreq = max(1, -(-fetch_size // granule))
+            if self.options.async_read and not self.options.direct_io \
+                    and readahead > 0:
+                # Readahead requests ride the kernel's background queue; a
+                # window larger than max_background congests the submitter.
+                self.connection.submit_background(nreq)
             reply = self._send_batched(FuseOpcode.READ, ino,
                                        {"offset": offset, "size": fetch_size,
                                         "granule": granule},
@@ -512,13 +521,13 @@ class FuseClientFs(Filesystem):
             # FUSE protocol offers no way to cache the (missing) attribute.
             # The probe is cheaper than a full data request (tiny negative
             # reply), so it is charged at a fraction of the base request cost.
-            self.clock.advance(self.costs.fuse_request_ns * 0.4)
+            self.clock.advance(int(self.costs.fuse_request_ns * 0.4))
             self.connection.request(FuseRequest(
                 FuseOpcode.GETXATTR, ino, args={"name": "security.capability"}))
         if self.options.writeback_cache:
             self._capture_crash_shadow(ino)
             self.page_cache.write(ino, offset, size)
-            self.clock.advance(self.costs.page_cache_hit_per_byte_ns * size)
+            self.clock.advance(int(self.costs.page_cache_hit_per_byte_ns * size))
             # Data still has to reach the server for correctness; the request
             # below carries no protocol cost because the writeback flush
             # accounts for it in aggregated form.
@@ -560,7 +569,11 @@ class FuseClientFs(Filesystem):
         """
         for node, pending in items:
             requests = max(1, math.ceil(pending / self.options.max_write))
-            self.clock.advance(self._batched_overhead(requests, False, pending, 0))
+            # The flusher queues the whole inode batch on the background
+            # list before any of it is serviced; admission may stall on the
+            # congestion threshold.
+            self.connection.submit_background(requests)
+            self.clock.advance(int(self._batched_overhead(requests, False, pending, 0)))
             self.clock.advance(self.costs.fuse_writeback_flush_ns)
             self.page_cache.clean(node)
             # The flushed bytes are on the server now: the inode's data would
@@ -688,7 +701,7 @@ class FuseClientFs(Filesystem):
     # ------------------------------------------------------------ attributes
     def getattr(self, ino: int):
         if ino in self._attr_fresh and ino in self._inodes:
-            self.clock.advance(self.costs.tmpfs_op_ns * 0.5)
+            self.clock.advance(int(self.costs.tmpfs_op_ns * 0.5))
             return self._inodes[ino].stat(st_dev=self.fs_id)
         reply = self._send(FuseOpcode.GETATTR, ino, {})
         inode = self._update_proxy(ino, reply.attr)

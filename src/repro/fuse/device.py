@@ -52,8 +52,34 @@ class FuseConnectionStats:
                 self.errors += 1
 
 
+@dataclass
+class FuseQueueStats:
+    """Accounting for the bounded ``/dev/fuse`` background queue."""
+
+    queued_total: int = 0          # background requests that entered the queue
+    drained_total: int = 0         # requests retired by server worker loops
+    max_depth: int = 0             # high watermark of the backlog
+    congestion_waits: int = 0      # submissions that blocked on the threshold
+    congestion_wait_ns: int = 0    # virtual time writers spent blocked
+
+
 class FuseConnection:
-    """A kernel<->server FUSE session."""
+    """A kernel<->server FUSE session.
+
+    When the mount negotiates ``max_background`` > 0, the connection models
+    the kernel's bounded background queue for *asynchronous* request bursts
+    (readahead READ batches, writeback WRITE flushes — the request classes
+    the real ``fuse_conn->max_background`` governs).  A burst enters the
+    queue all at once via :meth:`submit_background`; the server's worker
+    loops retire one queued request per ``fuse_request_ns`` each, draining
+    the backlog against virtual time between bursts; and a submitter whose
+    burst pushes the backlog past ``max_background`` blocks — charging
+    virtual time — until the loops drain it back to
+    ``congestion_threshold``, exactly the writer stall
+    ``fuse_set_congested`` produces.  With the default ``max_background`` =
+    0 the queue is unmodelled and the request path is byte-identical to the
+    historical synchronous round trip.
+    """
 
     def __init__(self, kernel: "Kernel") -> None:
         self.connection_id = next(_connection_counter)
@@ -62,10 +88,66 @@ class FuseConnection:
         self.mounted = False
         self.aborted = False
         self.stats = FuseConnectionStats()
+        self.max_background = 0
+        self.congestion_threshold = 0
+        self.queue_stats = FuseQueueStats()
+        self._backlog = 0
+        self._last_drain_ns = 0
 
     def attach_server(self, server: "FuseServer") -> None:
         """Attach the userspace server that will handle requests."""
         self.server = server
+
+    def configure_queue(self, max_background: int,
+                        congestion_threshold: int = 0) -> None:
+        """Negotiate the background-queue bounds (INIT time).
+
+        ``congestion_threshold`` 0 derives the Linux default of 3/4 of
+        ``max_background``.
+        """
+        self.max_background = max(0, max_background)
+        if self.max_background and not congestion_threshold:
+            congestion_threshold = max(1, self.max_background * 3 // 4)
+        self.congestion_threshold = min(congestion_threshold,
+                                        self.max_background)
+        self._last_drain_ns = self.kernel.clock.now_ns
+
+    def submit_background(self, count: int) -> None:
+        """Admit one async burst of ``count`` wire requests to the queue.
+
+        Called by the client filesystem where the kernel queues background
+        requests: once per readahead READ batch and once per inode batch of
+        a writeback flush.  May charge the submitter a congestion stall.
+        """
+        if not self.max_background or count <= 0:
+            return
+        workers = self.server.threads if self.server is not None else 1
+        service_ns = self.kernel.costs.fuse_request_ns
+        now = self.kernel.clock.now_ns
+        # The worker loops ran concurrently since the last burst, each
+        # retiring one queued request per service interval.
+        capacity = (now - self._last_drain_ns) * workers // service_ns
+        drained = min(self._backlog, capacity)
+        self._backlog -= drained
+        self.queue_stats.drained_total += drained
+        self._last_drain_ns = now
+        self._backlog += count
+        self.queue_stats.queued_total += count
+        if self._backlog > self.queue_stats.max_depth:
+            self.queue_stats.max_depth = self._backlog
+        if self._backlog > self.max_background:
+            # The submitter blocks until the workers drain the backlog to
+            # the congestion threshold: one service interval per round of
+            # ``workers`` retirements.
+            excess = self._backlog - self.congestion_threshold
+            rounds = -(-excess // workers)
+            stall_ns = rounds * service_ns
+            self.queue_stats.congestion_waits += 1
+            self.queue_stats.congestion_wait_ns += stall_ns
+            self.queue_stats.drained_total += excess
+            self._backlog = self.congestion_threshold
+            self.kernel.clock.advance(stall_ns)
+            self._last_drain_ns = self.kernel.clock.now_ns
 
     def mark_mounted(self) -> None:
         """Called by the client filesystem once it is mounted in a namespace."""

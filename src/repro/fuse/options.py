@@ -37,6 +37,16 @@ class FuseMountOptions:
     #: Number of CntrFS worker threads reading /dev/fuse (§3.3
     #: "Multithreading", Figure 4).
     threads: int = 4
+    #: Bounded ``/dev/fuse`` background queue (``fuse_conn->max_background``,
+    #: Linux default 12).  0 — the default here — leaves the queue unmodelled
+    #: (legacy unbounded behavior), which keeps single-tenant runs
+    #: byte-identical to the pinned figures; the multi-tenant scale bench
+    #: opts in explicitly.
+    max_background: int = 0
+    #: Depth at which the submitting writer is congestion-stalled
+    #: (``congestion_threshold``, Linux default 3/4 of max_background).
+    #: 0 derives that default from ``max_background``.
+    congestion_threshold: int = 0
     #: Attribute/entry cache validity; the simulation treats any non-zero
     #: value as "cache until invalidated".
     attr_timeout_s: float = 1.0

@@ -10,9 +10,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.fs.errors import FsError
+from repro.sim.sched import CPU_WEIGHT_MAX, CPU_WEIGHT_MIN, CpuGroupStats
 
 #: Controllers modelled by the simulation (a subset of cgroup v1/v2).
 CONTROLLERS = ("cpu", "memory", "pids", "blkio", "devices")
+
+#: v1 ``cpu.shares`` value corresponding to the v2 ``cpu.weight`` default 100.
+CPU_SHARES_NICE0 = 1024
+
+
+def cpu_weight_from_shares(shares: int) -> int:
+    """Render stored v1-style ``cpu_shares`` as a v2 ``cpu.weight`` (1-10000)."""
+    weight = (shares * 100 + CPU_SHARES_NICE0 // 2) // CPU_SHARES_NICE0
+    return min(CPU_WEIGHT_MAX, max(CPU_WEIGHT_MIN, weight))
+
+
+def cpu_shares_from_weight(weight: int) -> int:
+    """Store a v2 ``cpu.weight`` write in the v1-style ``cpu_shares`` field.
+
+    The mapping is linear with the fixed point ``weight 100 == shares 1024``
+    and integer half-up rounding on both directions: the scale factor is
+    10.24 shares per weight unit, so the rounding error survives the inverse
+    conversion undistorted and *every* weight in [1, 10000] round-trips
+    exactly through a cgroupfs write+read.  The floor of 2 matches the
+    kernel's minimum shares value.
+    """
+    return max(2, (weight * CPU_SHARES_NICE0 + 50) // 100)
 
 
 @dataclass
@@ -36,6 +59,15 @@ class CgroupLimits:
         if self.cpu_quota_us is None:
             return 1.0
         return min(1.0, self.cpu_quota_us / self.cpu_period_us)
+
+    def cpu_weight(self) -> int:
+        """The v2 ``cpu.weight`` view of the stored ``cpu_shares``."""
+        return cpu_weight_from_shares(self.cpu_shares)
+
+    def cpu_max_text(self) -> str:
+        """Render the ``cpu.max`` file content ("$MAX $PERIOD")."""
+        quota = "max" if self.cpu_quota_us is None else str(self.cpu_quota_us)
+        return f"{quota} {self.cpu_period_us}\n"
 
 
 @dataclass
@@ -65,7 +97,11 @@ class Cgroup:
         self.children: dict[str, "Cgroup"] = {}
         self.procs: set[int] = set()
         self.limits = CgroupLimits()
-        self.stats_cpu_usage_ns = 0
+        #: CPU-controller counters (``cpu.stat``), shared live with the
+        #: scheduler's :class:`repro.sim.sched.CpuGroup` by the kernel glue
+        #: (:mod:`repro.kernel.cpu`), so cgroupfs reads see charges as they
+        #: accrue.
+        self.cpu_stats = CpuGroupStats()
         #: High watermark of ``mem_cache_bytes`` (``memory.peak``), driven by
         #: the memory controller's charge path.
         self.stats_memory_peak = 0

@@ -1,0 +1,113 @@
+"""CPU controller: glue between the cgroup hierarchy and the sim scheduler.
+
+:class:`repro.sim.sched.Scheduler` is deliberately generic (the sim layer may
+not import kernel types); this module maps kernel objects onto it:
+
+* every cgroup with runnable work gets a :class:`~repro.sim.sched.CpuGroup`
+  whose weight/quota/period are read from the cgroup's
+  :class:`~repro.kernel.cgroups.CgroupLimits` — the knobs operated through
+  cgroupfs ``cpu.weight`` / ``cpu.max`` writes — and whose stats sink *is*
+  the cgroup's ``cpu_stats``, so ``cpu.stat`` reads observe scheduler
+  charges live;
+* every :class:`~repro.kernel.process.Process` handed to :meth:`spawn` runs
+  as a task in its cgroup's group, with slice time accumulated into
+  ``process.cpu_time_ns``.
+
+One controller owns one scheduler run; benches construct a fresh controller
+(with a seeded RNG for jittered interleavings) per experiment.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.sched import (
+    DEFAULT_TIMESLICE_NS,
+    CpuGroup,
+    Scheduler,
+    SchedTask,
+    SchedulerStats,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.cgroups import Cgroup
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.process import Process
+    from repro.sim.rng import DeterministicRandom
+
+
+class CpuController:
+    """Drives one multi-tenant scheduler run over a kernel's processes."""
+
+    def __init__(self, kernel: "Kernel",
+                 rng: "DeterministicRandom | None" = None,
+                 timeslice_ns: int = DEFAULT_TIMESLICE_NS) -> None:
+        self.kernel = kernel
+        self.scheduler = Scheduler(
+            kernel.clock, rng=rng, timeslice_ns=timeslice_ns,
+            context_switch_ns=kernel.costs.context_switch_ns)
+        self._groups: dict[str, CpuGroup] = {}
+
+    # ------------------------------------------------------------- groups
+    def group_for(self, cgroup: "Cgroup") -> CpuGroup:
+        """The scheduling group backing ``cgroup`` (created on first use).
+
+        The root cgroup maps to the scheduler's root group; every other
+        cgroup gets a group parented at its cgroup-parent's group, so quota
+        throttling applies hierarchically exactly like ``cpu.max``.
+        """
+        path = cgroup.path
+        group = self._groups.get(path)
+        if group is None:
+            if cgroup.parent is None:
+                group = self.scheduler.root_group
+                group.stats = cgroup.cpu_stats
+            else:
+                limits = cgroup.limits
+                group = self.scheduler.new_group(
+                    path,
+                    weight=limits.cpu_weight(),
+                    quota_ns=None if limits.cpu_quota_us is None
+                    else limits.cpu_quota_us * 1_000,
+                    period_ns=limits.cpu_period_us * 1_000,
+                    parent=self.group_for(cgroup.parent),
+                    stats=cgroup.cpu_stats)
+            self._groups[path] = group
+        return group
+
+    def sync_limits(self) -> None:
+        """Re-read ``cpu.weight``/``cpu.max`` for every mapped group.
+
+        Called at :meth:`run` so knob writes made through cgroupfs after a
+        task was spawned still take effect, like an enforcement-period
+        boundary picking up new limits.
+        """
+        for path in sorted(self._groups):
+            group = self._groups[path]
+            if group is self.scheduler.root_group:
+                continue
+            limits = self.kernel.cgroups.lookup(path).limits
+            group.weight = limits.cpu_weight()
+            group.quota_ns = None if limits.cpu_quota_us is None \
+                else limits.cpu_quota_us * 1_000
+            group.period_ns = limits.cpu_period_us * 1_000
+
+    # ------------------------------------------------------------- tasks
+    def spawn(self, process: "Process", body,
+              name: str | None = None) -> SchedTask:
+        """Run ``body`` as ``process``, scheduled in the process's cgroup."""
+        cgroup = self.kernel.cgroups.cgroup_of(process.pid)
+        task = self.scheduler.spawn(name or process.comm, body,
+                                    group=self.group_for(cgroup))
+
+        def charge(delta_ns: int, _process=process) -> None:
+            _process.cpu_time_ns += delta_ns
+
+        task.charge_hook = charge
+        return task
+
+    def run(self, until_ns: int | None = None,
+            max_picks: int | None = None) -> SchedulerStats:
+        """Dispatch all spawned tasks to completion."""
+        self.sync_limits()
+        return self.scheduler.run(until_ns=until_ns, max_picks=max_picks)

@@ -120,6 +120,20 @@ class Kernel:
         self.host_namespaces: dict[NamespaceKind, Namespace] = {}
 
     # ------------------------------------------------------------- processes
+    def cpu_controller(self, rng=None, timeslice_ns: int | None = None):
+        """A fresh multi-tenant scheduler run bound to this kernel.
+
+        Each controller owns one :class:`repro.sim.sched.Scheduler`; benches
+        seed ``rng`` (a :class:`repro.sim.rng.DeterministicRandom`) for
+        reproducible jittered interleavings.  Inline single-process execution
+        never touches this — with no controller the kernel behaves exactly as
+        before the scheduler existed.
+        """
+        from repro.kernel.cpu import CpuController
+
+        kwargs = {} if timeslice_ns is None else {"timeslice_ns": timeslice_ns}
+        return CpuController(self, rng=rng, **kwargs)
+
     def alloc_pid(self) -> int:
         """Allocate the next global pid."""
         pid = self._next_pid

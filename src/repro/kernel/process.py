@@ -54,6 +54,10 @@ class Process:
         self.state = "running"      # running | zombie | dead
         self.exit_code: int | None = None
         self.start_time_ns = 0
+        #: CPU time consumed while scheduled by the multi-tenant scheduler
+        #: (see :mod:`repro.kernel.cpu`); stays 0 for processes that only
+        #: ever run inline on the virtual clock.
+        self.cpu_time_ns = 0
 
     # ------------------------------------------------------------- identity
     @property

@@ -72,6 +72,17 @@ class Syscalls:
         """Pid as seen inside the process's PID namespace."""
         return self.process.vpid()
 
+    def sched_yield(self) -> int:
+        """Relinquish the CPU (``sched_yield(2)``).
+
+        Inline (non-scheduled) callers just pay the trap cost; workload
+        generators running under :mod:`repro.kernel.cpu` call this before a
+        ``yield`` statement so the voluntary preemption point also charges
+        the syscall the real program would make.
+        """
+        self._charge()
+        return 0
+
     def getpid_global(self) -> int:
         """Host (global) pid."""
         return self.process.pid
@@ -170,7 +181,7 @@ class Syscalls:
             return self.vfs.read(obj, size)
         assert isinstance(obj, KernelObject)
         data = obj.read(size)
-        self.kernel.clock.advance(self.kernel.costs.copy_cost(len(data)))
+        self.kernel.clock.advance(int(self.kernel.costs.copy_cost(len(data))))
         return data
 
     def write(self, fd: int, data: bytes) -> int:
@@ -181,7 +192,7 @@ class Syscalls:
             return self.vfs.write(obj, data, creds=self._write_creds())
         assert isinstance(obj, KernelObject)
         written = obj.write(data)
-        self.kernel.clock.advance(self.kernel.costs.copy_cost(written))
+        self.kernel.clock.advance(int(self.kernel.costs.copy_cost(written)))
         return written
 
     def pread(self, fd: int, size: int, offset: int) -> bytes:
@@ -667,7 +678,7 @@ class Syscalls:
         # splice avoids the user-space copy: charge the cheap remap cost and
         # credit back nothing (the fs/object layers already charged their own
         # per-byte costs, which model the device side, not the copy).
-        self.kernel.clock.advance(costs.splice_cost(written))
+        self.kernel.clock.advance(int(costs.splice_cost(written)))
         return written
 
     # ------------------------------------------------------------- environment

@@ -36,6 +36,8 @@ from repro.fs.constants import FileMode
 from repro.fs.errors import FsError
 from repro.fs.filesystem import Filesystem
 from repro.fs.inode import DirectoryInode, Inode, RegularInode
+from repro.kernel.cgroups import cpu_shares_from_weight
+from repro.sim.sched import CPU_WEIGHT_MAX, CPU_WEIGHT_MIN
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.fs.writeback import BacklogDeviceInfo
@@ -189,10 +191,16 @@ class BdiSysFS(Filesystem):
 # /sys/fs/cgroup — the writable synthetic cgroupfs
 # ---------------------------------------------------------------------------
 #: Files generated inside every cgroup directory.
-CGROUP_FILES = ("cgroup.procs", "memory.current", "memory.high", "memory.max",
+CGROUP_FILES = ("cgroup.procs", "cpu.max", "cpu.stat", "cpu.weight",
+                "memory.current", "memory.high", "memory.max",
                 "memory.peak", "memory.stat")
 #: The files a write is allowed to reach (everything else is read-only).
-CGROUP_WRITABLE = ("cgroup.procs", "memory.high", "memory.max")
+CGROUP_WRITABLE = ("cgroup.procs", "cpu.max", "cpu.weight",
+                   "memory.high", "memory.max")
+#: ``cpu.max`` bounds, matching the kernel's CFS bandwidth limits (usec).
+CPU_QUOTA_MIN_US = 1_000
+CPU_PERIOD_MIN_US = 1_000
+CPU_PERIOD_MAX_US = 1_000_000
 
 
 @dataclass(frozen=True)
@@ -358,6 +366,16 @@ class CgroupFS(Filesystem):
             return f"{limit}\n".encode()
         if entry.name == "memory.stat":
             return self.kernel.memcg.memory_stat_text(cgroup).encode()
+        if entry.name == "cpu.max":
+            return cgroup.limits.cpu_max_text().encode()
+        if entry.name == "cpu.weight":
+            return f"{cgroup.limits.cpu_weight()}\n".encode()
+        if entry.name == "cpu.stat":
+            stats = cgroup.cpu_stats
+            return (f"usage_usec {stats.usage_ns // 1_000}\n"
+                    f"nr_periods {stats.nr_periods}\n"
+                    f"nr_throttled {stats.nr_throttled}\n"
+                    f"throttled_usec {stats.throttled_ns // 1_000}\n").encode()
         if entry.name == "cgroup.procs":
             return "".join(f"{pid}\n" for pid in sorted(cgroup.procs)).encode()
         raise FsError.enoent(entry.name)
@@ -399,6 +417,41 @@ class CgroupFS(Filesystem):
             if pid not in self.kernel.processes:
                 raise FsError.esrch(f"pid {pid}")
             self.kernel.cgroups.attach(pid, entry.cg_path)
+            return len(data)
+        if entry.name == "cpu.weight":
+            try:
+                weight = int(text)
+            except ValueError:
+                raise FsError.einval(f"cpu.weight: {text!r}") from None
+            if not CPU_WEIGHT_MIN <= weight <= CPU_WEIGHT_MAX:
+                raise FsError.einval(f"cpu.weight = {weight}")
+            cgroup.limits.cpu_shares = cpu_shares_from_weight(weight)
+            return len(data)
+        if entry.name == "cpu.max":
+            # "$MAX $PERIOD": quota "max" or usec >= 1000; the period is
+            # optional (keeping the current one) and bounded like CFS.
+            fields = text.split()
+            if not 1 <= len(fields) <= 2:
+                raise FsError.einval(f"cpu.max: {text!r}")
+            if fields[0] == "max":
+                quota = None
+            else:
+                try:
+                    quota = int(fields[0])
+                except ValueError:
+                    raise FsError.einval(f"cpu.max: {text!r}") from None
+                if quota < CPU_QUOTA_MIN_US:
+                    raise FsError.einval(f"cpu.max quota = {quota}")
+            period = cgroup.limits.cpu_period_us
+            if len(fields) == 2:
+                try:
+                    period = int(fields[1])
+                except ValueError:
+                    raise FsError.einval(f"cpu.max: {text!r}") from None
+                if not CPU_PERIOD_MIN_US <= period <= CPU_PERIOD_MAX_US:
+                    raise FsError.einval(f"cpu.max period = {period}")
+            cgroup.limits.cpu_quota_us = quota
+            cgroup.limits.cpu_period_us = period
             return len(data)
         # memory.max / memory.high: "max" (or 0) means unlimited, as on Linux.
         if text == "max":

@@ -61,10 +61,25 @@ class VirtualClock:
         return self._now_ns / 1e9
 
     def advance(self, delta_ns: int | float) -> int:
-        """Advance the clock by ``delta_ns`` nanoseconds and return the new time."""
+        """Advance the clock by ``delta_ns`` nanoseconds and return the new time.
+
+        ``delta_ns`` must be a whole number of nanoseconds.  Integral floats
+        (``200.0``, the natural result of cost-model arithmetic) are accepted;
+        a fractional float raises ``ValueError`` instead of being silently
+        truncated — callers that compute fractional costs floor them
+        explicitly at the charge site, so sub-nanosecond remainders are
+        dropped visibly there and repeated small charges (the scheduler's
+        per-timeslice accounting) cannot drift against an implicit cast.
+        """
+        if isinstance(delta_ns, float):
+            if not delta_ns.is_integer():  # also rejects nan/inf
+                raise ValueError(
+                    f"cannot advance clock by a fractional nanosecond delta: "
+                    f"{delta_ns!r} (floor the cost at the charge site)")
+            delta_ns = int(delta_ns)
         if delta_ns < 0:
             raise ValueError(f"cannot advance clock by negative time: {delta_ns}")
-        self._now_ns += int(delta_ns)
+        self._now_ns += delta_ns
         if self._now_ns >= self._next_deadline:
             self._fire_due()
         return self._now_ns
@@ -84,7 +99,34 @@ class VirtualClock:
             self._next_deadline = timer.deadline_ns
         return timer
 
+    @property
+    def next_timer_deadline_ns(self) -> int | None:
+        """Deadline of the earliest pending (uncancelled) timer, or ``None``.
+
+        The scheduler uses this to chunk idle jumps so periodic timers
+        (kupdate) fire exactly at their deadlines rather than late at the end
+        of one big advance.  Non-mutating: cancelled heap entries are skipped,
+        not popped, so calling this never perturbs dispatch state.
+        """
+        deadlines = [deadline for deadline, _seq, timer in self._timers
+                     if not timer.cancelled]
+        return min(deadlines) if deadlines else None
+
     def _fire_due(self) -> None:
+        # Reentrancy contract (audited for the scheduler): a callback may
+        # schedule an *earlier* timer and then advance the clock again.  The
+        # nested advance sees ``_dispatching`` and returns without firing;
+        # correctness then rests on two invariants that the regression tests
+        # in tests/test_sim.py lock down:
+        #   * the while loop re-reads the heap top and ``_now_ns`` every
+        #     iteration, so timers made due mid-dispatch (by a nested advance
+        #     or a deadline-in-the-past schedule) still fire in this dispatch,
+        #     in deterministic (deadline, creation) order;
+        #   * the ``finally`` recomputes ``_next_deadline`` from the heap even
+        #     when a callback raises, so it can never end up *above* the
+        #     earliest pending deadline (stale-high would skip a fire; the
+        #     harmless direction — stale-low after a cancel — only costs a
+        #     spurious no-op dispatch).
         if self._dispatching:
             return              # a running callback advanced the clock
         self._dispatching = True

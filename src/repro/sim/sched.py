@@ -1,0 +1,370 @@
+"""Deterministic discrete-event process scheduler on the virtual clock.
+
+The simulator historically ran one process at a time: a bench drove one
+``Syscalls`` facade to completion, then the next.  This module adds the
+multi-tenant axis (the paper's §4 scalability story): many runnable tasks
+interleave on the virtual CPU in weighted-fair timeslices, with cgroup-style
+CPU bandwidth control (``cpu.weight`` / ``cpu.max``) and deterministic,
+seed-reproducible interleavings.
+
+Layering: this is ``repro.sim`` — it may not know about filesystems, kernels
+or FUSE.  A task is just an iterator; each ``next()`` runs one slice of work
+(typically a few syscalls that charge the shared clock inline) and yields a
+scheduling directive.  The kernel-side glue that maps real processes and
+cgroups onto :class:`SchedTask`/:class:`CpuGroup` lives in
+:mod:`repro.kernel.cpu`.
+
+Execution model (single virtual CPU):
+
+* The clock is the CPU.  All work — including blocking stalls charged inline
+  by lower layers (FUSE round trips, writeback stalls, ``memory.high``
+  throttling) — consumes the running task's timeslice, so a stalled task is
+  preempted at its next yield point and its vruntime reflects the stall.
+* ``yield`` (``None``) marks a preemption point; ``yield n`` (``n`` > 0 ns)
+  blocks the task for ``n`` virtual nanoseconds (an explicitly modelled wait).
+* When nothing is runnable the scheduler advances the clock to the next wake
+  event, chunked at pending timer deadlines so periodic flushers fire exactly
+  on time during idle.
+
+Determinism: task pick order is a pure function of integer vruntimes with
+creation-order tie-breaks; the only randomness is optional timeslice jitter
+drawn from a :meth:`~repro.sim.rng.DeterministicRandom.substream`, so a seed
+pins the complete interleaving byte-for-byte across runs and interpreters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.sim.clock import VirtualClock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.rng import DeterministicRandom
+
+#: Default timeslice, 1ms of virtual time (CFS-like granularity).
+DEFAULT_TIMESLICE_NS = 1_000_000
+#: Default bandwidth-enforcement period: 100ms, cgroup v2's ``cpu.max`` default.
+DEFAULT_PERIOD_NS = 100_000_000
+#: ``cpu.weight`` neutral value (cgroup v2 default).
+NICE0_WEIGHT = 100
+#: ``cpu.weight`` bounds (cgroup v2).
+CPU_WEIGHT_MIN = 1
+CPU_WEIGHT_MAX = 10_000
+
+
+@dataclass
+class CpuGroupStats:
+    """CPU-controller accounting for one group (rendered as ``cpu.stat``).
+
+    The kernel layer hands each cgroup's instance to its :class:`CpuGroup`,
+    so cgroupfs reads observe scheduler charges live.
+    """
+
+    usage_ns: int = 0          # CPU time consumed by the group's tasks
+    nr_periods: int = 0        # elapsed enforcement periods (quota set only)
+    nr_throttled: int = 0      # periods in which the group hit its quota
+    throttled_ns: int = 0      # total time spent throttled
+
+
+class CpuGroup:
+    """A scheduling group: the sim-layer face of one cgroup's cpu controller."""
+
+    def __init__(self, name: str, weight: int = NICE0_WEIGHT,
+                 quota_ns: int | None = None,
+                 period_ns: int = DEFAULT_PERIOD_NS,
+                 parent: "CpuGroup | None" = None,
+                 stats: CpuGroupStats | None = None) -> None:
+        if not CPU_WEIGHT_MIN <= weight <= CPU_WEIGHT_MAX:
+            raise ValueError(f"cpu.weight out of range [1, 10000]: {weight}")
+        if quota_ns is not None and quota_ns <= 0:
+            raise ValueError(f"cpu.max quota must be positive: {quota_ns}")
+        if period_ns <= 0:
+            raise ValueError(f"cpu.max period must be positive: {period_ns}")
+        self.name = name
+        self.weight = weight
+        self.quota_ns = quota_ns
+        self.period_ns = period_ns
+        self.parent = parent
+        self.stats = stats if stats is not None else CpuGroupStats()
+        #: Creation-order tie-break (assigned by :meth:`Scheduler.new_group`).
+        self.seq = 0
+        #: Weighted virtual runtime; lower runs first.  Integer-scaled by
+        #: ``NICE0_WEIGHT / weight`` so determinism never rests on floats.
+        self.vruntime_ns = 0
+        # --- bandwidth-enforcement state (lazy period rolling) ---
+        self._period_start_ns = 0
+        self._period_usage_ns = 0
+        self._throttled_until_ns: int | None = None
+        self._throttle_start_ns = 0
+
+    @property
+    def throttled(self) -> bool:
+        """True while the group is parked waiting for its next period."""
+        return self._throttled_until_ns is not None
+
+    def _chain(self) -> "list[CpuGroup]":
+        """This group and its ancestors, leaf first."""
+        chain, node = [], self
+        while node is not None:
+            chain.append(node)
+            node = node.parent
+        return chain
+
+    def _refresh(self, now_ns: int) -> None:
+        """Roll enforcement periods forward to ``now_ns`` and unthrottle."""
+        if self.quota_ns is None:
+            return
+        if self._throttled_until_ns is not None \
+                and now_ns >= self._throttled_until_ns:
+            self.stats.throttled_ns += \
+                self._throttled_until_ns - self._throttle_start_ns
+            self._throttled_until_ns = None
+        if now_ns >= self._period_start_ns + self.period_ns:
+            elapsed = (now_ns - self._period_start_ns) // self.period_ns
+            self._period_start_ns += elapsed * self.period_ns
+            self._period_usage_ns = 0
+            self.stats.nr_periods += elapsed
+
+    def _charge(self, now_ns: int, delta_ns: int) -> None:
+        """Account ``delta_ns`` of CPU use and throttle if the quota is hit."""
+        self.stats.usage_ns += delta_ns
+        self.vruntime_ns += delta_ns * NICE0_WEIGHT // self.weight
+        if self.quota_ns is None:
+            return
+        self._refresh(now_ns)
+        self._period_usage_ns += delta_ns
+        if self._period_usage_ns >= self.quota_ns \
+                and self._throttled_until_ns is None:
+            self.stats.nr_throttled += 1
+            self._throttle_start_ns = now_ns
+            self._throttled_until_ns = self._period_start_ns + self.period_ns
+
+    def throttled_until(self, now_ns: int) -> int | None:
+        """Earliest unthrottle deadline along the ancestor chain, if any."""
+        self._refresh(now_ns)
+        deadlines = []
+        for node in self._chain():
+            node._refresh(now_ns)
+            if node._throttled_until_ns is not None:
+                deadlines.append(node._throttled_until_ns)
+        return max(deadlines) if deadlines else None
+
+
+#: Task lifecycle states.
+RUNNABLE, BLOCKED, DONE = "runnable", "blocked", "done"
+
+
+class SchedTask:
+    """One runnable entity: an iterator advanced one operation per step."""
+
+    def __init__(self, name: str, body: Iterator, group: CpuGroup,
+                 seq: int) -> None:
+        self.name = name
+        self.body = body
+        self.group = group
+        self.seq = seq
+        self.state = RUNNABLE
+        self.wake_at_ns = 0
+        self.vruntime_ns = 0
+        self.cpu_ns = 0
+        #: Optional per-charge callback (the kernel glue accumulates process
+        #: CPU time through it); receives the slice's consumed nanoseconds.
+        self.charge_hook: Callable[[int], None] | None = None
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate counters for one :meth:`Scheduler.run`."""
+
+    picks: int = 0               # dispatch decisions
+    context_switches: int = 0    # picks that changed the running task
+    preemptions: int = 0         # slices ended by timeslice expiry
+    sleeps: int = 0              # explicit blocking yields
+    completions: int = 0         # tasks that ran to StopIteration
+    idle_ns: int = 0             # virtual time with nothing runnable
+    switch_cost_ns: int = 0      # virtual time charged as switch overhead
+    pick_trace: list = field(default_factory=list)  # task names, in pick order
+
+
+class Scheduler:
+    """Weighted-fair, quota-enforcing scheduler over a :class:`VirtualClock`.
+
+    Every public method either charges the clock itself or drives task bodies
+    that charge it inline (the clock-accounting gate registers this class as
+    an entry surface — see ANALYSIS.md).
+    """
+
+    def __init__(self, clock: VirtualClock,
+                 rng: "DeterministicRandom | None" = None,
+                 timeslice_ns: int = DEFAULT_TIMESLICE_NS,
+                 context_switch_ns: int = 0) -> None:
+        if timeslice_ns <= 0:
+            raise ValueError(f"timeslice must be positive: {timeslice_ns}")
+        self.clock = clock
+        self.timeslice_ns = timeslice_ns
+        self.context_switch_ns = context_switch_ns
+        self.root_group = CpuGroup("/")
+        self._groups: list[CpuGroup] = [self.root_group]
+        self._tasks: list[SchedTask] = []
+        self._task_seq = 0
+        self._last_task: SchedTask | None = None
+        self.stats = SchedulerStats()
+        #: Timeslice jitter stream: position-independent substream of the
+        #: caller's seed, so interleavings replay byte-identically no matter
+        #: what else consumed the parent RNG.
+        self._jitter = rng.substream("sched/timeslice") if rng is not None \
+            else None
+
+    # ------------------------------------------------------------- topology
+    def new_group(self, name: str, weight: int = NICE0_WEIGHT,
+                  quota_ns: int | None = None,
+                  period_ns: int = DEFAULT_PERIOD_NS,
+                  parent: CpuGroup | None = None,
+                  stats: CpuGroupStats | None = None) -> CpuGroup:
+        """Create a scheduling group (one per cgroup in the kernel glue)."""
+        group = CpuGroup(name, weight=weight, quota_ns=quota_ns,
+                         period_ns=period_ns,
+                         parent=parent if parent is not None else self.root_group,
+                         stats=stats)
+        group.seq = len(self._groups)
+        self._groups.append(group)
+        return group
+
+    def spawn(self, name: str, body, group: CpuGroup | None = None) -> SchedTask:
+        """Register a runnable task.
+
+        ``body`` is an iterator (or a zero-argument callable returning one).
+        Each ``next()`` runs one operation; yield ``None`` at preemption
+        points and a positive integer to block for that many nanoseconds.
+        """
+        if callable(body):
+            body = body()
+        task = SchedTask(name, iter(body), group or self.root_group,
+                         self._task_seq)
+        self._task_seq += 1
+        self._tasks.append(task)
+        return task
+
+    # ------------------------------------------------------------- dispatch
+    def _slice_ns(self) -> int:
+        """Next timeslice length; jittered in [T/2, 3T/2) when seeded."""
+        if self._jitter is None:
+            return self.timeslice_ns
+        return self.timeslice_ns // 2 + self._jitter.randrange(self.timeslice_ns)
+
+    def _wake_due(self, now_ns: int) -> None:
+        for task in self._tasks:
+            if task.state == BLOCKED and task.wake_at_ns <= now_ns:
+                task.state = RUNNABLE
+                # A waking task resumes at the floor of current vruntimes so
+                # sleepers cannot hoard credit and starve everyone on wake.
+                floor = min((t.vruntime_ns for t in self._tasks
+                             if t.state == RUNNABLE and t is not task),
+                            default=task.vruntime_ns)
+                task.vruntime_ns = max(task.vruntime_ns, floor)
+
+    def _runnable(self, now_ns: int) -> list[SchedTask]:
+        return [t for t in self._tasks
+                if t.state == RUNNABLE
+                and t.group.throttled_until(now_ns) is None]
+
+    def _pick(self, runnable: list[SchedTask]) -> SchedTask:
+        groups: list[CpuGroup] = []
+        for task in runnable:
+            if task.group not in groups:
+                groups.append(task.group)
+        best_group = min(groups, key=lambda g: (g.vruntime_ns, g.seq, g.name))
+        return min((t for t in runnable if t.group is best_group),
+                   key=lambda t: (t.vruntime_ns, t.seq))
+
+    def _next_event_ns(self, now_ns: int) -> int | None:
+        """Earliest instant at which a blocked/throttled task can run again."""
+        events = [t.wake_at_ns for t in self._tasks if t.state == BLOCKED]
+        for task in self._tasks:
+            if task.state == RUNNABLE:
+                until = task.group.throttled_until(now_ns)
+                if until is not None:
+                    events.append(until)
+        return min(events) if events else None
+
+    def _idle_until(self, target_ns: int) -> None:
+        """Advance the clock to ``target_ns``, stopping at timer deadlines.
+
+        Chunking makes periodic timers (kupdate flushers) fire exactly at
+        their deadlines during idle; their callbacks may charge further time,
+        which the loop re-checks, so the clock can legitimately overshoot.
+        """
+        start = self.clock.now_ns
+        while self.clock.now_ns < target_ns:
+            deadline = self.clock.next_timer_deadline_ns
+            step_to = min(target_ns, deadline) if deadline is not None \
+                else target_ns
+            step_to = max(step_to, self.clock.now_ns)
+            self.clock.advance(step_to - self.clock.now_ns)
+            if step_to == target_ns and self.clock.now_ns >= target_ns:
+                break
+        self.stats.idle_ns += self.clock.now_ns - start
+
+    def run(self, until_ns: int | None = None,
+            max_picks: int | None = None) -> SchedulerStats:
+        """Dispatch until every task completes (or a bound is hit)."""
+        while True:
+            if until_ns is not None and self.clock.now_ns >= until_ns:
+                return self.stats
+            if max_picks is not None and self.stats.picks >= max_picks:
+                return self.stats
+            now = self.clock.now_ns
+            self._wake_due(now)
+            live = [t for t in self._tasks if t.state != DONE]
+            if not live:
+                return self.stats
+            runnable = self._runnable(now)
+            if not runnable:
+                event = self._next_event_ns(now)
+                if event is None:
+                    raise RuntimeError(
+                        "scheduler deadlock: live tasks but no wake event")
+                self._idle_until(max(event, now))
+                continue
+            self._dispatch(self._pick(runnable))
+
+    def _dispatch(self, task: SchedTask) -> None:
+        self.stats.picks += 1
+        self.stats.pick_trace.append(task.name)
+        if self._last_task is not None and self._last_task is not task \
+                and self.context_switch_ns:
+            # Switch overhead is charged to the clock (it is real elapsed
+            # time) but not to the incoming group's usage — matching how
+            # cpu.stat excludes scheduler overhead.
+            self.clock.advance(self.context_switch_ns)
+            self.stats.context_switches += 1
+            self.stats.switch_cost_ns += self.context_switch_ns
+        elif self._last_task is not None and self._last_task is not task:
+            self.stats.context_switches += 1
+        self._last_task = task
+        slice_ns = self._slice_ns()
+        t0 = self.clock.now_ns
+        while self.clock.now_ns - t0 < slice_ns:
+            try:
+                directive = next(task.body)
+            except StopIteration:
+                task.state = DONE
+                self.stats.completions += 1
+                break
+            if directive is not None and directive > 0:
+                task.state = BLOCKED
+                task.wake_at_ns = self.clock.now_ns + int(directive)
+                self.stats.sleeps += 1
+                break
+        else:
+            self.stats.preemptions += 1
+        delta = self.clock.now_ns - t0
+        if delta:
+            task.cpu_ns += delta
+            task.vruntime_ns += delta * NICE0_WEIGHT // task.group.weight
+            if task.charge_hook is not None:
+                task.charge_hook(delta)
+            now = self.clock.now_ns
+            for group in task.group._chain():
+                group._charge(now, delta)

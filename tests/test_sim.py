@@ -13,8 +13,32 @@ class TestVirtualClock:
     def test_advance_accumulates(self):
         clock = VirtualClock()
         clock.advance(100)
-        clock.advance(250.7)
+        clock.advance(250)
         assert clock.now_ns == 350
+
+    def test_advance_accepts_integral_floats(self):
+        # Cost-model arithmetic naturally produces integral floats (200.0);
+        # they are whole nanoseconds and must keep working.
+        clock = VirtualClock()
+        clock.advance(250.0)
+        assert clock.now_ns == 250
+
+    def test_advance_rejects_fractional_floats(self):
+        # Regression: advance() used to silently truncate fractional deltas
+        # (int(delta_ns)), so repeated sub-nanosecond charges — e.g. the
+        # scheduler's per-timeslice accounting — could drift against the
+        # cost model.  Fractional costs must now be floored visibly at the
+        # charge site; the clock itself rejects them.
+        clock = VirtualClock()
+        clock.advance(100)
+        with pytest.raises(ValueError):
+            clock.advance(250.7)
+        assert clock.now_ns == 100, "a rejected advance must not move time"
+
+    def test_advance_rejects_nan_and_inf(self):
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                VirtualClock().advance(bad)
 
     def test_negative_advance_rejected(self):
         with pytest.raises(ValueError):
@@ -40,6 +64,95 @@ class TestVirtualClock:
         with StopwatchRegion(clock) as region:
             clock.advance(1234)
         assert region.elapsed_ns == 1234
+
+
+class TestClockTimerReentrancy:
+    """Regression tests for `_fire_due` under reentrant dispatch.
+
+    The scheduler idles the clock forward in big jumps, so timer callbacks
+    (kupdate-style flushers) routinely charge time — nested advances — and
+    re-schedule themselves while a dispatch is running.  These lock the
+    audited contract: `_next_deadline` can never go stale-high (a missed
+    fire), timers made due mid-dispatch fire in the same dispatch, and
+    dispatch order stays (deadline, creation order) deterministic.
+    """
+
+    def test_callback_scheduling_earlier_timer_then_advancing(self):
+        # The ISSUE scenario: a running callback schedules a timer *earlier*
+        # than every pending deadline, then advances past it.  The nested
+        # advance must not fire reentrantly, but the new timer must still
+        # fire inside the same outer dispatch — and `_next_deadline` must be
+        # left pointing at the true earliest pending deadline.
+        clock = VirtualClock()
+        fired = []
+
+        def late(now):
+            fired.append(("late", now))
+
+        def first(now):
+            clock.schedule(now + 10, lambda t: fired.append(("early", t)))
+            clock.advance(50)         # nested: crosses the new deadline
+
+        clock.schedule(100, first)
+        clock.schedule(1_000, late)
+        clock.advance(100)
+        assert fired == [("early", 150)], "the earlier timer fires in-dispatch"
+        clock.advance(1_000)
+        assert fired == [("early", 150), ("late", 1_150)]
+
+    def test_nested_advance_does_not_fire_reentrantly(self):
+        clock = VirtualClock()
+        order = []
+
+        def outer(now):
+            order.append("outer-start")
+            clock.schedule(now, lambda t: order.append("due-now"))
+            clock.advance(0)          # deadline already due; must wait
+            order.append("outer-end")
+
+        clock.schedule(10, outer)
+        clock.advance(10)
+        assert order == ["outer-start", "outer-end", "due-now"]
+
+    def test_next_deadline_not_stale_after_dispatch(self):
+        clock = VirtualClock()
+        fired = []
+        clock.schedule(10, lambda t: clock.schedule(t + 5, fired.append))
+        clock.advance(10)
+        assert clock.next_timer_deadline_ns == 15
+        # The rescheduled timer must actually fire on the next crossing —
+        # a stale-high `_next_deadline` would swallow it.
+        clock.advance(5)
+        assert fired == [15]
+
+    def test_cancelled_head_timer_is_skipped_not_fired(self):
+        clock = VirtualClock()
+        fired = []
+        head = clock.schedule(10, lambda t: fired.append("head"))
+        clock.schedule(20, lambda t: fired.append("tail"))
+        head.cancel()
+        assert clock.next_timer_deadline_ns == 20
+        clock.advance(25)
+        assert fired == ["tail"]
+
+    def test_raising_callback_leaves_consistent_state(self):
+        clock = VirtualClock()
+        fired = []
+        clock.schedule(10, lambda t: (_ for _ in ()).throw(RuntimeError("boom")))
+        clock.schedule(20, lambda t: fired.append(t))
+        with pytest.raises(RuntimeError):
+            clock.advance(10)
+        # The finally-block recomputed `_next_deadline`; the survivor fires.
+        clock.advance(10)
+        assert fired == [20]
+
+    def test_tie_break_is_creation_order(self):
+        clock = VirtualClock()
+        order = []
+        clock.schedule(10, lambda t: order.append("a"))
+        clock.schedule(10, lambda t: order.append("b"))
+        clock.advance(10)
+        assert order == ["a", "b"]
 
 
 class TestCostModel:
