@@ -23,6 +23,8 @@ from __future__ import annotations
 import ast
 from typing import TYPE_CHECKING, Iterable
 
+from repro.analyze.core import subtree_nodes
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.analyze.core import Project, SourceFile
 
@@ -113,10 +115,49 @@ def _annotation_class_name(node: ast.AST | None) -> str | None:
     return None
 
 
+def _never_true(test: ast.AST) -> bool:
+    """Whether an ``if`` test is statically known to be false at runtime.
+
+    Recognises ``if False:`` / ``if 0:`` and the ``if TYPE_CHECKING:`` idiom
+    (bare or dotted).  Call extraction prunes the guarded bodies: calls that
+    can never execute — typing-only imports, documented-but-disabled debug
+    hooks, zero-cost declarations — must not create call-graph edges, which
+    would otherwise force blanket suppressions on the charge rules.
+    """
+    if isinstance(test, ast.Constant):
+        return not test.value
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _pruned_nodes(node: ast.AST) -> tuple[ast.AST, ...]:
+    """Subtree nodes excluding statically-dead ``if`` bodies (cached).
+
+    The else branch of a dead conditional *does* run and stays included.
+    """
+    cached = getattr(node, "_repro_pruned", None)
+    if cached is None:
+        out = []
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            out.append(n)
+            if isinstance(n, ast.If) and _never_true(n.test):
+                stack.extend(n.orelse)
+                continue
+            stack.extend(ast.iter_child_nodes(n))
+        cached = tuple(out)
+        node._repro_pruned = cached
+    return cached
+
+
 def _import_table(sf: "SourceFile") -> dict[str, str]:
     """Local name -> dotted import target, for one module."""
     table: dict[str, str] = {}
-    for node in ast.walk(sf.tree):
+    for node in sf.walk():
         if isinstance(node, ast.Import):
             for alias in node.names:
                 local = alias.asname or alias.name.split(".")[0]
@@ -226,7 +267,7 @@ class CallGraph:
         for fi in ci.methods.values():
             params = {a.arg: _annotation_class_name(a.annotation)
                       for a in fi.node.args.args}
-            for stmt in ast.walk(fi.node):
+            for stmt in subtree_nodes(fi.node):
                 target = None
                 value = None
                 if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
@@ -258,7 +299,7 @@ class CallGraph:
             ci = self.resolve_class(module, _annotation_class_name(a.annotation))
             if ci is not None:
                 types[a.arg] = ci.qualname
-        for stmt in ast.walk(fi.node):
+        for stmt in subtree_nodes(fi.node):
             target = None
             value = None
             if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
@@ -285,7 +326,7 @@ class CallGraph:
     def _extract_calls(self, fi: FunctionInfo) -> None:
         module = fi.sf.module
         local_types = self._local_types(fi)
-        for node in ast.walk(fi.node):
+        for node in _pruned_nodes(fi.node):
             if not isinstance(node, ast.Call):
                 continue
             func = node.func

@@ -76,6 +76,7 @@ class AnalysisConfig:
         "repro.bench.hotpath",
         "repro.bench.scale",
         "repro.bench.writeback",
+        "repro.bench.profile",
     )
 
     # -- clock-accounting -------------------------------------------------
@@ -158,6 +159,20 @@ class AnalysisConfig:
 DEFAULT_CONFIG = AnalysisConfig()
 
 
+def subtree_nodes(node: ast.AST) -> tuple[ast.AST, ...]:
+    """All nodes of ``node``'s subtree, cached on the node itself.
+
+    Every rule walks the same immutable trees; ``ast.walk``'s generator
+    machinery dominated the analysis profile, so the flat node list is
+    computed once per subtree and re-walks are plain tuple iteration.
+    """
+    cached = getattr(node, "_repro_walk", None)
+    if cached is None:
+        cached = tuple(ast.walk(node))
+        node._repro_walk = cached
+    return cached
+
+
 class SourceFile:
     """One parsed source file plus its suppression table."""
 
@@ -180,8 +195,18 @@ class SourceFile:
         except tokenize.TokenError:  # pragma: no cover - ast.parse caught worse
             pass
 
+    def walk(self) -> tuple[ast.AST, ...]:
+        """Every node in the file (cached; see :func:`subtree_nodes`)."""
+        return subtree_nodes(self.tree)
+
     def display_path(self) -> str:
         return str(self.path)
+
+
+#: Call graphs by identity of the file set.  The file cache keeps SourceFile
+#: objects alive (and therefore their ids unambiguous), so two runs over an
+#: unchanged tree share one graph instead of re-deriving it.
+_CALLGRAPH_CACHE: dict[tuple[int, ...], object] = {}
 
 
 class Project:
@@ -198,7 +223,14 @@ class Project:
         """The whole-project call graph (built on first use)."""
         if self._callgraph is None:
             from repro.analyze.callgraph import CallGraph
-            self._callgraph = CallGraph(self)
+            key = tuple(id(f) for f in self.files)
+            graph = _CALLGRAPH_CACHE.get(key)
+            if graph is None:
+                graph = CallGraph(self)
+                if len(_CALLGRAPH_CACHE) >= 8:
+                    _CALLGRAPH_CACHE.clear()
+                _CALLGRAPH_CACHE[key] = graph
+            self._callgraph = graph
         return self._callgraph
 
 
@@ -275,6 +307,13 @@ def _load_rules() -> None:
     )
 
 
+#: (resolved path, module) -> ((mtime_ns, size), SourceFile).  Parsing and
+#: walking the tree dominates a warm analysis run; an unchanged file on disk
+#: re-uses its parsed form across runs in one process (the CI gate and the
+#: analyze tests run the full rule set several times over the same tree).
+_FILE_CACHE: dict[tuple[str, str], tuple[tuple[int, int], SourceFile]] = {}
+
+
 def collect_files(roots: Iterable[Path], config: AnalysisConfig) -> list[SourceFile]:
     """Parse every ``*.py`` under each package root.
 
@@ -292,8 +331,29 @@ def collect_files(roots: Iterable[Path], config: AnalysisConfig) -> list[SourceF
             parts = (root.name, *rel.parts)
             if parts[-1] == "__init__":
                 parts = parts[:-1]
-            out.append(SourceFile(path, ".".join(parts), path.read_text()))
+            module = ".".join(parts)
+            st = path.stat()
+            key = (str(path), module)
+            stamp = (st.st_mtime_ns, st.st_size)
+            hit = _FILE_CACHE.get(key)
+            if hit is not None and hit[0] == stamp:
+                out.append(hit[1])
+                continue
+            sf = SourceFile(path, module, path.read_text())
+            _FILE_CACHE[key] = (stamp, sf)
+            out.append(sf)
     return out
+
+
+#: Whole-run memo: (file identities, rule selection, config id) -> result.
+#: The checks are pure functions of the parsed tree and the config, so a
+#: repeat run over an unchanged file set (the analyze test-suite runs the
+#: full rule set over the live tree many times in one process) can reuse the
+#: previous result.  The file list and config objects are kept in the value
+#: and re-compared by identity on hit, so a recycled ``id()`` can never
+#: alias a dead object.
+_RUN_CACHE: dict[tuple, tuple[list[SourceFile], AnalysisConfig,
+                              list[Finding]]] = {}
 
 
 def run_analysis(roots: Iterable[Path], config: AnalysisConfig | None = None,
@@ -305,11 +365,21 @@ def run_analysis(roots: Iterable[Path], config: AnalysisConfig | None = None,
     unknown = [r for r in selected if r not in RULES]
     if unknown:
         raise ValueError(f"unknown rule(s): {', '.join(unknown)}")
-    project = Project(collect_files(roots, config), config)
+    files = collect_files(roots, config)
+    key = (tuple(id(sf) for sf in files), tuple(selected), id(config))
+    hit = _RUN_CACHE.get(key)
+    if hit is not None and hit[1] is config and \
+            all(a is b for a, b in zip(hit[0], files)):
+        return list(hit[2])
+    project = Project(files, config)
     reporter = Reporter(project, active_rules=selected)
     for name in selected:
         RULES[name].check(project, reporter)
-    return reporter.finish(all_rules_ran=set(selected) == set(RULES))
+    findings = reporter.finish(all_rules_ran=set(selected) == set(RULES))
+    if len(_RUN_CACHE) >= 32:
+        _RUN_CACHE.clear()
+    _RUN_CACHE[key] = (files, config, findings)
+    return list(findings)
 
 
 def render_findings(findings: list[Finding], as_json: bool) -> str:

@@ -118,7 +118,7 @@ def _collect_set_names(sf: SourceFile) -> tuple[set[str], set[str]]:
     """Names (locals/params, self-attrs) with set-typed bindings in a module."""
     names: set[str] = set()
     attrs: set[str] = set()
-    for node in ast.walk(sf.tree):
+    for node in sf.walk():
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             args = node.args
             for a in (*args.posonlyargs, *args.args, *args.kwonlyargs):
@@ -144,11 +144,11 @@ def _collect_set_names(sf: SourceFile) -> tuple[set[str], set[str]]:
 
 
 def _check_banned_calls(sf: SourceFile, reporter: Reporter, allow_wallclock: bool) -> None:
-    imported = {n for n in ast.walk(sf.tree) if isinstance(n, ast.Import)}
+    imported = {n for n in sf.walk() if isinstance(n, ast.Import)}
     # Names under which nondeterminism modules are reachable in this module.
     module_aliases: dict[str, str] = {}
     from_imports: dict[str, str] = {}
-    for node in ast.walk(sf.tree):
+    for node in sf.walk():
         if isinstance(node, ast.Import):
             for alias in node.names:
                 module_aliases[alias.asname or alias.name.split(".")[0]] = alias.name
@@ -157,7 +157,7 @@ def _check_banned_calls(sf: SourceFile, reporter: Reporter, allow_wallclock: boo
                 from_imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
     del imported
 
-    for node in ast.walk(sf.tree):
+    for node in sf.walk():
         if not isinstance(node, ast.Call):
             continue
         dotted = _call_dotted(sf, node)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import ast
 
-from repro.analyze.core import Project, Reporter, rule
+from repro.analyze.core import Project, Reporter, rule, subtree_nodes
 
 
 def _raised_name(node: ast.Raise) -> str | None:
@@ -56,7 +56,7 @@ def check_errno(project: Project, reporter: Reporter) -> None:
         if not any(sf.module == p or sf.module.startswith(p + ".")
                    for p in config.errno_layers):
             continue
-        for node in ast.walk(sf.tree):
+        for node in sf.walk():
             if not isinstance(node, ast.Raise):
                 continue
             name = _raised_name(node)
@@ -89,7 +89,7 @@ def check_hooks(project: Project, reporter: Reporter) -> None:
                 and isinstance(n.func.value, ast.Call)
                 and isinstance(n.func.value.func, ast.Name)
                 and n.func.value.func.id == "super"
-                for n in ast.walk(fi.node))
+                for n in subtree_nodes(fi.node))
             if not delegates:
                 reporter.report(
                     fi.sf, fi.node, "hook-super",

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import ast
 
-from repro.analyze.core import Project, Reporter, SourceFile, rule
+from repro.analyze.core import Project, Reporter, SourceFile, rule, subtree_nodes
 
 
 def _is_schedule_call(node: ast.AST) -> bool:
@@ -32,12 +32,12 @@ def _is_schedule_call(node: ast.AST) -> bool:
       "must not be discarded")
 def check_timers(project: Project, reporter: Reporter) -> None:
     for sf in project.files:
-        for cls in ast.walk(sf.tree):
+        for cls in sf.walk():
             if not isinstance(cls, ast.ClassDef):
                 continue
             stored: list[tuple[ast.AST, str]] = []
             cancelled: set[str] = set()
-            for node in ast.walk(cls):
+            for node in subtree_nodes(cls):
                 if isinstance(node, ast.Assign) and _is_schedule_call(node.value):
                     for t in node.targets:
                         if isinstance(t, ast.Attribute) and isinstance(t.value, ast.Name) \
@@ -75,7 +75,7 @@ def check_rng(project: Project, reporter: Reporter) -> None:
 
 
 def _check_rng_file(sf: SourceFile, reporter: Reporter, rng_class: str) -> None:
-    for node in ast.walk(sf.tree):
+    for node in sf.walk():
         if not isinstance(node, ast.Call):
             continue
         func = node.func

@@ -19,19 +19,19 @@ from __future__ import annotations
 
 import ast
 
-from repro.analyze.core import Project, Reporter, SourceFile, rule
+from repro.analyze.core import Project, Reporter, SourceFile, rule, subtree_nodes
 
 
 def _imports_of(sf: SourceFile):
     """Yield ``(node, dotted-target, toplevel)`` for every import statement."""
     toplevel_nodes = set()
-    for node in ast.walk(sf.tree):
+    for node in sf.walk():
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            for inner in ast.walk(node):
+            for inner in subtree_nodes(node):
                 if isinstance(inner, (ast.Import, ast.ImportFrom)):
                     toplevel_nodes.add(id(inner))
     # toplevel_nodes currently holds *function-local* imports; invert below.
-    for node in ast.walk(sf.tree):
+    for node in sf.walk():
         if isinstance(node, ast.Import):
             for alias in node.names:
                 yield node, alias.name, id(node) not in toplevel_nodes

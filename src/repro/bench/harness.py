@@ -41,6 +41,14 @@ class ComparisonResult:
         return (self.overhead >= 1.0) == (self.paper_overhead >= 1.0)
 
 
+#: Post-construction kernel snapshots keyed by the constructor arguments.
+#: The figures rebuild byte-identical environments over and over (Figure 2
+#: alone builds two per workload); repeats fork the frozen image instead of
+#: re-running boot + mounts + FUSE negotiation.  Forks are fully independent
+#: deep clones, so measurements are unchanged.
+_ENV_SNAPSHOTS: dict[tuple, object] = {}
+
+
 class BenchEnvironment:
     """One measurement environment: an ext4 backing store reachable both
     natively and through a CntrFS mount."""
@@ -48,6 +56,12 @@ class BenchEnvironment:
     def __init__(self, options: FuseMountOptions | None = None,
                  threads: int = 4, page_cache_mb: int = 2048,
                  delay_sync: bool = True) -> None:
+        key = (options, threads, page_cache_mb, delay_sync)
+        snap = _ENV_SNAPSHOTS.get(key)
+        if snap is not None:
+            _kernel, (clone,) = snap.fork()
+            self.__dict__.update(clone.__dict__)
+            return
         self.machine: Machine = boot(store_data=False,
                                      page_cache_bytes=page_cache_mb << 20)
         kernel = self.machine.kernel
@@ -76,6 +90,7 @@ class BenchEnvironment:
         self.client.store_data = False
         self.client_sc.makedirs("/cntr")
         self.client_sc.mount(self.client, "/cntr")
+        _ENV_SNAPSHOTS[key] = kernel.snapshot(self)
 
     # ------------------------------------------------------------- access paths
     def native_access(self) -> tuple[Syscalls, str]:

@@ -1,0 +1,309 @@
+"""Profile harness: wall-clock phases + cProfile hot-function report.
+
+The simulator's *virtual* time is pinned by the BENCH_*.json files; this
+harness watches the other axis — how much real CPU the interpreter burns to
+produce those pinned numbers.  It runs the repository's own verification
+surface as timed phases::
+
+    tier1            PYTHONPATH=src python -m pytest -x -q
+    xfstests-native  PYTHONPATH=src python -m repro.xfstests --env native
+    xfstests-cntrfs  PYTHONPATH=src python -m repro.xfstests --env cntrfs
+                       --skip-paper-failures
+
+and (in full mode) re-runs the non-benchmark test suite plus both xfstests
+conformance sweeps under :mod:`cProfile`, aggregating the top-N hottest
+functions of the simulator itself into a committed report (``PROFILE.md``).
+Raw-speed regressions then show up as a diff in the report instead of as a
+slowly rotting CI budget.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.profile                # full report
+    PYTHONPATH=src python -m repro.bench.profile --smoke        # CI gate
+    PYTHONPATH=src python -m repro.bench.profile \
+        --baseline PROFILE.baseline.json                        # speedup table
+
+``--smoke`` skips the profiled pass and only checks that the tier-1 suite
+fits a generous wall-clock budget (``--budget-seconds``), writing the phase
+report for upload as a CI artifact.  Exit codes: 0 ok, 1 a phase failed,
+2 budget exceeded.
+
+Phases run as subprocesses, so the harness measures any checkout it is
+pointed at (``--root``) — that is how the committed baseline for the seed
+tree was captured.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import json
+import pstats
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Default wall-clock ceiling for the tier-1 phase in ``--smoke`` mode.
+#: Generous on purpose: the suite runs in well under half of this on a cold
+#: CI runner, so only a genuine raw-speed regression (or a hung test) trips.
+DEFAULT_BUDGET_SECONDS = 240.0
+
+#: Functions reported per table in the hot-function section.
+DEFAULT_TOP_N = 25
+
+
+@dataclass
+class PhaseResult:
+    """Wall-clock outcome of one subprocess phase."""
+
+    name: str
+    argv: list[str]
+    seconds: float
+    returncode: int
+    tail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.returncode == 0
+
+
+@dataclass
+class HotFunction:
+    """One row of the aggregated cProfile report."""
+
+    where: str
+    ncalls: int
+    tottime: float
+    cumtime: float
+
+    def to_json(self) -> dict:
+        return {"where": self.where, "ncalls": self.ncalls,
+                "tottime": round(self.tottime, 4),
+                "cumtime": round(self.cumtime, 4)}
+
+
+@dataclass
+class Report:
+    """Everything one harness invocation measured."""
+
+    phases: list[PhaseResult] = field(default_factory=list)
+    hot_tottime: list[HotFunction] = field(default_factory=list)
+    hot_cumtime: list[HotFunction] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(p.seconds for p in self.phases)
+
+    def phase(self, name: str) -> PhaseResult | None:
+        for p in self.phases:
+            if p.name == name:
+                return p
+        return None
+
+    def to_json(self) -> dict:
+        return {
+            "total_seconds": round(self.total_seconds, 2),
+            "phases": [{"name": p.name, "seconds": round(p.seconds, 2),
+                        "returncode": p.returncode} for p in self.phases],
+            "hot_tottime": [h.to_json() for h in self.hot_tottime],
+            "hot_cumtime": [h.to_json() for h in self.hot_cumtime],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Phase execution
+# ---------------------------------------------------------------------------
+def _phase_env(root: Path) -> dict[str, str]:
+    import os
+
+    env = dict(os.environ)
+    src = str(root / "src")
+    extra = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{extra}" if extra else src
+    return env
+
+
+def run_phase(name: str, argv: list[str], root: Path) -> PhaseResult:
+    """Run one phase as a subprocess, returning its wall time and status."""
+    t0 = time.perf_counter()
+    proc = subprocess.run(argv, cwd=root, env=_phase_env(root),
+                          capture_output=True, text=True)
+    seconds = time.perf_counter() - t0
+    tail = "\n".join((proc.stdout + proc.stderr).strip().splitlines()[-4:])
+    return PhaseResult(name=name, argv=argv, seconds=seconds,
+                       returncode=proc.returncode, tail=tail)
+
+
+def standard_phases(root: Path) -> list[tuple[str, list[str]]]:
+    """The measured surface: tier-1 suite plus both conformance sweeps."""
+    py = sys.executable
+    return [
+        ("tier1", [py, "-m", "pytest", "-x", "-q", "-p", "no:cacheprovider"]),
+        ("xfstests-native", [py, "-m", "repro.xfstests", "--env", "native"]),
+        ("xfstests-cntrfs", [py, "-m", "repro.xfstests", "--env", "cntrfs",
+                             "--skip-paper-failures"]),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Profiled pass
+# ---------------------------------------------------------------------------
+def collect_hot_functions(root: Path, top_n: int) -> tuple[list[HotFunction],
+                                                           list[HotFunction]]:
+    """Profile the non-benchmark tests + xfstests sweeps in-process.
+
+    ``benchmarks/`` is excluded: pytest-benchmark's pedantic runner does not
+    tolerate an active ``sys.setprofile`` hook, and the benchmark workloads
+    exercise the same simulator code the unit suite already covers.
+    """
+    import pytest
+
+    from repro.xfstests.__main__ import main as xfstests_main
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    rc = pytest.main(["-x", "-q", "-p", "no:cacheprovider",
+                      str(root / "tests")])
+    xfstests_main(["--env", "native"])
+    xfstests_main(["--env", "cntrfs", "--skip-paper-failures"])
+    profiler.disable()
+    if rc != 0:
+        raise RuntimeError(f"profiled test pass failed (pytest exit {rc})")
+    return _top_functions(profiler, root, top_n)
+
+
+def _top_functions(profiler: cProfile.Profile, root: Path,
+                   top_n: int) -> tuple[list[HotFunction], list[HotFunction]]:
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    repo = str(root)
+
+    def rows(sort_key: str) -> list[HotFunction]:
+        stats.sort_stats(sort_key)
+        out: list[HotFunction] = []
+        for func in stats.fcn_list:           # (file, line, name), sorted
+            filename, line, name = func
+            if repo not in filename or "/tests/" in filename:
+                continue                       # simulator code only
+            cc, nc, tt, ct, _callers = stats.stats[func]
+            rel = filename.split(repo, 1)[1].lstrip("/")
+            out.append(HotFunction(where=f"{rel}:{line}:{name}",
+                                   ncalls=nc, tottime=tt, cumtime=ct))
+            if len(out) >= top_n:
+                break
+        return out
+
+    return rows("tottime"), rows("cumulative")
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+def render_markdown(report: Report, baseline: dict | None,
+                    smoke: bool) -> str:
+    lines = ["# Raw-speed profile report", ""]
+    lines.append("Generated by `python -m repro.bench.profile"
+                 + (" --smoke" if smoke else "") + "`.  Wall-clock only —")
+    lines.append("every pinned `virtual_ms` figure is independent of this "
+                 "report by construction.")
+    lines.append("")
+    lines.append("## Wall-clock phases")
+    lines.append("")
+    lines.append("| phase | seconds | status |")
+    lines.append("|---|---:|---|")
+    base_phases = {p["name"]: p["seconds"]
+                   for p in (baseline or {}).get("phases", [])}
+    for p in report.phases:
+        status = "ok" if p.ok else f"FAILED (exit {p.returncode})"
+        extra = ""
+        if p.name in base_phases and p.seconds > 0:
+            extra = f" ({base_phases[p.name] / p.seconds:.2f}x vs baseline)"
+        lines.append(f"| {p.name} | {p.seconds:.2f}{extra} | {status} |")
+    total = report.total_seconds
+    lines.append(f"| **total** | **{total:.2f}** | |")
+    if baseline and total > 0:
+        base_total = baseline.get("total_seconds", 0.0)
+        if base_total:
+            lines.append("")
+            lines.append(f"Baseline total: {base_total:.2f} s -> "
+                         f"**{base_total / total:.2f}x** overall speedup.")
+    for title, rows in (("Hot functions by internal time", report.hot_tottime),
+                        ("Hot functions by cumulative time", report.hot_cumtime)):
+        if not rows:
+            continue
+        lines.append("")
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append("| function | ncalls | tottime (s) | cumtime (s) |")
+        lines.append("|---|---:|---:|---:|")
+        for h in rows:
+            lines.append(f"| `{h.where}` | {h.ncalls} | {h.tottime:.3f} "
+                         f"| {h.cumtime:.3f} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.bench.profile",
+                                     description=__doc__)
+    parser.add_argument("--root", type=Path, default=Path.cwd(),
+                        help="repository checkout to measure (default: cwd)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="phases + budget gate only; skip the profiled pass")
+    parser.add_argument("--budget-seconds", type=float,
+                        default=DEFAULT_BUDGET_SECONDS,
+                        help="tier-1 wall-clock ceiling enforced in --smoke")
+    parser.add_argument("--top", type=int, default=DEFAULT_TOP_N,
+                        help="functions per hot-function table")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="prior run's JSON for the speedup comparison")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="markdown report path (default: PROFILE.md, or "
+                             "PROFILE.smoke.md with --smoke)")
+    parser.add_argument("--json-out", type=Path, default=None,
+                        help="also write the raw measurements as JSON")
+    args = parser.parse_args(argv)
+
+    root = args.root.resolve()
+    report = Report()
+    for name, cmd in standard_phases(root):
+        result = run_phase(name, cmd, root)
+        status = "ok" if result.ok else f"FAILED ({result.returncode})"
+        print(f"[{result.seconds:7.2f}s] {name}: {status}")
+        if not result.ok:
+            print(result.tail)
+        report.phases.append(result)
+
+    if not args.smoke:
+        hot_tot, hot_cum = collect_hot_functions(root, args.top)
+        report.hot_tottime = hot_tot
+        report.hot_cumtime = hot_cum
+
+    baseline = None
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+
+    out = args.out or (root / ("PROFILE.smoke.md" if args.smoke
+                               else "PROFILE.md"))
+    out.write_text(render_markdown(report, baseline, args.smoke))
+    print(f"report written to {out}")
+    if args.json_out is not None:
+        args.json_out.write_text(json.dumps(report.to_json(), indent=2) + "\n")
+
+    if any(not p.ok for p in report.phases):
+        return 1
+    tier1 = report.phase("tier1")
+    if args.smoke and tier1 is not None and tier1.seconds > args.budget_seconds:
+        print(f"FAIL: tier-1 took {tier1.seconds:.1f}s "
+              f"> budget {args.budget_seconds:.0f}s")
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -239,7 +239,9 @@ class Ext4Fs(Filesystem):
     def _charge_metadata(self, op: str) -> None:
         cost = self.costs.metadata_op_ns
         self.clock.advance(cost)
-        self.tracer.record(self.clock.now_ns, self.fs_type, op, cost)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.record(self.clock.now_ns, self.fs_type, op, cost)
         self._dirty_metadata += 1
 
     def _charge_read(self, ino: int, offset: int, size: int) -> None:

@@ -33,6 +33,13 @@ _fs_id_counter = itertools.count(1)
 
 ROOT_INO = 1
 
+#: Plain-int copies of the mode bits touched on every create/mkdir; see the
+#: matching constants in :mod:`repro.fs.vfs` for why enum arithmetic is
+#: avoided on these paths.
+_S_IFREG = int(FileMode.S_IFREG)
+_S_IFDIR = int(FileMode.S_IFDIR)
+_S_ISGID = int(FileMode.S_ISGID)
+
 
 class Filesystem:
     """Base in-memory filesystem with full Linux API semantics."""
@@ -221,10 +228,10 @@ class Filesystem:
         self._require_writable()
         self._charge_metadata("create")
         directory = self._require_dir(dir_ino)
-        inode = self._new_inode(RegularInode, FileMode.S_IFREG | (mode & 0o7777), uid, gid,
+        inode = self._new_inode(RegularInode, _S_IFREG | (int(mode) & 0o7777), uid, gid,
                                 data=FileData(store=self.store_data))
         # Inherit setgid group semantics from the parent directory.
-        if directory.mode & FileMode.S_ISGID:
+        if directory.mode & _S_ISGID:
             inode.gid = directory.gid
         directory.add(name, inode.ino)
         directory.touch(self._now(), mtime=True, ctime=True)
@@ -236,12 +243,12 @@ class Filesystem:
         self._require_writable()
         self._charge_metadata("mkdir")
         directory = self._require_dir(dir_ino)
-        inode = self._new_inode(DirectoryInode, FileMode.S_IFDIR | (mode & 0o7777), uid, gid)
+        inode = self._new_inode(DirectoryInode, _S_IFDIR | (int(mode) & 0o7777), uid, gid)
         inode.nlink = 2
         inode.parent_ino = directory.ino
-        if directory.mode & FileMode.S_ISGID:
+        if directory.mode & _S_ISGID:
             inode.gid = directory.gid
-            inode.mode |= FileMode.S_ISGID
+            inode.mode |= _S_ISGID
         directory.add(name, inode.ino)
         directory.nlink += 1
         directory.touch(self._now(), mtime=True, ctime=True)

@@ -16,6 +16,15 @@ from repro.fs.stat import FileStat
 
 PAGE_SIZE = 4096
 
+#: Plain-int copies of the file-type mode bits.  ``mode`` arithmetic runs on
+#: every path-resolution step; going through ``IntFlag.__and__`` there costs
+#: more than the rest of the check combined (it re-enters the enum machinery
+#: per operation), so the hot properties below use these ints directly.
+_S_IFMT = int(FileMode.S_IFMT)
+_S_IFDIR = int(FileMode.S_IFDIR)
+_S_IFREG = int(FileMode.S_IFREG)
+_S_IFLNK = int(FileMode.S_IFLNK)
+
 
 class FileData:
     """Byte contents of a regular file, stored sparsely as 4 KiB pages.
@@ -151,25 +160,30 @@ class Inode:
     generation: int = 0
     fs_name: str = ""
 
+    def __post_init__(self) -> None:
+        # Normalise IntFlag-typed modes to plain ints once at construction so
+        # every later mode check is integer arithmetic, not enum dispatch.
+        self.mode = int(self.mode)
+
     @property
     def file_type(self) -> int:
         """File-type bits of the mode."""
-        return self.mode & FileMode.S_IFMT
+        return self.mode & _S_IFMT
 
     @property
     def is_dir(self) -> bool:
         """True for directory inodes."""
-        return self.file_type == FileMode.S_IFDIR
+        return self.mode & _S_IFMT == _S_IFDIR
 
     @property
     def is_regular(self) -> bool:
         """True for regular-file inodes."""
-        return self.file_type == FileMode.S_IFREG
+        return self.mode & _S_IFMT == _S_IFREG
 
     @property
     def is_symlink(self) -> bool:
         """True for symbolic-link inodes."""
-        return self.file_type == FileMode.S_IFLNK
+        return self.mode & _S_IFMT == _S_IFLNK
 
     @property
     def size(self) -> int:

@@ -71,7 +71,7 @@ def inode_kind(inode: Inode) -> str:
     return _KIND_BY_CLASS[type(inode)]
 
 
-@dataclass
+@dataclass(slots=True)
 class JournalRecord:
     """One logical metadata mutation in the running transaction."""
 

@@ -42,7 +42,6 @@ each operation touches the LRU structure once per extent.
 
 from __future__ import annotations
 
-import heapq
 from bisect import bisect_right
 from dataclasses import dataclass
 
@@ -75,9 +74,13 @@ class PageCacheStats:
 
 
 class _Extent:
-    """A run of contiguous resident pages of one inode with one dirty flag."""
+    """A run of contiguous resident pages of one inode with one dirty flag.
 
-    __slots__ = ("ino", "start", "end", "dirty", "seq", "eid")
+    Extents are also the nodes of the cache's intrusive LRU list (``prev`` /
+    ``nxt``), kept sorted by ``(seq, start)`` ascending — oldest first.
+    """
+
+    __slots__ = ("ino", "start", "end", "dirty", "seq", "eid", "prev", "nxt")
 
     def __init__(self, ino: int, start: int, end: int, dirty: bool,
                  seq: int, eid: int) -> None:
@@ -87,6 +90,8 @@ class _Extent:
         self.dirty = dirty
         self.seq = seq
         self.eid = eid
+        self.prev: _Extent | None = None
+        self.nxt: _Extent | None = None
 
     def __len__(self) -> int:
         return self.end - self.start
@@ -98,6 +103,23 @@ class _Extent:
 
 def _start(ext: _Extent) -> int:
     return ext.start
+
+
+def _bisect_start(lst: list[_Extent], x: int) -> int:
+    """``bisect_right(lst, x, key=_start)`` without per-probe key-fn calls.
+
+    Extent lists are usually one or two entries long, so the dominant cost of
+    the stdlib form is the Python-level ``_start`` callback it makes on every
+    probe; the inlined attribute compare removes it.
+    """
+    lo, hi = 0, len(lst)
+    while lo < hi:
+        mid = (lo + hi) >> 1
+        if lst[mid].start <= x:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
 
 
 class SeqCounter:
@@ -129,16 +151,25 @@ class PageCache:
         self.stats = PageCacheStats()
         #: ino -> list of disjoint extents sorted by start.
         self._by_ino: dict[int, list[_Extent]] = {}
-        #: eid -> live extent (heap entries not found here are stale).
+        #: eid -> live extent (size == live extent count, no stale entries).
         self._live: dict[int, _Extent] = {}
-        #: (seq, start, eid) min-heap: the LRU order, oldest extent first.
-        #: Same-seq entries are fragments of one original segment (so same
-        #: ino, disjoint ranges); tie-breaking by start page reproduces the
-        #: per-page dict order no matter how the segment was split later.
-        #: The start recorded at push time can go stale when the heap top is
-        #: partially evicted, but only by growing within its own range, which
-        #: never reorders it relative to its disjoint same-seq siblings.
-        self._heap: list[tuple[int, int, int]] = []
+        #: Intrusive doubly-linked LRU list between two sentinels, sorted by
+        #: ``(seq, start)`` ascending: ``_lru_head.nxt`` is the globally
+        #: oldest extent, ``_lru_tail.prev`` the newest.  The order is
+        #: maintained with O(1) splices, no heap and no lazy deletion:
+        #: fresh extents take a strictly larger seq than every live one (the
+        #: counter is monotonic and ``share_seq_counter`` fast-forwards), so
+        #: they append at the tail; a split's right remainder inherits the
+        #: original seq and splices in immediately after the trimmed extent
+        #: (same-seq entries are disjoint fragments of one original segment,
+        #: so any same-seq sibling further right starts beyond the original
+        #: end and still sorts after the remainder); partial eviction only
+        #: grows ``start`` within the extent's own range, which never
+        #: reorders it relative to its disjoint same-seq siblings.
+        self._lru_head = _Extent(-1, 0, 0, False, -1, -1)
+        self._lru_tail = _Extent(-1, 0, 0, False, -1, -1)
+        self._lru_head.nxt = self._lru_tail
+        self._lru_tail.prev = self._lru_head
         #: Per-inode dirty index: ino -> {eid: extent} holding only dirty
         #: extents, so ``clean``/``dirty_pages`` never scan clean state.
         self._dirty_exts: dict[int, dict[int, _Extent]] = {}
@@ -191,9 +222,14 @@ class PageCache:
         lst = self._by_ino.get(ino)
         if not lst:
             return False
-        i = bisect_right(lst, page, key=_start) - 1
-        if i < 0 or lst[i].end <= page:
-            return False
+        if len(lst) == 1:
+            ext = lst[0]
+            if ext.start > page or ext.end <= page:
+                return False
+        else:
+            i = _bisect_start(lst, page) - 1
+            if i < 0 or lst[i].end <= page:
+                return False
         removed = self._remove_range(ino, page, page + 1)
         self._insert_segments(ino, removed)
         return True
@@ -209,19 +245,61 @@ class PageCache:
 
     def lru_order(self) -> list[tuple[int, int]]:
         """``(ino, page)`` keys from LRU to MRU (tests / debugging only)."""
-        live = sorted(self._live.values(), key=lambda e: (e.seq, e.start))
         out = []
-        for ext in live:
+        ext = self._lru_head.nxt
+        while ext is not self._lru_tail:
             out.extend((ext.ino, page) for page in range(ext.start, ext.end))
+            ext = ext.nxt
         return out
 
     # ------------------------------------------------------------- operations
+    def _refresh_exact(self, ino: int, a: int, b: int) -> _Extent | None:
+        """Fast path for ``[a, b)`` covered by exactly one extent.
+
+        Splices the extent to the MRU tail with a fresh sequence number —
+        observationally identical to what the general remove/reinsert path
+        produces for this geometry (same extent layout, same single
+        ``_seqs.next()`` draw, net-zero memcg charge), without the extent
+        churn.  Returns the refreshed extent, or None when the geometry
+        doesn't match and the caller must take the general path.
+        """
+        lst = self._by_ino.get(ino)
+        if not lst:
+            return None
+        if len(lst) == 1:           # dominant case: one extent per inode
+            ext = lst[0]
+        else:
+            i = _bisect_start(lst, a) - 1
+            if i < 0:
+                return None
+            ext = lst[i]
+        if ext.start != a or ext.end != b:
+            return None
+        tail = self._lru_tail
+        node = tail.prev
+        if node is not ext:
+            ext.prev.nxt = ext.nxt
+            ext.nxt.prev = ext.prev
+            ext.prev = node
+            ext.nxt = tail
+            node.nxt = ext
+            tail.prev = ext
+        ext.seq = self._seqs.next()
+        return ext
+
     def access(self, ino: int, offset: int, size: int) -> tuple[int, int]:
         """Record a read access; returns ``(hit_pages, miss_pages)`` and caches misses."""
         span = page_span(offset, size, self.page_size)
         if not len(span):
             return 0, 0
         a, b = span.start, span.stop
+        ext = self._refresh_exact(ino, a, b)
+        if ext is not None:
+            hits = b - a
+            self.stats.hits += hits
+            self._evict_to_capacity()
+            self.balance_pressure()
+            return hits, 0
         removed = self._remove_range(ino, a, b)
         hits = sum(hi - lo for lo, hi, _ in removed)
         misses = (b - a) - hits
@@ -238,6 +316,15 @@ class PageCache:
         if not len(span):
             return 0
         a, b = span.start, span.stop
+        ext = self._refresh_exact(ino, a, b)
+        if ext is not None:
+            already_dirty = (b - a) if ext.dirty else 0
+            if not ext.dirty:
+                ext.dirty = True
+                self._note_dirty_pages(ino, b - a)
+                self._dirty_exts.setdefault(ino, {})[ext.eid] = ext
+            self._evict_to_capacity()
+            return (b - a) - already_dirty
         removed = self._remove_range(ino, a, b)
         already_dirty = sum(hi - lo for lo, hi, dirty in removed if dirty)
         self._insert_segments(ino, [(a, b, True)])
@@ -286,11 +373,11 @@ class PageCache:
         for ext in lst:
             dropped += len(ext)
             del self._live[ext.eid]
+            self._unlink(ext)
         self._pages -= dropped
         self._memcg_delta(ino, -dropped)
         self._dirty_exts.pop(ino, None)
         self._dirty_count.pop(ino, None)
-        self._maybe_compact_heap()
         return dropped
 
     def invalidate_range(self, ino: int, start_page: int,
@@ -314,7 +401,8 @@ class PageCache:
             self.memcg.cache_cleared(self)
         self._by_ino.clear()
         self._live.clear()
-        self._heap.clear()
+        self._lru_head.nxt = self._lru_tail
+        self._lru_tail.prev = self._lru_head
         self._dirty_exts.clear()
         self._dirty_count.clear()
         self._pages = 0
@@ -334,27 +422,27 @@ class PageCache:
         """Sequence number of the LRU-oldest live extent (None when empty).
 
         With ``ino_filter`` (a predicate over inode numbers), only extents of
-        matching inodes are considered — the per-cgroup reclaim order, which
-        scans the live extents instead of the global heap.
+        matching inodes are considered — the per-cgroup reclaim order, found
+        by walking the LRU list from the old end (first match wins).
         """
         if ino_filter is not None:
             ext = self._oldest_matching(ino_filter)
             return None if ext is None else ext.seq
-        while self._heap:
-            seq, _start_page, eid = self._heap[0]
-            if eid in self._live:
-                return seq
-            heapq.heappop(self._heap)
-        return None
+        ext = self._lru_head.nxt
+        return None if ext is self._lru_tail else ext.seq
 
     def _oldest_matching(self, ino_filter) -> "_Extent | None":
-        """The LRU-oldest live extent whose inode passes ``ino_filter``."""
-        best = None
-        for ext in self._live.values():
-            if ino_filter(ext.ino) and \
-                    (best is None or (ext.seq, ext.start) < (best.seq, best.start)):
-                best = ext
-        return best
+        """The LRU-oldest live extent whose inode passes ``ino_filter``.
+
+        The LRU list is sorted by ``(seq, start)``, so the first matching
+        node from the old end is the minimum — no full scan needed.
+        """
+        ext = self._lru_head.nxt
+        while ext is not self._lru_tail:
+            if ino_filter(ext.ino):
+                return ext
+            ext = ext.nxt
+        return None
 
     def reclaim_oldest(self, max_pages: int, flush_inode,
                        ino_filter=None) -> tuple[int, int]:
@@ -375,9 +463,9 @@ class PageCache:
         if max_pages <= 0:
             return 0, 0
         if ino_filter is None:
-            if self.oldest_seq() is None:
+            ext = self._lru_head.nxt
+            if ext is self._lru_tail:
                 return 0, 0
-            ext = self._live[self._heap[0][2]]
         else:
             ext = self._oldest_matching(ino_filter)
             if ext is None:
@@ -392,22 +480,17 @@ class PageCache:
                 self._note_dirty_pages(ext.ino, -len(ext))
                 ext.dirty = False
         lst = self._by_ino[ext.ino]
-        i = bisect_right(lst, ext.start, key=_start) - 1
+        i = _bisect_start(lst, ext.start) - 1
         take = min(len(ext), max_pages)
         self._pages -= take
         self._memcg_delta(ext.ino, -take)
         ext.start += take
         if ext.start >= ext.end:
-            if self._heap and self._heap[0][2] == ext.eid:
-                heapq.heappop(self._heap)
             del self._live[ext.eid]
+            self._unlink(ext)
             lst.pop(i)
             if not lst:
                 del self._by_ino[ext.ino]
-            if ino_filter is not None:
-                # The filtered victim may not be the heap top; its stale heap
-                # entry is tolerated (and compacted) like a removed range's.
-                self._maybe_compact_heap()
         return (0, take) if was_dirty else (take, 0)
 
     def balance_pressure(self) -> None:
@@ -437,7 +520,7 @@ class PageCache:
         if not lst:
             return []
         removed: list[tuple[int, int, bool]] = []
-        i = bisect_right(lst, a, key=_start) - 1
+        i = _bisect_start(lst, a) - 1
         if i < 0 or lst[i].end <= a:
             i += 1
         while i < len(lst):
@@ -453,7 +536,8 @@ class PageCache:
             left = ext.start < lo
             right = ext.end > hi
             if left and right:
-                rest = self._new_extent(ino, hi, ext.end, ext.dirty, seq=ext.seq)
+                rest = self._new_extent(ino, hi, ext.end, ext.dirty,
+                                        seq=ext.seq, after=ext)
                 if rest.dirty:
                     # The remainder keeps its pages' dirty-index entry; the
                     # page count was only adjusted for the removed middle.
@@ -466,6 +550,7 @@ class PageCache:
                 i += 1
             elif not right:
                 del self._live[ext.eid]
+                self._unlink(ext)
                 if ext.dirty:
                     self._drop_dirty_ext(ino, ext.eid)
                 lst.pop(i)
@@ -475,7 +560,6 @@ class PageCache:
         if not lst:
             del self._by_ino[ino]
         self._memcg_delta(ino, -sum(hi - lo for lo, hi, _ in removed))
-        self._maybe_compact_heap()
         return removed
 
     @staticmethod
@@ -506,7 +590,7 @@ class PageCache:
         if not segments:
             return
         lst = self._by_ino.setdefault(ino, [])
-        pos = bisect_right(lst, segments[0][0], key=_start)
+        pos = _bisect_start(lst, segments[0][0])
         new = []
         dirty_index = None
         for lo, hi, dirty in segments:
@@ -522,15 +606,28 @@ class PageCache:
         self._memcg_delta(ino, sum(hi - lo for lo, hi, _ in segments))
 
     def _new_extent(self, ino: int, start: int, end: int, dirty: bool,
-                    seq: int | None = None) -> _Extent:
+                    seq: int | None = None,
+                    after: _Extent | None = None) -> _Extent:
         if seq is None:
             seq = self._seqs.next()
         eid = self._next_eid
         self._next_eid += 1
         ext = _Extent(ino, start, end, dirty, seq, eid)
         self._live[eid] = ext
-        heapq.heappush(self._heap, (seq, start, eid))
+        # Fresh seqs are strictly larger than every live one (MRU append);
+        # seq-inheriting splits splice right after their origin (``after``).
+        node = self._lru_tail.prev if after is None else after
+        ext.prev = node
+        ext.nxt = node.nxt
+        node.nxt.prev = ext
+        node.nxt = ext
         return ext
+
+    @staticmethod
+    def _unlink(ext: _Extent) -> None:
+        ext.prev.nxt = ext.nxt
+        ext.nxt.prev = ext.prev
+        ext.prev = ext.nxt = None
 
     def _note_dirty_pages(self, ino: int, delta: int) -> None:
         count = self._dirty_count.get(ino, 0) + delta
@@ -558,13 +655,9 @@ class PageCache:
         prev_end = -1
         prev_dirty = False
         while self._pages > self.max_pages:
-            eid = self._heap[0][2]
-            ext = self._live.get(eid)
-            if ext is None:
-                heapq.heappop(self._heap)
-                continue
+            ext = self._lru_head.nxt
             lst = self._by_ino[ext.ino]
-            i = bisect_right(lst, ext.start, key=_start) - 1
+            i = _bisect_start(lst, ext.start) - 1
             take = min(len(ext), self._pages - self.max_pages)
             self.stats.evictions += take
             if ext.dirty:
@@ -578,17 +671,10 @@ class PageCache:
             self._memcg_delta(ext.ino, -take)
             ext.start += take
             if ext.start >= ext.end:
-                heapq.heappop(self._heap)
-                del self._live[eid]
+                del self._live[ext.eid]
+                self._unlink(ext)
                 if ext.dirty:
-                    self._drop_dirty_ext(ext.ino, eid)
+                    self._drop_dirty_ext(ext.ino, ext.eid)
                 lst.pop(i)
                 if not lst:
                     del self._by_ino[ext.ino]
-
-    def _maybe_compact_heap(self) -> None:
-        """Drop stale heap entries once they outnumber live extents 4:1."""
-        if len(self._heap) > 64 and len(self._heap) > 4 * len(self._live):
-            self._heap = [(ext.seq, ext.start, eid)
-                          for eid, ext in self._live.items()]
-            heapq.heapify(self._heap)

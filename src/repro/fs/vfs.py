@@ -11,6 +11,7 @@ check whose absence in CntrFS reproduces xfstests failure #228.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from sys import intern as _intern
 
 from repro.fs.constants import (
     AccessMode,
@@ -53,6 +54,47 @@ ALL_CAPS = DEFAULT_CONTAINER_CAPS | frozenset({
     CAP_DAC_READ_SEARCH, CAP_SYS_ADMIN, CAP_NET_ADMIN, CAP_SYS_PTRACE,
 })
 
+#: Plain-int copies of the open-flag bits checked on every read/write; going
+#: through ``IntFlag.__and__`` per I/O syscall dominates the actual check.
+_O_ACCMODE = int(OpenFlags.O_ACCMODE)
+_O_RDONLY = int(OpenFlags.O_RDONLY)
+_O_WRONLY = int(OpenFlags.O_WRONLY)
+_O_RDWR = int(OpenFlags.O_RDWR)
+_O_APPEND = int(OpenFlags.O_APPEND)
+_O_SYNC = int(OpenFlags.O_SYNC)
+_O_DSYNC = int(OpenFlags.O_DSYNC)
+_O_NOFOLLOW = int(OpenFlags.O_NOFOLLOW)
+_O_CREAT = int(OpenFlags.O_CREAT)
+_O_EXCL = int(OpenFlags.O_EXCL)
+_O_DIRECTORY = int(OpenFlags.O_DIRECTORY)
+_O_DIRECT = int(OpenFlags.O_DIRECT)
+_O_TRUNC = int(OpenFlags.O_TRUNC)
+
+#: Same treatment for the rwx access bits and the sticky bit: the permission
+#: check runs on every path component of every syscall.
+_R_OK = int(AccessMode.R_OK)
+_W_OK = int(AccessMode.W_OK)
+_X_OK = int(AccessMode.X_OK)
+_S_ISVTX = int(FileMode.S_ISVTX)
+
+#: Memoised ``path -> components`` splits with interned component strings.
+#: Path resolution re-splits the same handful of paths on every syscall, and
+#: interning makes the dcache's ``(mount, ino, name)`` key hashing/equality a
+#: pointer comparison.  The table is a pure function of the path string, so
+#: sharing it process-wide is safe; wholesale clearing bounds its size.
+_SPLIT_CACHE_MAX = 16384
+_split_cache: dict[str, tuple[str, ...]] = {}
+
+
+def _split_components(path: str) -> tuple[str, ...]:
+    comps = _split_cache.get(path)
+    if comps is None:
+        if len(_split_cache) >= _SPLIT_CACHE_MAX:
+            _split_cache.clear()
+        comps = tuple(_intern(c) for c in path.split("/") if c)
+        _split_cache[path] = comps
+    return comps
+
 
 @dataclass(frozen=True)
 class Credentials:
@@ -79,12 +121,31 @@ class Credentials:
         return replace(self, capabilities=frozenset(caps))
 
 
-@dataclass(frozen=True)
 class VNode:
-    """A resolved position in the mount tree: (mount, inode number)."""
+    """A resolved position in the mount tree: (mount, inode number).
 
-    mount: Mount
-    ino: int
+    A hand-rolled value class rather than a frozen dataclass: path
+    resolution creates one per component, and ``object.__setattr__`` in the
+    generated frozen ``__init__`` is measurable at that volume.  Equality
+    and hashing keep the (mount, ino) value semantics.
+    """
+
+    __slots__ = ("mount", "ino")
+
+    def __init__(self, mount: Mount, ino: int) -> None:
+        self.mount = mount
+        self.ino = ino
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is VNode:
+            return self.mount == other.mount and self.ino == other.ino
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.mount, self.ino))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VNode(mount={self.mount!r}, ino={self.ino!r})"
 
     @property
     def fs(self) -> Filesystem:
@@ -93,10 +154,10 @@ class VNode:
 
     def inode(self) -> Inode:
         """The inode object."""
-        return self.fs.iget(self.ino)
+        return self.mount.fs.iget(self.ino)
 
 
-@dataclass
+@dataclass(slots=True)
 class PathContext:
     """Everything path resolution needs from the calling process."""
 
@@ -135,19 +196,19 @@ class OpenFile:
     @property
     def readable(self) -> bool:
         """True when the description permits reads."""
-        acc = self.flags & OpenFlags.O_ACCMODE
-        return acc in (OpenFlags.O_RDONLY, OpenFlags.O_RDWR)
+        acc = self.flags & _O_ACCMODE
+        return acc == _O_RDONLY or acc == _O_RDWR
 
     @property
     def writable(self) -> bool:
         """True when the description permits writes."""
-        acc = self.flags & OpenFlags.O_ACCMODE
-        return acc in (OpenFlags.O_WRONLY, OpenFlags.O_RDWR)
+        acc = self.flags & _O_ACCMODE
+        return acc == _O_WRONLY or acc == _O_RDWR
 
     @property
     def append(self) -> bool:
         """True for O_APPEND descriptions."""
-        return bool(self.flags & OpenFlags.O_APPEND)
+        return bool(self.flags & _O_APPEND)
 
     def close(self) -> None:
         """Release the description (idempotent)."""
@@ -242,36 +303,41 @@ class VFS:
         if len(path) > PATH_MAX:
             raise FsError.enametoolong(path)
         start = ctx.root if path.startswith("/") else ctx.cwd
-        components = [c for c in path.split("/") if c]
+        components = _split_components(path)
         if want_parent and not components:
             raise FsError.einval(path)
         return self._walk(ctx, start, components, follow=follow,
                           want_parent=want_parent, depth=0, orig_path=path)
 
-    def _walk(self, ctx: PathContext, start: VNode, components: list[str], *,
+    def _walk(self, ctx: PathContext, start: VNode, components: tuple[str, ...], *,
               follow: bool, want_parent: bool, depth: int,
               orig_path: str) -> VNode | tuple[VNode, str]:
         if depth > SYMLOOP_MAX:
             raise FsError.eloop(orig_path)
         current = self._cross_mounts(ctx.ns, start)
+        creds = ctx.creds
+        n = len(components)
         i = 0
-        while i < len(components):
+        while i < n:
             name = components[i]
-            is_last = i == len(components) - 1
-            if want_parent and is_last:
-                self._require_search(ctx, current)
-                return current, name
+            is_last = i == n - 1
+            # One iget per component: the is_dir test and the search-permission
+            # check share the same inode object (observably identical to the
+            # former separate _require_search fetch).
             inode = current.inode()
+            if want_parent and is_last:
+                self._check_access(inode, creds, _X_OK)
+                return current, name
             if not inode.is_dir:
                 raise FsError.enotdir("/".join(components[:i + 1]))
-            self._require_search(ctx, current)
+            self._check_access(inode, creds, _X_OK)
             child = self._lookup_component(ctx, current, name)
             child = self._cross_mounts(ctx.ns, child)
             child_inode = child.inode()
             if isinstance(child_inode, SymlinkInode) and (follow or not is_last):
                 target = child.fs.readlink(child.ino)
                 rest = components[i + 1:]
-                new_components = [c for c in target.split("/") if c] + rest
+                new_components = _split_components(target) + rest
                 new_start = ctx.root if target.startswith("/") else current
                 return self._walk(ctx, new_start, new_components, follow=follow,
                                   want_parent=want_parent, depth=depth + 1,
@@ -316,7 +382,12 @@ class VFS:
 
     @staticmethod
     def _cross_mounts(ns: MountNamespace, vnode: VNode) -> VNode:
-        mount, ino = vnode.mount, vnode.ino
+        stacked = ns.mount_at(vnode.mount, vnode.ino)
+        if stacked is None:
+            # Nothing mounted here (the overwhelmingly common case): hand the
+            # caller's vnode back without allocating a copy.
+            return vnode
+        mount, ino = stacked, stacked.root_ino
         while True:
             stacked = ns.mount_at(mount, ino)
             if stacked is None:
@@ -346,29 +417,28 @@ class VFS:
             return
         # Capability overrides.
         if creds.has_cap(CAP_DAC_OVERRIDE):
-            if want & AccessMode.X_OK and inode.is_regular:
+            if want & _X_OK and inode.is_regular:
                 # Exec requires at least one execute bit even for CAP_DAC_OVERRIDE.
                 if not (inode.mode & 0o111):
                     raise FsError.eacces()
             return
-        if creds.has_cap(CAP_DAC_READ_SEARCH) and not (want & AccessMode.W_OK):
-            if want & AccessMode.X_OK and not inode.is_dir:
+        if creds.has_cap(CAP_DAC_READ_SEARCH) and not (want & _W_OK):
+            if want & _X_OK and not inode.is_dir:
                 raise FsError.eacces()
             return
         raise FsError.eacces()
 
     def _require_search(self, ctx: PathContext, dir_vnode: VNode) -> None:
-        self._check_access(dir_vnode.inode(), ctx.creds, AccessMode.X_OK)
+        self._check_access(dir_vnode.inode(), ctx.creds, _X_OK)
 
     def _require_write_dir(self, ctx: PathContext, dir_vnode: VNode) -> None:
         if dir_vnode.mount.read_only:
             raise FsError.erofs(dir_vnode.mount.mountpoint_path)
-        self._check_access(dir_vnode.inode(), ctx.creds,
-                           AccessMode.W_OK | AccessMode.X_OK)
+        self._check_access(dir_vnode.inode(), ctx.creds, _W_OK | _X_OK)
 
     def _check_sticky_delete(self, ctx: PathContext, dir_inode: Inode,
                              victim: Inode) -> None:
-        if not (dir_inode.mode & FileMode.S_ISVTX):
+        if not (dir_inode.mode & _S_ISVTX):
             return
         creds = ctx.creds
         if creds.uid in (victim.uid, dir_inode.uid) or creds.has_cap(CAP_FOWNER):
@@ -380,11 +450,11 @@ class VFS:
              owner_pid: int = 0) -> OpenFile:
         """``open(2)``."""
         flags = int(flags)
-        want_write = (flags & OpenFlags.O_ACCMODE) in (OpenFlags.O_WRONLY, OpenFlags.O_RDWR)
-        follow = not (flags & OpenFlags.O_NOFOLLOW)
+        want_write = (flags & _O_ACCMODE) in (_O_WRONLY, _O_RDWR)
+        follow = not (flags & _O_NOFOLLOW)
         creds = ctx.creds
 
-        if flags & OpenFlags.O_CREAT:
+        if flags & _O_CREAT:
             parent, name = self.resolve(ctx, path, want_parent=True)
             try:
                 existing = parent.fs.lookup(parent.ino, name)
@@ -392,7 +462,7 @@ class VFS:
             except FsError:
                 existing = None
                 exists = False
-            if exists and flags & OpenFlags.O_EXCL:
+            if exists and flags & _O_EXCL:
                 raise FsError.eexist(path)
             if not exists:
                 self._require_write_dir(ctx, parent)
@@ -411,7 +481,7 @@ class VFS:
         inode = vnode.inode()
         if isinstance(inode, SymlinkInode):
             raise FsError.eloop(path)
-        if flags & OpenFlags.O_DIRECTORY and not inode.is_dir:
+        if flags & _O_DIRECTORY and not inode.is_dir:
             raise FsError.enotdir(path)
         if inode.is_dir and want_write:
             raise FsError.eisdir(path)
@@ -420,20 +490,21 @@ class VFS:
     def _finish_open(self, ctx: PathContext, vnode: VNode, flags: int, path: str,
                      owner_pid: int, just_created: bool = False) -> OpenFile:
         inode = vnode.inode()
-        want_write = (flags & OpenFlags.O_ACCMODE) in (OpenFlags.O_WRONLY, OpenFlags.O_RDWR)
-        want_read = (flags & OpenFlags.O_ACCMODE) in (OpenFlags.O_RDONLY, OpenFlags.O_RDWR)
+        accmode = flags & _O_ACCMODE
+        want_write = accmode in (_O_WRONLY, _O_RDWR)
+        want_read = accmode in (_O_RDONLY, _O_RDWR)
         if not just_created:
             want = 0
             if want_read:
-                want |= AccessMode.R_OK
+                want |= _R_OK
             if want_write:
-                want |= AccessMode.W_OK
+                want |= _W_OK
             self._check_access(inode, ctx.creds, want)
         if want_write and vnode.mount.read_only:
             raise FsError.erofs(path)
-        if flags & OpenFlags.O_DIRECT and not vnode.fs.supports_direct_io:
+        if flags & _O_DIRECT and not vnode.fs.supports_direct_io:
             raise FsError.einval("O_DIRECT not supported by this filesystem")
-        if flags & OpenFlags.O_TRUNC and want_write and isinstance(inode, RegularInode):
+        if flags & _O_TRUNC and want_write and isinstance(inode, RegularInode):
             vnode.fs.truncate(vnode.ino, 0)
         open_hook = getattr(vnode.fs, "on_open", None)
         if callable(open_hook):
@@ -478,9 +549,9 @@ class VFS:
         # O_SYNC / O_DSYNC: every write is followed by the equivalent of
         # fsync(2) / fdatasync(2) before it "returns" to the caller.
         flags = handle.flags
-        if flags & OpenFlags.O_SYNC == OpenFlags.O_SYNC:
+        if flags & _O_SYNC == _O_SYNC:
             handle.fs.fsync(handle.ino, datasync=False)
-        elif flags & OpenFlags.O_DSYNC:
+        elif flags & _O_DSYNC:
             handle.fs.fsync(handle.ino, datasync=True)
         return written
 
@@ -647,7 +718,7 @@ class VFS:
     def readdir(self, ctx: PathContext, path: str) -> list[tuple[str, int, int]]:
         """List a directory by path."""
         vnode = self.resolve(ctx, path)
-        self._check_access(vnode.inode(), ctx.creds, AccessMode.R_OK)
+        self._check_access(vnode.inode(), ctx.creds, _R_OK)
         return vnode.fs.readdir(vnode.ino)
 
     def listdir(self, ctx: PathContext, path: str) -> list[str]:
@@ -699,7 +770,7 @@ class VFS:
     def truncate(self, ctx: PathContext, path: str, size: int) -> None:
         """``truncate(2)``."""
         vnode = self.resolve(ctx, path)
-        self._check_access(vnode.inode(), ctx.creds, AccessMode.W_OK)
+        self._check_access(vnode.inode(), ctx.creds, _W_OK)
         if vnode.mount.read_only:
             raise FsError.erofs(path)
         vnode.fs.truncate(vnode.ino, size)
@@ -711,7 +782,7 @@ class VFS:
         inode = vnode.inode()
         creds = ctx.creds
         if creds.uid != inode.uid and not creds.has_cap(CAP_FOWNER):
-            self._check_access(inode, creds, AccessMode.W_OK)
+            self._check_access(inode, creds, _W_OK)
         vnode.fs.setattr(vnode.ino, atime_ns=atime_ns, mtime_ns=mtime_ns)
 
     def statfs(self, ctx: PathContext, path: str) -> StatVfs:
@@ -766,7 +837,7 @@ class VFS:
                  flags: int = 0, follow: bool = True) -> None:
         """``setxattr(2)``."""
         vnode = self.resolve(ctx, path, follow=follow)
-        self._check_access(vnode.inode(), ctx.creds, AccessMode.W_OK)
+        self._check_access(vnode.inode(), ctx.creds, _W_OK)
         vnode.fs.setxattr(vnode.ino, name, value, flags)
 
     def getxattr(self, ctx: PathContext, path: str, name: str,
@@ -784,5 +855,5 @@ class VFS:
                     follow: bool = True) -> None:
         """``removexattr(2)``."""
         vnode = self.resolve(ctx, path, follow=follow)
-        self._check_access(vnode.inode(), ctx.creds, AccessMode.W_OK)
+        self._check_access(vnode.inode(), ctx.creds, _W_OK)
         vnode.fs.removexattr(vnode.ino, name)

@@ -614,7 +614,14 @@ class VmSysctl:
     # ------------------------------------------------------------ registration
     def register(self, engine: WritebackEngine) -> None:
         """Attach an engine to the kernel-wide knobs (idempotent)."""
-        if not engine.sysctl_tunable or engine in self._engines:
+        if not engine.sysctl_tunable:
+            # Outside the /proc/sys/vm control, but its kupdate timer (when
+            # its private tunables enable one) still follows the mount
+            # lifecycle: re-arm on (re)mount, mirroring the unconditional
+            # disarm in :meth:`unregister`.
+            engine.retune()
+            return
+        if engine in self._engines:
             return
         self._engines.append(engine)
         engine.meminfo = self.meminfo
@@ -637,7 +644,12 @@ class VmSysctl:
         """Detach an engine (unmount)."""
         if engine in self._engines:
             self._engines.remove(engine)
-            engine.disarm_periodic_flusher()
+        # Disarm unconditionally: an engine outside the sysctl set (tmpfs
+        # style, or one registered while a knob snapshot was outstanding)
+        # still owns a clock timer when its tunables enable the periodic
+        # flusher, and a detached engine must never keep firing on — and
+        # charging flush costs into — the shared clock.
+        engine.disarm_periodic_flusher()
         if engine.bdi is not None and \
                 self._bdis.get(engine.bdi.name) is engine.bdi:
             del self._bdis[engine.bdi.name]
@@ -721,7 +733,14 @@ class VmSysctl:
         for engine, knobs in state["engines"]:
             for knob, value in knobs.items():
                 setattr(engine.tunables, knob, value)
-            engine.retune()
+            if engine in self._engines:
+                engine.retune()
+            else:
+                # Unmounted since the snapshot: put its knobs back for a
+                # later remount, but leave the kupdate timer down — retuning
+                # here would re-arm a timer on an engine no mount owns
+                # (orphaned periodic wakeups on the shared clock).
+                engine.disarm_periodic_flusher()
 
     # ------------------------------------------------------------ drop_caches
     def drop_caches(self, mode: int) -> None:

@@ -176,7 +176,9 @@ class FuseClientFs(Filesystem):
         send_size = payload_size if payload_size is not None else len(payload)
         overhead = int(self._request_overhead(dirop, send_size, expected_reply_bytes))
         self.clock.advance(overhead)
-        self.tracer.record(self.clock.now_ns, "fuse", opcode.name.lower(), overhead)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.record(self.clock.now_ns, "fuse", opcode.name.lower(), overhead)
         request = FuseRequest(opcode, nodeid, args=args, payload=payload)
         reply = self.connection.request(request)
         if not reply.ok:
@@ -200,8 +202,10 @@ class FuseClientFs(Filesystem):
         overhead = int(self._batched_overhead(nreq, dirop, len(payload),
                                               expected_reply_bytes))
         self.clock.advance(overhead)
-        self.tracer.record(self.clock.now_ns, "fuse", opcode.name.lower(),
-                           overhead, detail=f"coalesced={nreq}")
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.record(self.clock.now_ns, "fuse", opcode.name.lower(),
+                          overhead, detail=f"coalesced={nreq}")
         request = FuseRequest(opcode, nodeid, args=args, payload=payload,
                               coalesced=nreq)
         reply = self.connection.request(request)

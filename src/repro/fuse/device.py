@@ -18,7 +18,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.fs.errors import FsError
-from repro.fuse.protocol import FuseReply, FuseRequest, NO_REPLY_OPCODES
+from repro.fuse.protocol import (NO_REPLY_OPCODES, OPCODE_NAME, FuseReply,
+                                 FuseRequest)
 from repro.kernel.objects import KernelObject
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -42,7 +43,7 @@ class FuseConnectionStats:
     def record(self, request: FuseRequest, reply: FuseReply | None) -> None:
         """Record one round trip (a coalesced dispatch counts all its requests)."""
         self.requests_total += request.coalesced
-        name = request.opcode.name
+        name = OPCODE_NAME[request.opcode]
         self.requests_by_opcode[name] = \
             self.requests_by_opcode.get(name, 0) + request.coalesced
         self.bytes_to_server += request.payload_size
@@ -201,8 +202,19 @@ class FuseDeviceHandle(KernelObject):
             self.connection.abort()
 
 
+class _FuseDeviceFactory:
+    """Picklable factory bound to one kernel (a lambda here would make the
+    whole kernel graph unpicklable, and kernel snapshots pickle it)."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+
+    def __call__(self) -> "FuseDeviceHandle":
+        return FuseDeviceHandle(self.kernel)
+
+
 def register_fuse_device(kernel: "Kernel") -> None:
     """Install the ``/dev/fuse`` driver into a kernel."""
     from repro.kernel.kernel import DEV_FUSE_RDEV
 
-    kernel.register_device(DEV_FUSE_RDEV, lambda: FuseDeviceHandle(kernel))
+    kernel.register_device(DEV_FUSE_RDEV, _FuseDeviceFactory(kernel))

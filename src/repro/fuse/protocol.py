@@ -64,6 +64,9 @@ READ_LIKE_OPCODES = frozenset({FuseOpcode.READ, FuseOpcode.READDIR,
                                FuseOpcode.LISTXATTR, FuseOpcode.READLINK})
 #: Opcodes that never receive a reply.
 NO_REPLY_OPCODES = frozenset({FuseOpcode.FORGET, FuseOpcode.BATCH_FORGET})
+#: Opcode -> name, precomputed (``Enum.name`` is a descriptor lookup, too
+#: slow for the per-request statistics paths).
+OPCODE_NAME = {op: op.name for op in FuseOpcode}
 
 
 @dataclass(frozen=True)
@@ -83,7 +86,7 @@ class FuseAttr:
     generation: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class FuseRequest:
     """One request sent from the kernel driver to the userspace server.
 
@@ -108,7 +111,7 @@ class FuseRequest:
         return len(self.payload)
 
 
-@dataclass
+@dataclass(slots=True)
 class FuseReply:
     """One reply returned by the userspace server."""
 

@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.fs.errors import FsError
-from repro.fuse.protocol import FuseAttr, FuseOpcode, FuseReply, FuseRequest
+from repro.fuse.protocol import (OPCODE_NAME, FuseAttr, FuseOpcode, FuseReply,
+                                 FuseRequest)
 
 
 @dataclass
@@ -100,7 +101,7 @@ class FuseServer:
         self.stats.handled += request.coalesced
         self.stats.per_worker[self._next_worker] += request.coalesced
         self._next_worker = (self._next_worker + 1) % self.threads
-        name = request.opcode.name
+        name = OPCODE_NAME[request.opcode]
         self.stats.by_opcode[name] = \
             self.stats.by_opcode.get(name, 0) + request.coalesced
         if handler is None:

@@ -80,12 +80,16 @@ class MemcgController:
         #: attributed to this process's cgroup.
         self._current_pid = 0
         self._filesystems: list["Filesystem"] = []
-        #: cache id -> {ino -> owning cgroup} / {ino -> charged bytes}.
-        self._cache_owner: dict[int, dict[int, Cgroup]] = {}
-        self._cache_charged: dict[int, dict[int, int]] = {}
-        #: engine id -> {ino -> owning cgroup} / {ino -> charged dirty bytes}.
-        self._dirty_owner: dict[int, dict[int, Cgroup]] = {}
-        self._dirty_charged: dict[int, dict[int, int]] = {}
+        #: cache -> {ino -> owning cgroup} / {ino -> charged bytes}.  Keyed
+        #: by the cache/engine objects themselves (identity hash), not by
+        #: ``id()``: a kernel snapshot deep-copies the whole object graph and
+        #: raw ids do not survive the copy, while object keys are remapped
+        #: consistently by the deepcopy memo.
+        self._cache_owner: dict["PageCache", dict[int, Cgroup]] = {}
+        self._cache_charged: dict["PageCache", dict[int, int]] = {}
+        #: engine -> {ino -> owning cgroup} / {ino -> charged dirty bytes}.
+        self._dirty_owner: dict["WritebackEngine", dict[int, Cgroup]] = {}
+        self._dirty_charged: dict["WritebackEngine", dict[int, int]] = {}
         #: Cgroups whose charges grew since the last balance pass and that
         #: have a limit somewhere on their charge path (insertion-ordered).
         self._pending: dict[Cgroup, None] = {}
@@ -119,11 +123,11 @@ class MemcgController:
             cache.memcg = None
         engine = getattr(fs, "writeback", None)
         if engine is not None and getattr(engine, "memcg", None) is self:
-            for ino, nbytes in self._dirty_charged.pop(id(engine), {}).items():
-                owner = self._dirty_owner.get(id(engine), {}).get(ino)
+            for ino, nbytes in self._dirty_charged.pop(engine, {}).items():
+                owner = self._dirty_owner.get(engine, {}).get(ino)
                 if owner is not None:
                     self._walk(owner, -nbytes, dirty=True)
-            self._dirty_owner.pop(id(engine), None)
+            self._dirty_owner.pop(engine, None)
             engine.memcg = None
 
     def set_current(self, pid: int) -> None:
@@ -151,8 +155,10 @@ class MemcgController:
                 if node.mem_cache_bytes > node.stats_memory_peak:
                     node.stats_memory_peak = node.mem_cache_bytes
             limits = node.limits
-            if _limit_of(limits.memory_limit_bytes) is not None or \
-                    _limit_of(limits.memory_high_bytes) is not None:
+            # Inlined _limit_of (hot path): None and <= 0 mean unlimited.
+            lm = limits.memory_limit_bytes
+            hm = limits.memory_high_bytes
+            if (lm is not None and lm > 0) or (hm is not None and hm > 0):
                 limited = True
             node = node.parent
         return limited
@@ -161,8 +167,8 @@ class MemcgController:
         """Page-cache residency of ``ino`` changed by ``delta_bytes``."""
         if delta_bytes == 0:
             return
-        owners = self._cache_owner.setdefault(id(cache), {})
-        charged = self._cache_charged.setdefault(id(cache), {})
+        owners = self._cache_owner.setdefault(cache, {})
+        charged = self._cache_charged.setdefault(cache, {})
         if delta_bytes > 0:
             owner = owners.get(ino)
             if owner is None:
@@ -188,8 +194,8 @@ class MemcgController:
 
     def cache_cleared(self, cache: "PageCache") -> None:
         """The whole cache was invalidated: release every charge it held."""
-        owners = self._cache_owner.pop(id(cache), {})
-        for ino, nbytes in self._cache_charged.pop(id(cache), {}).items():
+        owners = self._cache_owner.pop(cache, {})
+        for ino, nbytes in self._cache_charged.pop(cache, {}).items():
             owner = owners.get(ino)
             if owner is not None:
                 self._walk(owner, -nbytes, dirty=False)
@@ -200,12 +206,12 @@ class MemcgController:
         cgroup sits above ``memory.high`` (balance_dirty_pages semantics)."""
         if nbytes <= 0:
             return
-        owners = self._dirty_owner.setdefault(id(engine), {})
+        owners = self._dirty_owner.setdefault(engine, {})
         owner = owners.get(ino)
         if owner is None:
             owner = self._current_cgroup()
             owners[ino] = owner
-        charged = self._dirty_charged.setdefault(id(engine), {})
+        charged = self._dirty_charged.setdefault(engine, {})
         charged[ino] = charged.get(ino, 0) + nbytes
         self._walk(owner, nbytes, dirty=True)
         over = self._over_high(owner)
@@ -243,8 +249,8 @@ class MemcgController:
 
     def _dirty_uncharge(self, engine: "WritebackEngine",
                         items: list[tuple[int, int]]) -> None:
-        owners = self._dirty_owner.get(id(engine))
-        charged = self._dirty_charged.get(id(engine))
+        owners = self._dirty_owner.get(engine)
+        charged = self._dirty_charged.get(engine)
         if not owners or charged is None:
             return
         for ino, nbytes in items:
@@ -304,7 +310,7 @@ class MemcgController:
                 self._reclaim(node, limit)
             node = node.parent
 
-    def _owned_pred(self, cache_id: int, node: Cgroup) -> Callable[[int], bool]:
+    def _owned_pred(self, cache: "PageCache", node: Cgroup) -> Callable[[int], bool]:
         """An O(1)-per-extent membership test for "``ino`` is owned by
         ``node``'s subtree" in the given cache.
 
@@ -315,7 +321,7 @@ class MemcgController:
         harmless.
         """
         owned = set()
-        for ino, owner in self._cache_owner.get(cache_id, {}).items():
+        for ino, owner in self._cache_owner.get(cache, {}).items():
             walk = owner
             while walk is not None:
                 if walk is node:
@@ -334,7 +340,7 @@ class MemcgController:
         for fs in self._filesystems:
             cache = getattr(fs, "page_cache", None)
             if cache is not None:
-                preds[id(cache)] = self._owned_pred(id(cache), node)
+                preds[cache] = self._owned_pred(cache, node)
         while node.mem_cache_bytes > limit:
             victim_fs = None
             victim_pred = None
@@ -343,7 +349,7 @@ class MemcgController:
                 cache = getattr(fs, "page_cache", None)
                 if cache is None:
                     continue
-                pred = preds[id(cache)]
+                pred = preds[cache]
                 seq = cache.oldest_seq(ino_filter=pred)
                 if seq is not None and (best_seq is None or seq < best_seq):
                     best_seq, victim_fs, victim_pred = seq, fs, pred

@@ -58,6 +58,13 @@ class Process:
         #: (see :mod:`repro.kernel.cpu`); stays 0 for processes that only
         #: ever run inline on the virtual clock.
         self.cpu_time_ns = 0
+        #: Memoised Credentials plus the identity inputs it was built from.
+        #: Every syscall builds a path context; rebuilding the frozenset-heavy
+        #: Credentials per trap dominated dispatch.  The key tuple is compared
+        #: on each call, so direct attribute writes (tests poke ``uid`` etc.)
+        #: invalidate naturally without setter hooks.
+        self._creds_cache: Credentials | None = None
+        self._creds_key: tuple | None = None
 
     # ------------------------------------------------------------- identity
     @property
@@ -68,8 +75,12 @@ class Process:
         return self.argv[0].rsplit("/", 1)[-1][:15]
 
     def credentials(self) -> Credentials:
-        """Credentials used by the VFS for this process."""
-        return Credentials(
+        """Credentials used by the VFS for this process (memoised)."""
+        key = (self.uid, self.gid, self.groups, self.caps.effective,
+               self.umask, self.rlimits.fsize_bytes)
+        if self._creds_key == key:
+            return self._creds_cache
+        creds = Credentials(
             uid=self.uid,
             gid=self.gid,
             groups=self.groups,
@@ -77,6 +88,9 @@ class Process:
             umask=self.umask,
             fsize_limit=self.rlimits.fsize_bytes,
         )
+        self._creds_cache = creds
+        self._creds_key = key
+        return creds
 
     # ------------------------------------------------------------- namespaces
     def namespace(self, kind: NamespaceKind) -> Namespace:

@@ -29,6 +29,10 @@ from repro.kernel.objects import (
 )
 from repro.kernel.process import Process
 
+#: Precomputed int mask for "this open may write" — the LSM gate runs on every
+#: ``open(2)`` and IntFlag arithmetic there is measurable in the profile.
+_WRITE_INTENT = int(OpenFlags.O_WRONLY | OpenFlags.O_RDWR | OpenFlags.O_CREAT)
+
 
 class Syscalls:
     """The system-call interface bound to one process."""
@@ -37,6 +41,12 @@ class Syscalls:
         self.kernel = kernel
         self.process = process
         self.vfs = kernel.vfs
+        #: Memoised PathContext: rebuilt only when an identity input (mount
+        #: namespace, root, cwd, credentials) changes.  All four are replaced
+        #: wholesale on mutation (unshare/setns/chroot/cred changes), so four
+        #: ``is`` checks decide validity — the VFS treats the context as
+        #: read-only, making sharing one object across syscalls safe.
+        self._ctx_cache: PathContext | None = None
 
     # ------------------------------------------------------------- context
     def _charge(self) -> None:
@@ -46,8 +56,16 @@ class Syscalls:
         self.kernel.clock.advance(self.kernel.costs.syscall_ns)
 
     def _ctx(self) -> PathContext:
-        return PathContext(ns=self.process.mnt_ns, root=self.process.root,
-                           cwd=self.process.cwd, creds=self.process.credentials())
+        proc = self.process
+        creds = proc.credentials()
+        ns = proc.mnt_ns
+        ctx = self._ctx_cache
+        if ctx is not None and ctx.creds is creds and ctx.ns is ns \
+                and ctx.root is proc.root and ctx.cwd is proc.cwd:
+            return ctx
+        ctx = PathContext(ns=ns, root=proc.root, cwd=proc.cwd, creds=creds)
+        self._ctx_cache = ctx
+        return ctx
 
     def _lsm_check(self, path: str, write: bool = False) -> None:
         self.process.lsm_profile.check_path(path, write)
@@ -144,7 +162,7 @@ class Syscalls:
     def open(self, path: str, flags: int = OpenFlags.O_RDONLY, mode: int = 0o644) -> int:
         """``open(2)``; returns a file descriptor."""
         self._charge()
-        write = bool(int(flags) & (OpenFlags.O_WRONLY | OpenFlags.O_RDWR | OpenFlags.O_CREAT))
+        write = bool(int(flags) & _WRITE_INTENT)
         self._lsm_check(path, write)
         ctx = self._ctx()
         # Device nodes are dispatched to their driver instead of the VFS.

@@ -28,6 +28,14 @@ class DeterministicRandom(random.Random):
         """Reset the stream back to its initial seed."""
         super().seed(self._initial_seed)
 
+    def __reduce__(self):
+        # random.Random's own __reduce__ rebuilds with the default seed and
+        # only restores the stream position, silently dropping
+        # ``_initial_seed`` — after a copy/deepcopy (kernel snapshot/fork),
+        # ``substream`` would then derive from the wrong root.  Rebuild with
+        # the real seed, then restore the exact stream position.
+        return (_rebuild_rng, (self._initial_seed, self.getstate()))
+
     def substream(self, name: str) -> "DeterministicRandom":
         """An independent deterministic stream derived from this one's seed.
 
@@ -52,3 +60,10 @@ class DeterministicRandom(random.Random):
             if u <= acc:
                 return i
         return n - 1
+
+
+def _rebuild_rng(seed: int, state) -> DeterministicRandom:
+    """Reconstruct a copied/pickled :class:`DeterministicRandom`."""
+    rng = DeterministicRandom(seed)
+    rng.setstate(state)
+    return rng

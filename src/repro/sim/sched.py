@@ -158,6 +158,9 @@ RUNNABLE, BLOCKED, DONE = "runnable", "blocked", "done"
 class SchedTask:
     """One runnable entity: an iterator advanced one operation per step."""
 
+    __slots__ = ("name", "body", "group", "seq", "state", "wake_at_ns",
+                 "vruntime_ns", "cpu_ns", "charge_hook")
+
     def __init__(self, name: str, body: Iterator, group: CpuGroup,
                  seq: int) -> None:
         self.name = name

@@ -33,10 +33,14 @@ from repro.fs.errors import FsError
 from repro.fs.inode import DirectoryInode, RegularInode, SymlinkInode
 from repro.sim.rng import DeterministicRandom
 from repro.xfstests.harness import (
+    EnvironmentSnapshot,
     TestEnvironment,
     cntrfs_environment,
     native_environment,
 )
+
+#: Pre-booted rig images, built lazily once per builder and forked per seed.
+_RIG_SNAPSHOTS: dict[str, EnvironmentSnapshot] = {}
 
 #: Maximum file size the op soup will produce (offsets + extents stay inside).
 MAX_FILE_BYTES = 64 << 10
@@ -215,12 +219,20 @@ class FsStress:
 
     # ---------------------------------------------------------------- setup
     def _build_rigs(self) -> None:
+        # Every seed starts from the identical deterministic post-boot state,
+        # so the two rigs are booted once per process and every fuzzer
+        # instance forks pristine clones from the cached snapshots instead of
+        # re-booting two machines per seed.
         for build in (native_environment, cntrfs_environment):
-            env = build()
-            workdir = f"{env.test_dir}/stress"
-            env.sc.makedirs(workdir)
-            env.make_durable()
-            self.rigs.append(StressRig(env, workdir))
+            snap = _RIG_SNAPSHOTS.get(build.__name__)
+            if snap is None:
+                env = build()
+                env.sc.makedirs(f"{env.test_dir}/stress")
+                env.make_durable()
+                snap = EnvironmentSnapshot(env)
+                _RIG_SNAPSHOTS[build.__name__] = snap
+            env = snap.fork()
+            self.rigs.append(StressRig(env, f"{env.test_dir}/stress"))
 
     # ------------------------------------------------------------- op engine
     def _apply(self, rig: StressRig, op: str, name: str, other: str,

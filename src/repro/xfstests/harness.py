@@ -208,6 +208,34 @@ def cntrfs_environment(machine: Machine | None = None,
                            fs_under_test=client, is_cntrfs=True)
 
 
+class EnvironmentSnapshot:
+    """A booted :class:`TestEnvironment` frozen for cheap per-case cloning.
+
+    Building an environment boots a machine, spawns processes and mounts the
+    filesystem under test — ~2-3x the cost of deep-copying the finished object
+    graph.  The snapshot captures the environment once through
+    :meth:`repro.kernel.kernel.Kernel.snapshot` (the environment rides along
+    as a companion so its syscall handles stay wired to the cloned kernel);
+    every :meth:`fork` then yields an independent pristine environment whose
+    virtual clock, RNG streams and filesystem state match a fresh build
+    exactly.
+    """
+
+    def __init__(self, env: TestEnvironment) -> None:
+        self.source_name = env.name
+        self._snap = env.machine.kernel.snapshot(env)
+
+    @property
+    def forks(self) -> int:
+        """How many clones have been taken so far."""
+        return self._snap.forks
+
+    def fork(self) -> TestEnvironment:
+        """An independent clone of the snapshotted environment."""
+        _kernel, (env,) = self._snap.fork()
+        return env
+
+
 # ---------------------------------------------------------------------------
 # Runner
 # ---------------------------------------------------------------------------
@@ -265,9 +293,15 @@ class XfstestsRunner:
 
     def __init__(self, env_factory: Callable[[], TestEnvironment],
                  fresh_env_per_test: bool = False,
+                 snapshot_per_test: bool = True,
                  notrun_counts_as_failure: bool = True) -> None:
         self.env_factory = env_factory
         self.fresh_env_per_test = fresh_env_per_test
+        #: Clone each case's environment from one pre-booted snapshot instead
+        #: of sharing a single mutable environment across all cases.  Isolation
+        #: of ``fresh_env_per_test`` at a fraction of the wall-clock cost;
+        #: ignored when ``fresh_env_per_test`` explicitly asks for re-boots.
+        self.snapshot_per_test = snapshot_per_test
         self.notrun_counts_as_failure = notrun_counts_as_failure
 
     def run(self, cases=None, group: str | None = None) -> RunSummary:
@@ -277,10 +311,20 @@ class XfstestsRunner:
         cases = list(cases if cases is not None else GENERIC_TESTS)
         if group:
             cases = [c for c in cases if group in c.groups]
-        env = None if self.fresh_env_per_test else self.env_factory()
+        env = None
+        snapshot = None
+        if not self.fresh_env_per_test:
+            env = self.env_factory()
+            if self.snapshot_per_test:
+                snapshot = EnvironmentSnapshot(env)
         summary = RunSummary(environment=env.name if env else "per-test")
         for case in cases:
-            test_env = self.env_factory() if self.fresh_env_per_test else env
+            if self.fresh_env_per_test:
+                test_env = self.env_factory()
+            elif snapshot is not None:
+                test_env = snapshot.fork()
+            else:
+                test_env = env
             assert test_env is not None
             summary.results.append(self._run_one(case, test_env))
         if env is not None:

@@ -4,13 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.kernel.machine import boot
+from repro.kernel.machine import boot_forked
 
 
 @pytest.fixture()
 def machine():
-    """A freshly booted simulated host."""
-    return boot()
+    """A freshly booted simulated host (cloned from a cached boot image)."""
+    return boot_forked()
 
 
 @pytest.fixture()

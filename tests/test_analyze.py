@@ -55,6 +55,36 @@ def analyze(root: Path, rules=None):
     return run_analysis([root], config=FIXTURE_CONFIG, rules=rules)
 
 
+class CliResult:
+    """Mimics the ``subprocess.run`` surface for in-process CLI calls."""
+
+    def __init__(self, returncode: int, stdout: str, stderr: str) -> None:
+        self.returncode = returncode
+        self.stdout = stdout
+        self.stderr = stderr
+
+
+def run_cli_inprocess(*argv: str) -> CliResult:
+    """Drive ``python -m repro.analyze`` through its ``main()`` in-process.
+
+    Exercises the same argument parsing, output rendering and exit codes as
+    the subprocess form, but shares the parsed-AST caches with the rest of
+    the suite — the live-tree CLI checks would otherwise re-parse the whole
+    package in a fresh interpreter each (a multi-second tax per test).
+    Fresh-interpreter coverage is retained by the subprocess tests that run
+    on small scratch packages.
+    """
+    import contextlib
+    import io
+
+    from repro.analyze.__main__ import main as analyze_main
+
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        rc = analyze_main(list(argv))
+    return CliResult(rc, out.getvalue(), err.getvalue())
+
+
 def findings_by_rule(findings, rule):
     return [f for f in findings if f.rule == rule]
 
@@ -215,6 +245,89 @@ class TestClockAccounting:
             class Journal:
                 def record(self, op):
                     self.records.append(op)
+            """})
+        assert findings_by_rule(analyze(root), "clock-accounting") == []
+
+
+class TestConstantConditionPruning:
+    """Call extraction must ignore statically-dead ``if`` bodies: calls under
+    ``if False:`` / ``if 0:`` / ``if TYPE_CHECKING:`` can never execute, so
+    they create neither mutation edges nor charge credit."""
+
+    def test_mutation_under_if_false_not_flagged(self, tmp_path):
+        root = make_pkg(tmp_path, {"kernel/sys.py": """\
+            class PageCache:
+                def write(self, ino, data):
+                    self.pages = data
+
+            class Syscalls:
+                def __init__(self, cache: PageCache):
+                    self.cache = cache
+
+                def pwrite(self, ino, data):
+                    if False:
+                        self.cache.write(ino, data)
+                    return 0
+            """})
+        assert findings_by_rule(analyze(root), "clock-accounting") == []
+
+    def test_charge_under_type_checking_gives_no_credit(self, tmp_path):
+        # The dead charge must not satisfy the rule: the mutation is still
+        # reached over a zero-virtual-time path.
+        root = make_pkg(tmp_path, {"kernel/sys.py": """\
+            from typing import TYPE_CHECKING
+
+            class PageCache:
+                def write(self, ino, data):
+                    self.pages = data
+
+            class Syscalls:
+                def __init__(self, cache: PageCache):
+                    self.cache = cache
+
+                def pwrite(self, ino, data):
+                    if TYPE_CHECKING:
+                        self.clock.advance(10)
+                    self.cache.write(ino, data)
+            """})
+        (hit,) = findings_by_rule(analyze(root), "clock-accounting")
+        assert "Syscalls.pwrite" in hit.message
+
+    def test_else_branch_of_dead_conditional_stays_live(self, tmp_path):
+        root = make_pkg(tmp_path, {"kernel/sys.py": """\
+            class PageCache:
+                def write(self, ino, data):
+                    self.pages = data
+
+            class Syscalls:
+                def __init__(self, cache: PageCache):
+                    self.cache = cache
+
+                def pwrite(self, ino, data):
+                    if 0:
+                        pass
+                    else:
+                        self.clock.advance(10)
+                    self.cache.write(ino, data)
+            """})
+        assert findings_by_rule(analyze(root), "clock-accounting") == []
+
+    def test_dotted_type_checking_pruned(self, tmp_path):
+        root = make_pkg(tmp_path, {"kernel/sys.py": """\
+            import typing
+
+            class PageCache:
+                def write(self, ino, data):
+                    self.pages = data
+
+            class Syscalls:
+                def __init__(self, cache: PageCache):
+                    self.cache = cache
+
+                def pwrite(self, ino, data):
+                    if typing.TYPE_CHECKING:
+                        self.cache.write(ino, data)
+                    return 0
             """})
         assert findings_by_rule(analyze(root), "clock-accounting") == []
 
@@ -472,25 +585,22 @@ class TestLiveTree:
         assert run_analysis([SRC_REPRO]) == []
 
     def test_cli_exit_codes(self, tmp_path):
-        env_src = str(SRC_REPRO.parent)
-        clean = subprocess.run(
-            [sys.executable, "-m", "repro.analyze", "--json"],
-            capture_output=True, text=True, env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"})
+        clean = run_cli_inprocess("--json")
         assert clean.returncode == 0, clean.stdout + clean.stderr
         assert '"count": 0' in clean.stdout
 
+        # The dirty case stays a real subprocess: it doubles as the
+        # fresh-interpreter smoke test, and the scratch package is tiny.
         bad = make_pkg(tmp_path, {"fs/mod.py": "import time\nT = time.time()\n"})
         dirty = subprocess.run(
             [sys.executable, "-m", "repro.analyze", str(bad)],
-            capture_output=True, text=True, env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"})
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(SRC_REPRO.parent), "PATH": "/usr/bin:/bin"})
         assert dirty.returncode == 1
         assert "determinism" in dirty.stdout
 
     def test_list_rules(self):
-        out = subprocess.run(
-            [sys.executable, "-m", "repro.analyze", "--list-rules"],
-            capture_output=True, text=True,
-            env={"PYTHONPATH": str(SRC_REPRO.parent), "PATH": "/usr/bin:/bin"})
+        out = run_cli_inprocess("--list-rules")
         assert out.returncode == 0
         for rule in ("determinism", "clock-accounting", "layering",
                      "errno-discipline", "hook-super", "timer-discard",
@@ -500,11 +610,8 @@ class TestLiveTree:
 
 class TestSuppressionRegistry:
     def run_check(self, root, registry):
-        return subprocess.run(
-            [sys.executable, "-m", "repro.analyze", str(root),
-             "--check-suppression-registry", str(registry)],
-            capture_output=True, text=True,
-            env={"PYTHONPATH": str(SRC_REPRO.parent), "PATH": "/usr/bin:/bin"})
+        return run_cli_inprocess(str(root),
+                                 "--check-suppression-registry", str(registry))
 
     def test_unregistered_suppression_fails(self, tmp_path):
         root = make_pkg(tmp_path, {

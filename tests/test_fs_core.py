@@ -159,6 +159,65 @@ class TestPageCache:
         assert cache.is_resident(2, 0)
         assert not cache.is_resident(1, 0)
 
+    def test_sustained_rewrite_keeps_structure_bounded(self):
+        """Regression: rewriting the same ranges forever must not grow any
+        internal ordering structure.
+
+        The old eviction order was a lazy-deletion seq-heap: every LRU
+        refresh pushed a new entry and left the stale one behind, so a
+        steady rewrite loop grew the heap without bound (and each eviction
+        had to pop through the garbage).  The intrusive LRU list is O(1) per
+        refresh with no stale state; after any number of rewrites the
+        bookkeeping is exactly one node per live extent.
+        """
+        cache = PageCache(max_bytes=64 * 4096)
+        for i in range(5000):
+            cache.write(1 + (i % 4), 0, 4 * 4096)      # 4 inodes, same range
+            cache.access(1 + (i % 4), 0, 4 * 4096)
+        assert len(cache) == 16                        # 4 inodes x 4 pages
+        # One live extent per inode, one LRU node per live extent, and a
+        # dirty index covering exactly the dirty extents — nothing stale.
+        assert cache.extent_count() == 4
+        assert len(cache._live) == 4
+        lru_nodes = 0
+        node = cache._lru_head.nxt
+        while node is not cache._lru_tail:
+            lru_nodes += 1
+            node = node.nxt
+        assert lru_nodes == 4
+        assert sum(len(d) for d in cache._dirty_exts.values()) == 4
+        # The refreshed extents' sequence numbers stay totally ordered and
+        # the LRU list agrees with them (the heap's ordering contract).
+        seqs = [ext.seq for ext in cache._live.values()]
+        assert len(set(seqs)) == len(seqs)
+
+    def test_eviction_order_matches_seq_heap_reference(self):
+        """The LRU list must evict exactly what a (seq, start) min-heap—the
+        old implementation's order—would evict, under a churny mixed load."""
+        import heapq
+        import random
+
+        rng = random.Random(7)
+        cache = PageCache(max_bytes=48 * 4096)
+        for _ in range(800):
+            ino = rng.randrange(1, 6)
+            page = rng.randrange(0, 40)
+            n = rng.randrange(1, 6)
+            if rng.random() < 0.5:
+                cache.access(ino, page * 4096, n * 4096)
+            else:
+                cache.write(ino, page * 4096, n * 4096)
+            # The next capacity eviction starts at the extent a seq-heap
+            # (rebuilt fresh, i.e. with perfect lazy deletion) would pop.
+            live = list(cache._live.values())
+            if live:
+                heap = [(ext.seq, ext.start, ext.eid) for ext in live]
+                heapq.heapify(heap)
+                oldest_eid = heap[0][2]
+                head = cache._lru_head.nxt
+                assert head.eid == oldest_eid
+                assert cache.oldest_seq() == heap[0][0]
+
 
 class TestFilesystemObjectModel:
     def _fs(self):

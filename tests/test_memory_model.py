@@ -331,6 +331,54 @@ class TestPeriodicFlusher:
         assert extra.writeback.total_pending == pending
         assert extra.writeback.stats.flushes_by_reason.get("periodic", 0) == 0
 
+    def test_restore_does_not_rearm_unmounted_engine(self, machine, syscalls):
+        """A knob snapshot taken while an engine was mounted must not, on
+        restore, re-arm the kupdate timer of an engine unmounted in between
+        (the conformance harness snapshot/restore straddles every case)."""
+        from repro.fs.ext4 import Ext4Fs
+
+        _write_proc(machine.syscalls, "/proc/sys/vm/dirty_writeback_centisecs", 5)
+        kernel = machine.kernel
+        extra = Ext4Fs("straddled", kernel.clock, kernel.costs)
+        syscalls.makedirs("/mnt/straddled")
+        syscalls.mount(extra, "/mnt/straddled")
+        assert extra.writeback._flusher_timer is not None
+        state = kernel.vm.snapshot()
+        syscalls.umount("/mnt/straddled")
+        assert extra.writeback._flusher_timer is None
+        kernel.vm.restore(state)
+        assert extra.writeback._flusher_timer is None
+        flushes = extra.writeback.stats.flushes_by_reason.get("periodic", 0)
+        machine.clock.advance(10 * 10_000_000)
+        assert extra.writeback.stats.flushes_by_reason.get("periodic", 0) == flushes
+        # A later remount re-registers the engine and re-arms it normally.
+        syscalls.mount(extra, "/mnt/straddled")
+        assert extra.writeback._flusher_timer is not None
+        syscalls.umount("/mnt/straddled")
+
+    def test_unregister_disarms_non_sysctl_engine(self):
+        """An engine outside the /proc/sys/vm control (tmpfs style) whose
+        private tunables enable the periodic flusher still follows the mount
+        lifecycle: registration re-arms it, unregistration disarms it."""
+        from repro.fs.writeback import VmSysctl, VmTunables, WritebackEngine
+        from repro.sim.clock import VirtualClock
+
+        clock = VirtualClock()
+        engine = WritebackEngine(
+            "private", VmTunables(dirty_writeback_centisecs=5),
+            lambda items, reason: None, clock=clock, sysctl_tunable=False)
+        assert engine._flusher_timer is not None    # armed at construction
+        vm = VmSysctl()
+        vm.register(engine)
+        assert engine not in vm.engines()           # stays outside vm.* knobs
+        assert engine._flusher_timer is not None
+        vm.unregister(engine)
+        assert engine._flusher_timer is None
+        clock.advance(10 * 10_000_000)              # orphan would re-arm here
+        assert engine._flusher_timer is None
+        vm.register(engine)                         # remount re-arms
+        assert engine._flusher_timer is not None
+
 
 class TestReadShaping:
     def test_sysfs_directory_follows_mounts(self, machine, syscalls):
