@@ -21,7 +21,7 @@ def test_xfstests_cntrfs_pass_rate(benchmark):
     benchmark.extra_info["total"] = summary.total
     benchmark.extra_info["pass_rate_percent"] = round(summary.pass_rate * 100, 2)
     benchmark.extra_info["failing"] = summary.failing_ids()
-    assert summary.passed == 199 and summary.total == 203
+    assert summary.passed == 205 and summary.total == 209
     assert sorted(summary.failing_ids()) == sorted(PAPER_FAILING_TESTS)
 
 
@@ -35,4 +35,4 @@ def test_xfstests_native_baseline(benchmark):
     summary = summary_holder["summary"]
     benchmark.extra_info["passed"] = summary.passed
     benchmark.extra_info["total"] = summary.total
-    assert summary.passed == summary.total == 203
+    assert summary.passed == summary.total == 209

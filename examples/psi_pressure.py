@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Two containers under contention, told apart by their pressure files.
+
+The observability layer gives every stall the simulator models a second,
+Linux-shaped home: ``/proc/pressure/{cpu,memory,io}`` for the system and
+``cpu.pressure`` / ``memory.pressure`` / ``io.pressure`` per cgroup.  This
+example starts two containers from the same image — one throttled hard
+(``cpu.max`` at 20%, a tiny ``memory.high``) and one unconstrained — runs
+the *same* workload in each, and prints their diverging pressure files: the
+squeezed container shows cpu and memory stall time, the free one stays near
+zero, and the system files aggregate both.
+
+Run with:  python examples/psi_pressure.py
+"""
+
+from repro.container import DockerEngine, ImageBuilder
+from repro.fs.constants import OpenFlags
+from repro.kernel import boot
+from repro.kernel.cgroups import CgroupLimits
+
+RECORD = 64 << 10
+RECORDS = 16                     # 1 MiB of writes per container
+SPIN_OPS = 200                   # 20ms of pure CPU per container
+
+
+def build_image():
+    return (ImageBuilder("svc", "1.0")
+            .add_file("/usr/sbin/svc", size=500_000, mode=0o755)
+            .entrypoint("/usr/sbin/svc").build())
+
+
+def cgroupfs_read(sc, path: str) -> str:
+    fd = sc.open(path, OpenFlags.O_RDONLY)
+    try:
+        return sc.read(fd, 1 << 14).decode()
+    finally:
+        sc.close(fd)
+
+
+def spinner(clock, ops, op_ns=100_000):
+    def body():
+        for _ in range(ops):
+            clock.advance(op_ns)
+            yield None
+    return body
+
+
+def writer(sc, path):
+    def body():
+        fd = sc.open(path, OpenFlags.O_CREAT | OpenFlags.O_WRONLY, 0o644)
+        yield None
+        for _ in range(RECORDS):
+            sc.write(fd, b"w" * RECORD)
+            yield None
+        sc.close(fd)
+    return body
+
+
+def show_pressure(sc, title: str, directory: str) -> None:
+    print(f"  {title}")
+    for name in ("cpu.pressure", "memory.pressure", "io.pressure"):
+        body = cgroupfs_read(sc, f"{directory}/{name}")
+        for line in body.splitlines():
+            print(f"    {name:<16} {line}")
+
+
+def main() -> None:
+    machine = boot()
+    kernel = machine.kernel
+    docker = DockerEngine(machine)
+    image = build_image()
+
+    # docker run --cpus 0.2 --memory-reservation 128k vs. no limits at all.
+    squeezed = docker.run(image, name="squeezed",
+                          limits=CgroupLimits(cpu_quota_us=2_000,
+                                              cpu_period_us=10_000,
+                                              memory_high_bytes=128 << 10))
+    free = docker.run(image, name="free", limits=CgroupLimits())
+
+    # Inject one "tool" per container (Cntr's debugging-shell path) and run
+    # the same CPU spin + write workload in both, scheduled concurrently so
+    # they genuinely contend for the virtual CPU.
+    tools = {}
+    controller = kernel.cpu_controller()
+    for container in (squeezed, free):
+        tool = machine.spawn_host_process(["/usr/bin/gdb"])
+        kernel.cgroups.attach(tool.process.pid, container.cgroup_path)
+        tool.makedirs(f"/work-{container.name}")
+        controller.spawn(tool.process, spinner(machine.clock, SPIN_OPS))
+        controller.spawn(tool.process,
+                         writer(tool, f"/work-{container.name}/trace.dat"))
+        tools[container.name] = tool
+    controller.run()
+
+    admin = machine.spawn_host_process(["/usr/bin/top"])
+    print("per-container pressure (cgroupfs):")
+    for container in (squeezed, free):
+        cgroup = kernel.cgroups.lookup(container.cgroup_path)
+        quota = cgroup.limits.cpu_max_text().strip()
+        show_pressure(admin, f"{container.name} (cpu.max={quota})",
+                      f"/sys/fs/cgroup{container.cgroup_path}")
+
+    print("\nsystem-wide pressure (/proc/pressure):")
+    for resource in ("cpu", "memory", "io"):
+        body = cgroupfs_read(admin, f"/proc/pressure/{resource}")
+        for line in body.splitlines():
+            print(f"  {resource:<8} {line}")
+
+    squeezed_cpu = kernel.cgroups.lookup(squeezed.cgroup_path)
+    free_cpu = kernel.cgroups.lookup(free.cgroup_path)
+    squeezed_stall = squeezed_cpu.psi.tracker("cpu").total_some_ns
+    free_stall = free_cpu.psi.tracker("cpu").total_some_ns
+    print(f"\ncpu stall time: squeezed={squeezed_stall}ns "
+          f"free={free_stall}ns")
+    assert squeezed_stall > free_stall, "the quota must show up as pressure"
+
+
+if __name__ == "__main__":
+    main()

@@ -77,6 +77,7 @@ class AnalysisConfig:
         "repro.bench.scale",
         "repro.bench.writeback",
         "repro.bench.profile",
+        "repro.trace.__main__",
     )
 
     # -- clock-accounting -------------------------------------------------
@@ -102,6 +103,16 @@ class AnalysisConfig:
         "Ext4Journal.*",
         "DentryCache.*",
         "WritebackEngine.crash_discard",
+        # Observability is read-only on the virtual clock: accumulating or
+        # rendering pressure, dispatching tracepoints and formatting the
+        # counter files must never charge virtual time.
+        "PsiStallTracker.*",
+        "PsiGroup.*",
+        "PsiRegistry.*",
+        "Tracer.*",
+        "VmSysctl.vmstat_text",
+        "MemcgController.io_read",
+        "MemcgController.io_wrote",
     )
 
     # -- layering ---------------------------------------------------------
@@ -110,21 +121,22 @@ class AnalysisConfig:
     layers: tuple[str, ...] = (
         "repro.sim", "repro.fs", "repro.kernel", "repro.fuse",
         "repro.container", "repro.slim", "repro.core", "repro.xfstests",
-        "repro.bench", "repro.stress", "repro.analyze",
+        "repro.bench", "repro.trace", "repro.stress", "repro.analyze",
     )
     #: Imports banned even when deferred into a function body:
     #: ``(importer-prefix, banned-prefixes)``.
     hard_bans: tuple[tuple[str, tuple[str, ...]], ...] = (
         ("repro.sim", ("repro.fs", "repro.kernel", "repro.fuse",
                        "repro.container", "repro.slim", "repro.core",
-                       "repro.xfstests", "repro.bench", "repro.stress")),
+                       "repro.xfstests", "repro.bench", "repro.trace",
+                       "repro.stress")),
         ("repro.fs", ("repro.fuse", "repro.container", "repro.kernel",
                       "repro.core", "repro.slim", "repro.xfstests",
-                      "repro.bench", "repro.stress")),
+                      "repro.bench", "repro.trace", "repro.stress")),
         ("repro.analyze", ("repro.sim", "repro.fs", "repro.kernel",
                            "repro.fuse", "repro.container", "repro.slim",
                            "repro.core", "repro.xfstests", "repro.bench",
-                           "repro.stress")),
+                           "repro.trace", "repro.stress")),
     )
 
     # -- errno discipline -------------------------------------------------

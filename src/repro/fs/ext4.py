@@ -240,7 +240,7 @@ class Ext4Fs(Filesystem):
         cost = self.costs.metadata_op_ns
         self.clock.advance(cost)
         tracer = self.tracer
-        if tracer.enabled:
+        if tracer.active:
             tracer.record(self.clock.now_ns, self.fs_type, op, cost)
         self._dirty_metadata += 1
 
@@ -306,7 +306,11 @@ class Ext4Fs(Filesystem):
         # the cost identical is what preserves the pinned benchmark figures.
         self.journal.commit()
         self.device.flush()
-        self.tracer.record(self.clock.now_ns, self.fs_type, "fsync", nbytes)
+        tracer = self.tracer
+        if tracer.active:
+            tracer.emit(self.clock.now_ns, "journal.commit",
+                        fs=self.name, reason="fsync")
+        tracer.record(self.clock.now_ns, self.fs_type, "fsync", nbytes)
 
     def _writeback_flush(self, items, reason: str) -> None:
         """Writeback price of this filesystem, paid when the engine flushes.
@@ -353,6 +357,10 @@ class Ext4Fs(Filesystem):
         self.journal.commit()
         self.device.flush()
         self._dirty_metadata = 0
+        tracer = self.tracer
+        if tracer.active:
+            tracer.emit(self.clock.now_ns, "journal.commit",
+                        fs=self.name, reason="sync")
 
     def drop_caches(self, mode: int = 3) -> None:
         """``echo mode > /proc/sys/vm/drop_caches`` for this filesystem:

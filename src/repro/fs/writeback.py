@@ -78,6 +78,8 @@ from repro.sim.clock import VirtualClock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.fs.filesystem import Filesystem
+    from repro.sim.psi import PsiRegistry
+    from repro.sim.trace import Tracer
 
 #: Flush reasons, in the order the simulated flusher evaluates them.
 WB_REASON_EXPIRED = "expired"          # dirty data older than dirty_expire_centisecs
@@ -239,6 +241,12 @@ class BacklogDeviceInfo:
         #: knob is written.
         self.default_read_ahead_bytes = default_read_ahead_bytes
         self.stats = BdiStats()
+        #: Observability hooks: shaping time reports as I/O pressure through
+        #: ``psi`` (installed by :meth:`VmSysctl.register`) and device reads
+        #: report to the memory controller's ``io.stat`` accounting
+        #: (installed by ``MemcgController.register_fs``).  Both optional.
+        self.psi: "PsiRegistry | None" = None
+        self.memcg = None
 
     def write_cost_ns(self, nbytes: int) -> int:
         """Virtual nanoseconds the shaper charges for flushing ``nbytes``."""
@@ -254,6 +262,10 @@ class BacklogDeviceInfo:
             self.stats.shaped_flushes += 1
             self.stats.shaped_bytes += nbytes
             self.stats.busy_ns += cost
+            if self.psi is not None:
+                # The flusher sat in the shaper for exactly the ``busy_ns``
+                # increment: I/O pressure on the current process's chain.
+                self.psi.account("io", cost)
         return cost
 
     def read_cost_ns(self, nbytes: int) -> int:
@@ -264,12 +276,18 @@ class BacklogDeviceInfo:
 
     def charge_read(self, clock: VirtualClock | None, nbytes: int) -> int:
         """Apply the read-bandwidth shaping for one cache-miss fetch."""
+        if nbytes > 0 and self.memcg is not None:
+            # Every device read is real block I/O regardless of shaping:
+            # count it in io.stat before the (optional) bandwidth charge.
+            self.memcg.io_read(self.name, nbytes)
         cost = self.read_cost_ns(nbytes)
         if cost and clock is not None:
             clock.advance(cost)
             self.stats.shaped_reads += 1
             self.stats.shaped_read_bytes += nbytes
             self.stats.read_busy_ns += cost
+            if self.psi is not None:
+                self.psi.account("io", cost)
         return cost
 
     @property
@@ -295,6 +313,10 @@ class WritebackStats:
     #: Virtual time writers through this engine spent stalled by the memory
     #: controller (balance_dirty_pages-style memory.high throttling).
     throttle_stall_ns: int = 0
+    #: Virtual time writers spent blocked in synchronous ``vm.dirty_bytes``
+    #: flushes — the ``flush_fn`` portion only; the BDI accounts its own
+    #: shaping time separately, so the two never double-count a nanosecond.
+    dirty_throttle_ns: int = 0
     flushes_by_reason: dict = field(default_factory=dict)
 
     @property
@@ -340,6 +362,11 @@ class WritebackEngine:
         #: and writers over ``memory.high`` are stalled.  ``None`` (the
         #: default) keeps the engine outside any cgroup accounting.
         self.memcg = None
+        #: Observability hooks (``VmSysctl.register`` installs both on
+        #: tunable engines): dirty-limit writer stalls report as I/O
+        #: pressure; flushes fire the ``writeback.flush`` tracepoint.
+        self.psi: "PsiRegistry | None" = None
+        self.tracer: "Tracer | None" = None
         self.stats = WritebackStats()
         #: ino -> unflushed dirty bytes.  Flushed/discarded inodes are popped,
         #: never left behind as zero entries.
@@ -463,16 +490,35 @@ class WritebackEngine:
         self.stats.flushes_by_reason[reason] = \
             self.stats.flushes_by_reason.get(reason, 0) + 1
         if self.memcg is not None:
+            if self.bdi is not None:
+                # io.stat wbytes go to the *dirtying* cgroup — resolve the
+                # owners before dirty_flushed pops them below.
+                self.memcg.io_wrote(self, self.bdi.name, items)
             self.memcg.dirty_flushed(self, items)
+        clock = self.clock
+        t0 = clock.now_ns if clock is not None else 0
         self._flushing = True
         try:
             self.flush_fn(items, reason)
         finally:
             self._flushing = False
+        if clock is not None and reason == WB_REASON_DIRTY_LIMIT:
+            # A dirty_limit flush runs synchronously in the writer's context
+            # (vm.dirty_bytes blocks the writer): what flush_fn charged is
+            # the writer's stall.  The BDI shaping below accounts itself.
+            stall = clock.now_ns - t0
+            if stall > 0:
+                self.stats.dirty_throttle_ns += stall
+                if self.psi is not None:
+                    self.psi.account("io", stall)
         # Bandwidth shaping happens through the backing device's BDI, on top
         # of whatever the filesystem-specific callback charged.
         if self.bdi is not None:
             self.bdi.charge(self.clock, flushed)
+        tracer = self.tracer
+        if tracer is not None and tracer.active and clock is not None:
+            tracer.emit(clock.now_ns, "writeback.flush", reason=reason,
+                        bytes=flushed, inodes=len(items))
         return flushed
 
     # ------------------------------------------------------- periodic flusher
@@ -595,6 +641,12 @@ class VmSysctl:
         #: filesystem registration also wires each page cache and tunable
         #: engine into the per-cgroup charge accounting.
         self.memcg = None
+        #: Observability registries (``Kernel.psi`` / ``Kernel.tracer``);
+        #: when set, filesystem registration propagates them to each tunable
+        #: engine and its BDI so stall sites report pressure and flushes fire
+        #: tracepoints.  Both optional.
+        self.psi: "PsiRegistry | None" = None
+        self.tracer: "Tracer | None" = None
         self._engines: list[WritebackEngine] = []
         self._filesystems: list["Filesystem"] = []
         self._bdis: dict[str, BacklogDeviceInfo] = {}
@@ -625,6 +677,10 @@ class VmSysctl:
             return
         self._engines.append(engine)
         engine.meminfo = self.meminfo
+        engine.psi = self.psi
+        engine.tracer = self.tracer
+        if engine.bdi is not None:
+            engine.bdi.psi = self.psi
         for knob, value in self._overrides.items():
             if knob in self.ENGINE_KNOBS:
                 setattr(engine.tunables, knob, value)
@@ -650,9 +706,15 @@ class VmSysctl:
         # flusher, and a detached engine must never keep firing on — and
         # charging flush costs into — the shared clock.
         engine.disarm_periodic_flusher()
-        if engine.bdi is not None and \
-                self._bdis.get(engine.bdi.name) is engine.bdi:
-            del self._bdis[engine.bdi.name]
+        if engine.psi is self.psi:
+            engine.psi = None
+        if engine.tracer is self.tracer:
+            engine.tracer = None
+        if engine.bdi is not None:
+            if engine.bdi.psi is self.psi:
+                engine.bdi.psi = None
+            if self._bdis.get(engine.bdi.name) is engine.bdi:
+                del self._bdis[engine.bdi.name]
 
     def register_fs(self, fs: "Filesystem") -> None:
         """Register a mounted filesystem: drop_caches reach, engine knobs,
@@ -878,3 +940,48 @@ class VmSysctl:
         ]
         return "".join(f"{label + ':':<16}{value >> 10:>8} kB\n"
                        for label, value in rows)
+
+    def vmstat_text(self) -> str:
+        """Render ``/proc/vmstat`` live from the registered caches and engines.
+
+        Pure derived bookkeeping (documented zero-virtual-cost): page-state
+        gauges come from the same sources as ``/proc/meminfo`` so the two
+        surfaces can never disagree; the event counters map the model onto
+        Linux's names — ``pgfault`` is every page-cache access,
+        ``pgmajfault`` the misses that reached a device, ``pgsteal_direct``
+        the kernel-wide reclaim and ``pgsteal_memcg`` the per-cgroup one.
+        Counts are in 4 KiB pages, as in Linux.
+        """
+        page = 4096
+        hits = misses = 0
+        for fs in self._filesystems:
+            cache = getattr(fs, "page_cache", None)
+            if cache is not None:
+                hits += cache.stats.hits
+                misses += cache.stats.misses
+        flushed = sum(e.stats.flushed_bytes for e in self._engines)
+        discarded = sum(e.stats.discarded_bytes for e in self._engines)
+        dirty = self.dirty_bytes_total()
+        cached = self.cached_bytes_total()
+        free = max(0, self.meminfo.total_bytes - self.meminfo.reserved_bytes
+                   - dirty - cached)
+        reclaim = self.reclaim_stats
+        memcg_steal = self.memcg.total_pages_reclaimed() \
+            if self.memcg is not None else 0
+        rows = [
+            ("nr_free_pages", free // page),
+            ("nr_file_pages", cached // page),
+            ("nr_dirty", dirty // page),
+            ("nr_writeback", 0),
+            # Everything ever dirtied either drained through a flush, was
+            # discarded without one, or is still pending — so the three
+            # components always sum to the cumulative nr_dirtied.
+            ("nr_dirtied", (flushed + discarded + dirty) // page),
+            ("nr_written", flushed // page),
+            ("pgfault", hits + misses),
+            ("pgmajfault", misses),
+            ("pgscan_direct", reclaim.pages_reclaimed),
+            ("pgsteal_direct", reclaim.pages_reclaimed),
+            ("pgsteal_memcg", memcg_steal),
+        ]
+        return "".join(f"{name} {value}\n" for name, value in rows)

@@ -177,7 +177,7 @@ class FuseClientFs(Filesystem):
         overhead = int(self._request_overhead(dirop, send_size, expected_reply_bytes))
         self.clock.advance(overhead)
         tracer = self.tracer
-        if tracer.enabled:
+        if tracer.active:
             tracer.record(self.clock.now_ns, "fuse", opcode.name.lower(), overhead)
         request = FuseRequest(opcode, nodeid, args=args, payload=payload)
         reply = self.connection.request(request)
@@ -203,7 +203,7 @@ class FuseClientFs(Filesystem):
                                               expected_reply_bytes))
         self.clock.advance(overhead)
         tracer = self.tracer
-        if tracer.enabled:
+        if tracer.active:
             tracer.record(self.clock.now_ns, "fuse", opcode.name.lower(),
                           overhead, detail=f"coalesced={nreq}")
         request = FuseRequest(opcode, nodeid, args=args, payload=payload,

@@ -149,6 +149,12 @@ class FuseConnection:
             self._backlog = self.congestion_threshold
             self.kernel.clock.advance(stall_ns)
             self._last_drain_ns = self.kernel.clock.now_ns
+            psi = getattr(self.kernel, "psi", None)
+            if psi is not None:
+                # The submitter sat out the drain: I/O pressure for exactly
+                # the ``congestion_wait_ns`` increment, attributed to the
+                # current process's cgroup chain.
+                psi.account("io", stall_ns)
 
     def mark_mounted(self) -> None:
         """Called by the client filesystem once it is mounted in a namespace."""
@@ -170,6 +176,11 @@ class FuseConnection:
             raise FsError(107, msg="FUSE connection aborted")  # ENOTCONN
         if self.server is None:
             raise FsError.enotconn("no FUSE server attached")
+        tracer = self.kernel.tracer
+        if tracer is not None and tracer.active:
+            tracer.emit(self.kernel.clock.now_ns, "fuse.dispatch",
+                        opcode=OPCODE_NAME[request.opcode],
+                        coalesced=request.coalesced)
         reply = self.server.handle(request)
         if request.opcode in NO_REPLY_OPCODES:
             self.stats.record(request, None)

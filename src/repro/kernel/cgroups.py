@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.fs.errors import FsError
+from repro.sim.psi import PsiGroup
 from repro.sim.sched import CPU_WEIGHT_MAX, CPU_WEIGHT_MIN, CpuGroupStats
 
 #: Controllers modelled by the simulation (a subset of cgroup v1/v2).
@@ -88,6 +89,16 @@ class MemcgStats:
         return self.pages_dropped + self.pages_flushed
 
 
+@dataclass
+class CgroupIoStat:
+    """Per-device block I/O accounting for one cgroup (one ``io.stat`` row)."""
+
+    rbytes: int = 0    # bytes fetched from the device (page-cache misses)
+    wbytes: int = 0    # bytes written back, charged to the dirtying cgroup
+    rios: int = 0      # read operations
+    wios: int = 0      # write operations (one per flushed inode)
+
+
 class Cgroup:
     """One node in the cgroup hierarchy."""
 
@@ -112,6 +123,14 @@ class Cgroup:
         self.mem_cache_bytes = 0
         self.mem_dirty_bytes = 0
         self.memcg_stats = MemcgStats()
+        #: Per-cgroup pressure-stall trackers (``cpu.pressure`` /
+        #: ``memory.pressure`` / ``io.pressure``), fed by the stall sites
+        #: through :class:`repro.sim.psi.PsiRegistry`; hierarchical — every
+        #: stall is accounted to the victim cgroup and all its ancestors.
+        self.psi = PsiGroup()
+        #: Per-device block I/O counters (``io.stat``), hierarchical like the
+        #: memory charges; maintained by the memory controller's I/O hooks.
+        self.io_stats: dict[str, CgroupIoStat] = {}
 
     @property
     def path(self) -> str:

@@ -45,7 +45,8 @@ class CpuController:
         self.kernel = kernel
         self.scheduler = Scheduler(
             kernel.clock, rng=rng, timeslice_ns=timeslice_ns,
-            context_switch_ns=kernel.costs.context_switch_ns)
+            context_switch_ns=kernel.costs.context_switch_ns,
+            psi=kernel.psi, tracer=kernel.tracer)
         self._groups: dict[str, CpuGroup] = {}
 
     # ------------------------------------------------------------- groups
@@ -72,6 +73,13 @@ class CpuController:
                     period_ns=limits.cpu_period_us * 1_000,
                     parent=self.group_for(cgroup.parent),
                     stats=cgroup.cpu_stats)
+            # Throttle stalls accrue CPU pressure against the cgroup's own
+            # PSI chain (leaf to root), not whichever task happens to be
+            # current when the period refreshes.
+            group.psi = self.kernel.psi
+            group.tracer = self.kernel.tracer
+            group.psi_groups = tuple(
+                self.kernel.memcg.psi_chain(cgroup))
             self._groups[path] = group
         return group
 

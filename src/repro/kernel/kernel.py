@@ -30,6 +30,7 @@ from repro.kernel.objects import KernelObject
 from repro.kernel.process import Process
 from repro.sim.clock import VirtualClock
 from repro.sim.costs import CostModel
+from repro.sim.psi import PsiRegistry
 from repro.sim.trace import Tracer
 
 #: Device numbers of the character devices the kernel knows about.
@@ -84,6 +85,21 @@ class UrandomDevice(KernelObject):
         return {"in"}
 
 
+class _CurrentPsiChain:
+    """Resolve the current process's cgroup PSI chain for the registry.
+
+    A named class instead of a closure so the kernel snapshot (which pickles
+    the whole object graph) can serialise the registry's hook.
+    """
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+
+    def __call__(self):
+        memcg = self.kernel.memcg
+        return memcg.psi_chain(memcg.current_cgroup())
+
+
 class Kernel:
     """Top-level simulated kernel."""
 
@@ -108,6 +124,16 @@ class Kernel:
         #: engine, if any) here.
         self.vm = VmSysctl(meminfo=self.mem)
         self.vm.memcg = self.memcg
+        #: Pressure-stall accounting (/proc/pressure + per-cgroup *.pressure
+        #: files): every stall site reports through this registry; stalls are
+        #: attributed to the current process's cgroup chain unless the site
+        #: knows its victim better (scheduler throttling, memcg stalls).
+        self.psi = PsiRegistry(self.clock)
+        self.psi.current_groups = _CurrentPsiChain(self)
+        self.memcg.psi = self.psi
+        self.memcg.tracer = self.tracer
+        self.vm.psi = self.psi
+        self.vm.tracer = self.tracer
         self.processes: dict[int, Process] = {}
         self._next_pid = 1
         self._pty_index = 0

@@ -201,10 +201,13 @@ def boot(cost_model: CostModel | None = None, tracer: Tracer | None = None,
     # /sys/class/bdi: per-device writeback knobs (read_ahead_kb); devices
     # appear here as their filesystems are mounted.  /sys/fs/cgroup: the
     # writable cgroup v2 hierarchy driving the memory controller.
-    from repro.kernel.sysfs import BdiSysFS, CgroupFS
+    from repro.kernel.sysfs import BdiSysFS, CgroupFS, TracingFS
     sc.makedirs("/sys/class/bdi")
     sc.mount(BdiSysFS("bdi-sysfs", kernel), "/sys/class/bdi")
     sc.mount(CgroupFS("cgroupfs", kernel), "/sys/fs/cgroup")
+    # /sys/kernel/debug/tracing: the ftrace-shaped tracepoint control surface.
+    sc.makedirs("/sys/kernel/debug/tracing")
+    sc.mount(TracingFS("tracefs", kernel), "/sys/kernel/debug/tracing")
 
     # Register the FUSE character-device driver (deferred import: the fuse
     # package depends on repro.kernel.objects but not on this module).

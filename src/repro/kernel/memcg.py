@@ -41,13 +41,15 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable
 
 from repro.fs.writeback import WB_REASON_RECLAIM
-from repro.kernel.cgroups import Cgroup, CgroupHierarchy
+from repro.kernel.cgroups import Cgroup, CgroupHierarchy, CgroupIoStat
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.fs.filesystem import Filesystem
     from repro.fs.pagecache import PageCache
     from repro.fs.writeback import WritebackEngine
     from repro.sim.clock import VirtualClock
+    from repro.sim.psi import PsiGroup, PsiRegistry
+    from repro.sim.trace import Tracer
 
 #: Default writer-stall price while over ``memory.high``: 2 ns per dirtied
 #: byte (~500 MB/s of modelled throttle drain).
@@ -94,6 +96,27 @@ class MemcgController:
         #: have a limit somewhere on their charge path (insertion-ordered).
         self._pending: dict[Cgroup, None] = {}
         self._balancing = False
+        #: Observability hooks, installed by the kernel: the PSI registry
+        #: (memory stalls: ``memory.high`` throttling as ``some``, reclaim
+        #: passes as ``some``+``full``) and the tracepoint registry
+        #: (``memcg.reclaim``).  Both optional; pure bookkeeping when unset.
+        self.psi: "PsiRegistry | None" = None
+        self.tracer: "Tracer | None" = None
+
+    # ------------------------------------------------------------ attribution
+    def current_cgroup(self) -> Cgroup:
+        """The cgroup of the process whose syscall is executing."""
+        return self.cgroups.cgroup_of(self._current_pid)
+
+    @staticmethod
+    def psi_chain(cgroup: Cgroup) -> "list[PsiGroup]":
+        """The PSI groups a stall in ``cgroup`` is attributed to (leaf→root)."""
+        groups = []
+        node = cgroup
+        while node is not None:
+            groups.append(node.psi)
+            node = node.parent
+        return groups
 
     # ------------------------------------------------------------ registration
     def register_fs(self, fs: "Filesystem") -> None:
@@ -111,6 +134,10 @@ class MemcgController:
             # engines), so memory.stat file_dirty and /proc/meminfo Dirty
             # can never disagree.
             engine.memcg = self
+            if engine.bdi is not None:
+                # Device reads report through the BDI so ``io.stat`` rbytes
+                # are attributed to the faulting process's cgroup.
+                engine.bdi.memcg = self
 
     def unregister_fs(self, fs: "Filesystem") -> None:
         """Detach a filesystem (last umount), releasing its charges."""
@@ -129,13 +156,16 @@ class MemcgController:
                     self._walk(owner, -nbytes, dirty=True)
             self._dirty_owner.pop(engine, None)
             engine.memcg = None
+            if engine.bdi is not None and \
+                    getattr(engine.bdi, "memcg", None) is self:
+                engine.bdi.memcg = None
 
     def set_current(self, pid: int) -> None:
         """Record the process whose syscall is executing (charge attribution)."""
         self._current_pid = pid
 
     def _current_cgroup(self) -> Cgroup:
-        return self.cgroups.cgroup_of(self._current_pid)
+        return self.current_cgroup()
 
     # ------------------------------------------------------------ charging
     def _walk(self, cgroup: Cgroup, delta: int, dirty: bool) -> bool:
@@ -226,6 +256,12 @@ class MemcgController:
                 over.memcg_stats.throttle_stall_ns += stall
                 engine.stats.throttle_stall_ns += stall
                 self.clock.advance(stall)
+                if self.psi is not None:
+                    # The stalled writer is the victim: memory pressure on
+                    # its own chain, delta identical to the
+                    # ``throttle_stall_ns`` increment above.
+                    self.psi.account("memory", stall,
+                                     groups=self.psi_chain(owner))
 
     def _over_high(self, cgroup: Cgroup) -> Cgroup | None:
         """The nearest ancestor (or ``cgroup`` itself) above its high ceiling."""
@@ -373,7 +409,70 @@ class MemcgController:
         if freed:
             stats.reclaims += 1
             stats.bytes_reclaimed += freed
-        stats.reclaim_cost_ns += self.clock.now_ns - t0
+        delta = self.clock.now_ns - t0
+        stats.reclaim_cost_ns += delta
+        if delta > 0:
+            if self.psi is not None:
+                # Direct reclaim stops the charging task dead: some *and*
+                # full memory pressure on the enforcing cgroup's chain.
+                self.psi.account("memory", delta, full=True,
+                                 groups=self.psi_chain(node))
+            tracer = self.tracer
+            if tracer is not None and tracer.active:
+                tracer.emit(self.clock.now_ns, "memcg.reclaim", cost_ns=delta,
+                            cgroup=node.path, bytes=freed)
+
+    # ------------------------------------------------------------ block I/O
+    def io_read(self, device: str, nbytes: int) -> None:
+        """A device read on ``device``: charge ``io.stat`` rbytes/rios to the
+        current process's cgroup chain (zero virtual cost — the BDI itself
+        charges the transfer time)."""
+        if nbytes <= 0:
+            return
+        node = self._current_cgroup()
+        while node is not None:
+            row = node.io_stats.get(device)
+            if row is None:
+                row = node.io_stats[device] = CgroupIoStat()
+            row.rbytes += nbytes
+            row.rios += 1
+            node = node.parent
+
+    def io_wrote(self, engine: "WritebackEngine", device: str,
+                 items: list[tuple[int, int]]) -> None:
+        """Writeback hit the device: charge ``io.stat`` wbytes/wios per flushed
+        inode to the *dirtying* cgroup (cgroup-writeback attribution), falling
+        back to the current cgroup for bytes that predate the memcg wiring."""
+        owners = self._dirty_owner.get(engine, {})
+        fallback = None
+        for ino, nbytes in items:
+            if nbytes <= 0:
+                continue
+            owner = owners.get(ino)
+            if owner is None:
+                if fallback is None:
+                    fallback = self._current_cgroup()
+                owner = fallback
+            node = owner
+            while node is not None:
+                row = node.io_stats.get(device)
+                if row is None:
+                    row = node.io_stats[device] = CgroupIoStat()
+                row.wbytes += nbytes
+                row.wios += 1
+                node = node.parent
+
+    def total_pages_reclaimed(self) -> int:
+        """Pages reclaimed by *per-cgroup* enforcement across the hierarchy
+        (``/proc/vmstat`` ``pgsteal_memcg``); the root subtree sum would
+        double-count, so walk every node."""
+        total = 0
+        stack = [self.cgroups.root]
+        while stack:
+            node = stack.pop()
+            total += node.memcg_stats.pages_reclaimed
+            stack.extend(node.children.values())
+        return total
 
     # ------------------------------------------------------------ rendering
     def memory_stat_text(self, cgroup: Cgroup) -> str:

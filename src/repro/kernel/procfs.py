@@ -20,6 +20,7 @@ from repro.fs.filesystem import Filesystem
 from repro.fs.inode import DirectoryInode, Inode, RegularInode, SymlinkInode
 from repro.fs.writeback import VmSysctl
 from repro.kernel.namespaces import NamespaceKind, PidNamespace
+from repro.sim.psi import PSI_RESOURCES
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.kernel.kernel import Kernel
@@ -32,7 +33,10 @@ PID_LINKS = ("root", "cwd", "exe")
 #: Entries of ``/proc/<pid>/ns``.
 NS_LINKS = tuple(kind.value for kind in NamespaceKind)
 #: Top-level non-pid entries.
-TOP_FILES = ("mounts", "filesystems", "uptime", "version", "cpuinfo", "meminfo")
+TOP_FILES = ("mounts", "filesystems", "uptime", "version", "cpuinfo", "meminfo",
+             "vmstat")
+#: Entries of ``/proc/pressure`` (the PSI files).
+PRESSURE_FILES = PSI_RESOURCES
 #: Writable ``/proc/sys/vm`` files: the writeback knobs plus drop_caches.
 SYS_VM_FILES = VmSysctl.KNOBS + ("drop_caches",)
 
@@ -42,7 +46,8 @@ class ProcEntry:
     """What a synthetic procfs inode refers to."""
 
     kind: str          # "root" | "piddir" | "nsdir" | "attrdir" | "file" |
-                       # "link" | "sysdir" | "sysvmdir" | "sysctl"
+                       # "link" | "sysdir" | "sysvmdir" | "sysctl" |
+                       # "pressuredir"
     pid: int | None
     name: str
 
@@ -72,7 +77,8 @@ class ProcFS(Filesystem):
         ino = self._path_to_ino.get(key)
         if ino is not None and ino in self._inodes:
             return self._inodes[ino]
-        if entry.kind in ("piddir", "nsdir", "attrdir", "sysdir", "sysvmdir"):
+        if entry.kind in ("piddir", "nsdir", "attrdir", "sysdir", "sysvmdir",
+                          "pressuredir"):
             inode = DirectoryInode(ino=self._alloc_ino(), mode=FileMode.S_IFDIR | 0o555)
         elif entry.kind == "link":
             inode = SymlinkInode(ino=self._alloc_ino(), mode=FileMode.S_IFLNK | 0o777,
@@ -113,6 +119,9 @@ class ProcFS(Filesystem):
                 raise FsError.enoent("/proc/self (reader identity not modelled)")
             if name == "sys":
                 return self._synthetic_inode(ProcEntry("sysdir", None, "sys"))
+            if name == "pressure":
+                return self._synthetic_inode(
+                    ProcEntry("pressuredir", None, "pressure"))
             if name in TOP_FILES:
                 return self._synthetic_inode(ProcEntry("file", None, name))
             pid = self._resolve_pid(name)
@@ -126,6 +135,11 @@ class ProcFS(Filesystem):
         if entry.kind == "sysvmdir":
             if name in SYS_VM_FILES:
                 return self._synthetic_inode(ProcEntry("sysctl", None, name))
+            raise FsError.enoent(name)
+        if entry.kind == "pressuredir":
+            if name in PRESSURE_FILES:
+                return self._synthetic_inode(
+                    ProcEntry("file", None, f"pressure/{name}"))
             raise FsError.enoent(name)
         if entry.kind == "piddir":
             if name == "ns":
@@ -157,6 +171,9 @@ class ProcFS(Filesystem):
                 out.append((name, inode.ino, int(FileMode.S_IFREG)))
             inode = self._synthetic_inode(ProcEntry("sysdir", None, "sys"))
             out.append(("sys", inode.ino, int(FileMode.S_IFDIR)))
+            inode = self._synthetic_inode(
+                ProcEntry("pressuredir", None, "pressure"))
+            out.append(("pressure", inode.ino, int(FileMode.S_IFDIR)))
             for global_pid in self.pid_ns.member_pids():
                 if global_pid not in self.kernel.processes:
                     continue
@@ -187,6 +204,11 @@ class ProcFS(Filesystem):
         elif entry.kind == "sysvmdir":
             for name in SYS_VM_FILES:
                 inode = self._synthetic_inode(ProcEntry("sysctl", None, name))
+                out.append((name, inode.ino, int(FileMode.S_IFREG)))
+        elif entry.kind == "pressuredir":
+            for name in PRESSURE_FILES:
+                inode = self._synthetic_inode(
+                    ProcEntry("file", None, f"pressure/{name}"))
                 out.append((name, inode.ino, int(FileMode.S_IFREG)))
         return out
 
@@ -339,6 +361,12 @@ class ProcFS(Filesystem):
             # Rendered by VmSysctl from the same MemInfo the ratio knobs
             # resolve against, so the two surfaces can never disagree.
             return self.kernel.vm.meminfo_text().encode()
+        if name == "vmstat":
+            return self.kernel.vm.vmstat_text().encode()
+        if name.startswith("pressure/"):
+            resource = name.split("/", 1)[1]
+            now_ns = self.kernel.clock.now_ns
+            return self.kernel.psi.system.render(resource, now_ns).encode()
         if name == "mounts":
             return b"rootfs / rootfs rw 0 0\n"
         raise FsError.enoent(name)

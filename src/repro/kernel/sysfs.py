@@ -191,9 +191,10 @@ class BdiSysFS(Filesystem):
 # /sys/fs/cgroup — the writable synthetic cgroupfs
 # ---------------------------------------------------------------------------
 #: Files generated inside every cgroup directory.
-CGROUP_FILES = ("cgroup.procs", "cpu.max", "cpu.stat", "cpu.weight",
+CGROUP_FILES = ("cgroup.procs", "cpu.max", "cpu.pressure", "cpu.stat",
+                "cpu.weight", "io.pressure", "io.stat",
                 "memory.current", "memory.high", "memory.max",
-                "memory.peak", "memory.stat")
+                "memory.peak", "memory.pressure", "memory.stat")
 #: The files a write is allowed to reach (everything else is read-only).
 CGROUP_WRITABLE = ("cgroup.procs", "cpu.max", "cpu.weight",
                    "memory.high", "memory.max")
@@ -378,6 +379,15 @@ class CgroupFS(Filesystem):
                     f"throttled_usec {stats.throttled_ns // 1_000}\n").encode()
         if entry.name == "cgroup.procs":
             return "".join(f"{pid}\n" for pid in sorted(cgroup.procs)).encode()
+        if entry.name.endswith(".pressure"):
+            resource = entry.name.rsplit(".", 1)[0]
+            now_ns = self.kernel.clock.now_ns
+            return cgroup.psi.render(resource, now_ns).encode()
+        if entry.name == "io.stat":
+            rows = [f"{dev} rbytes={s.rbytes} wbytes={s.wbytes}"
+                    f" rios={s.rios} wios={s.wios}\n"
+                    for dev, s in sorted(cgroup.io_stats.items())]
+            return "".join(rows).encode()
         raise FsError.enoent(entry.name)
 
     def read(self, ino: int, offset: int, size: int) -> bytes:
@@ -480,3 +490,175 @@ class CgroupFS(Filesystem):
         entry = self._entries.get(ino)
         if entry is None or entry.kind != "knob":
             raise FsError.eacces("cgroupfs directories are read-only")
+
+
+# ---------------------------------------------------------------------------
+# /sys/kernel/debug/tracing — the synthetic ftrace control surface
+# ---------------------------------------------------------------------------
+#: Files generated inside the tracing directory.
+TRACING_FILES = ("available_events", "set_event", "trace", "tracing_on")
+#: The files a write is allowed to reach.
+TRACING_WRITABLE = ("set_event", "trace", "tracing_on")
+
+
+@dataclass(frozen=True)
+class TracingEntry:
+    """What a synthetic tracefs inode refers to."""
+
+    kind: str          # "root" | "file"
+    name: str
+
+
+class TracingFS(Filesystem):
+    """The ``/sys/kernel/debug/tracing`` mount, bound to the kernel tracer.
+
+    A small ftrace-shaped control surface over :class:`repro.sim.trace.Tracer`:
+
+    * ``available_events`` — every declared or observed tracepoint, sorted;
+    * ``set_event`` — read the per-tracepoint filter; write ``name`` to
+      enable one, ``!name`` to disable it, an empty write to clear all;
+    * ``trace`` — the bounded event ring with a header carrying the entry
+      and drop counts (``echo > trace`` clears it, as on Linux);
+    * ``tracing_on`` — the global collection switch (``0`` / ``1``).
+    """
+
+    fs_type = "tracefs"
+    supports_direct_io = False
+    supports_export_handles = False
+    dcacheable = False
+
+    def __init__(self, name: str, kernel: "Kernel") -> None:
+        super().__init__(name, kernel.clock, kernel.costs, kernel.tracer,
+                         capacity_bytes=0)
+        self.kernel = kernel
+        self._entries: dict[int, TracingEntry] = {
+            self.root_ino: TracingEntry("root", "/")}
+        self._path_to_ino: dict[str, int] = {}
+
+    # ------------------------------------------------------------- plumbing
+    def _synthetic_inode(self, entry: TracingEntry) -> Inode:
+        ino = self._path_to_ino.get(entry.name)
+        if ino is not None and ino in self._inodes:
+            return self._inodes[ino]
+        mode = 0o644 if entry.name in TRACING_WRITABLE else 0o444
+        inode = RegularInode(ino=self._alloc_ino(),
+                             mode=FileMode.S_IFREG | mode)
+        inode.fs_name = self.name
+        self._inodes[inode.ino] = inode
+        self._entries[inode.ino] = entry
+        self._path_to_ino[entry.name] = inode.ino
+        return inode
+
+    def entry_of(self, ino: int) -> TracingEntry:
+        """The synthetic entry behind an inode number."""
+        entry = self._entries.get(ino)
+        if entry is None:
+            raise FsError.estale(f"tracefs ino {ino}")
+        return entry
+
+    def _generate(self, entry: TracingEntry) -> bytes:
+        tracer = self.kernel.tracer
+        if entry.name == "available_events":
+            return "".join(f"{name}\n"
+                           for name in tracer.available_events()).encode()
+        if entry.name == "set_event":
+            return "".join(f"{name}\n"
+                           for name in sorted(tracer.event_filter)).encode()
+        if entry.name == "tracing_on":
+            return b"1\n" if tracer.enabled else b"0\n"
+        if entry.name == "trace":
+            events = list(tracer.events())
+            lines = [f"# tracer: repro\n"
+                     f"# entries: {len(events)} dropped: {tracer.dropped}\n"]
+            for key, count in sorted(tracer.dropped_by_key.items()):
+                lines.append(f"# dropped {key}: {count}\n")
+            for ev in events:
+                row = f"{ev.timestamp_ns} {ev.key} cost_ns={ev.cost_ns}"
+                if ev.detail:
+                    row += f" {ev.detail}"
+                lines.append(row + "\n")
+            return "".join(lines).encode()
+        raise FsError.enoent(entry.name)
+
+    # ------------------------------------------------------------- fs interface
+    def lookup(self, dir_ino: int, name: str) -> Inode:
+        self._charge_metadata("lookup")
+        entry = self.entry_of(dir_ino)
+        if entry.kind != "root":
+            raise FsError.enotdir(name)
+        if name in TRACING_FILES:
+            return self._synthetic_inode(TracingEntry("file", name))
+        raise FsError.enoent(name)
+
+    def readdir(self, dir_ino: int) -> list[tuple[str, int, int]]:
+        self._charge_metadata("readdir")
+        entry = self.entry_of(dir_ino)
+        if entry.kind != "root":
+            raise FsError.enotdir(entry.name)
+        out = [(".", dir_ino, int(FileMode.S_IFDIR)),
+               ("..", dir_ino, int(FileMode.S_IFDIR))]
+        for name in TRACING_FILES:
+            inode = self._synthetic_inode(TracingEntry("file", name))
+            out.append((name, inode.ino, int(FileMode.S_IFREG)))
+        return out
+
+    def read(self, ino: int, offset: int, size: int) -> bytes:
+        entry = self.entry_of(ino)
+        if entry.kind != "file":
+            raise FsError.eisdir(entry.name)
+        content = self._generate(entry)
+        self._charge_read(ino, offset, min(size, len(content)))
+        return content[offset:offset + size]
+
+    def getattr(self, ino: int):
+        self._charge_metadata("getattr")
+        inode = self.iget(ino)
+        entry = self._entries.get(ino)
+        if entry is not None and entry.kind == "file" \
+                and isinstance(inode, RegularInode):
+            content = self._generate(entry)
+            inode.data.truncate(0)
+            inode.data.write(0, content)
+        return inode.stat(st_dev=self.fs_id)
+
+    def write(self, ino: int, offset: int, data: bytes) -> int:
+        entry = self._entries.get(ino)
+        if entry is None or entry.kind != "file":
+            raise FsError.eacces("tracefs is a flat directory")
+        if entry.name not in TRACING_WRITABLE:
+            raise FsError.eacces(f"{entry.name} is read-only")
+        tracer = self.kernel.tracer
+        text = data.decode("ascii", errors="replace").strip()
+        self._charge_metadata("sysctl")
+        if entry.name == "tracing_on":
+            if text not in ("0", "1"):
+                raise FsError.einval(f"tracing_on: {text!r}")
+            tracer.enabled = text == "1"
+            return len(data)
+        if entry.name == "trace":
+            # Any write clears the ring, matching `echo > trace`.
+            tracer.clear()
+            return len(data)
+        # set_event: one directive per whitespace-separated token.
+        tokens = text.split()
+        if not tokens:
+            tracer.clear_events()
+            return len(data)
+        for token in tokens:
+            enable = not token.startswith("!")
+            name = token.lstrip("!")
+            try:
+                tracer.set_event(name, enable=enable)
+            except ValueError as exc:
+                raise FsError.einval(str(exc)) from None
+        return len(data)
+
+    def truncate(self, ino: int, size: int) -> None:
+        # O_TRUNC from the `echo > trace` idiom: clear the ring.
+        entry = self._entries.get(ino)
+        if entry is None or entry.kind != "file":
+            raise FsError.eacces("tracefs is a flat directory")
+        if entry.name not in TRACING_WRITABLE:
+            raise FsError.eacces(f"{entry.name} is read-only")
+        if entry.name == "trace":
+            self.kernel.tracer.clear()

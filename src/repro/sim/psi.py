@@ -1,0 +1,184 @@
+"""Deterministic PSI (pressure-stall information) accounting.
+
+Every stall the simulator models — scheduler throttling and runnable wait,
+``memory.high`` write throttling and per-cgroup reclaim, writeback dirty
+throttling, BDI device busy time, FUSE queue congestion waits — already
+charges the virtual clock somewhere.  This module gives those charges a
+second, observational home: per-resource ``some``/``full`` stall totals and
+windowed averages rendered in the Linux ``/proc/pressure`` file format.
+
+Two deliberate departures from Linux, both in the name of determinism:
+
+* **Totals are task-stall time, not wall time.**  Linux's ``some`` counts
+  wall-clock seconds during which *at least one* task stalled; merging
+  overlapping stalls needs a global timeline.  We sum each stall interval
+  as reported, so ``total=`` decomposes *exactly* (to the nanosecond)
+  against the per-subsystem counters that fed it — the invariant the
+  benchmarks assert — at the price of totals that can exceed wall time
+  when stalls overlap.
+* **Averages are rectangular, not exponential.**  Linux computes avg10/60/300
+  with a periodic EMA kernel thread; we bucket stall time into one-virtual-
+  second bins and report the windowed fraction, so the same virtual history
+  always renders the same bytes.  Averages are capped at 100.00.
+
+Accounting mutates plain integers and never touches
+:meth:`~repro.sim.clock.VirtualClock.advance`: reading or accumulating
+pressure is documented zero-virtual-cost (see ANALYSIS.md).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.clock import VirtualClock
+
+#: The three pressure resources, in the order Linux documents them.
+PSI_RESOURCES = ("cpu", "memory", "io")
+
+#: Averaging windows in seconds (the avg10/avg60/avg300 columns).
+PSI_WINDOWS_S = (10, 60, 300)
+
+#: Stall history granularity: one bucket per virtual second.
+BUCKET_NS = 1_000_000_000
+
+#: History kept per tracker: the largest window plus the current bucket.
+_HISTORY_BUCKETS = max(PSI_WINDOWS_S) + 1
+
+
+class PsiStallTracker:
+    """Stall accounting for one resource in one scope (system or cgroup).
+
+    ``total_some_ns`` accumulates every reported stall; ``total_full_ns``
+    only those flagged ``full`` (productivity completely lost, e.g. direct
+    reclaim), mirroring Linux where full time is a subset of some time.
+    """
+
+    __slots__ = ("total_some_ns", "total_full_ns", "_some", "_full")
+
+    def __init__(self) -> None:
+        self.total_some_ns = 0
+        self.total_full_ns = 0
+        # Bucket index -> stalled ns inside that virtual second.  Insertion
+        # order is ascending (the clock is monotonic), which makes pruning
+        # the oldest entries a pop-from-front walk.
+        self._some: dict[int, int] = {}
+        self._full: dict[int, int] = {}
+
+    def account(self, now_ns: int, delta_ns: int, full: bool = False) -> None:
+        """Record a stall of ``delta_ns`` that *ended* at ``now_ns``."""
+        if delta_ns <= 0:
+            return
+        self.total_some_ns += delta_ns
+        if full:
+            self.total_full_ns += delta_ns
+        self._spread(self._some, now_ns, delta_ns)
+        if full:
+            self._spread(self._full, now_ns, delta_ns)
+
+    @staticmethod
+    def _spread(buckets: dict[int, int], now_ns: int, delta_ns: int) -> None:
+        """Distribute a stall interval across the 1s buckets it spans."""
+        start_ns = max(0, now_ns - delta_ns)
+        first = start_ns // BUCKET_NS
+        last = now_ns // BUCKET_NS
+        if first == last:
+            buckets[first] = buckets.get(first, 0) + delta_ns
+        else:
+            for idx in range(first, last + 1):
+                lo = max(start_ns, idx * BUCKET_NS)
+                hi = min(now_ns, (idx + 1) * BUCKET_NS)
+                if hi > lo:
+                    buckets[idx] = buckets.get(idx, 0) + hi - lo
+        cutoff = last - _HISTORY_BUCKETS
+        while buckets:
+            oldest = next(iter(buckets))
+            if oldest >= cutoff:
+                break
+            del buckets[oldest]
+
+    @staticmethod
+    def _window_pct100(buckets: dict[int, int], now_ns: int,
+                       window_s: int) -> int:
+        """Stalled share of the trailing window, in hundredths of a percent.
+
+        The window is the last ``window_s`` whole buckets ending at the
+        bucket containing ``now_ns`` — a deterministic rectangular
+        approximation of Linux's EMA.
+        """
+        cur = now_ns // BUCKET_NS
+        stalled = sum(val for idx, val in buckets.items()
+                      if cur - window_s < idx <= cur)
+        pct100 = stalled * 10_000 // (window_s * BUCKET_NS)
+        return min(pct100, 10_000)
+
+    def _line(self, kind: str, total_ns: int, buckets: dict[int, int],
+              now_ns: int) -> str:
+        cols = []
+        for window_s in PSI_WINDOWS_S:
+            pct100 = self._window_pct100(buckets, now_ns, window_s)
+            cols.append(f"avg{window_s}={pct100 // 100}.{pct100 % 100:02d}")
+        return f"{kind} {' '.join(cols)} total={total_ns // 1_000}\n"
+
+    def render(self, now_ns: int) -> str:
+        """The two-line ``some``/``full`` body of a pressure file."""
+        return (self._line("some", self.total_some_ns, self._some, now_ns)
+                + self._line("full", self.total_full_ns, self._full, now_ns))
+
+
+class PsiGroup:
+    """One scope's trackers for all three resources (a cgroup, or the system)."""
+
+    __slots__ = ("_trackers",)
+
+    def __init__(self) -> None:
+        self._trackers = {resource: PsiStallTracker()
+                          for resource in PSI_RESOURCES}
+
+    def tracker(self, resource: str) -> PsiStallTracker:
+        """The tracker for ``resource`` (KeyError on an unknown resource)."""
+        return self._trackers[resource]
+
+    def account(self, resource: str, now_ns: int, delta_ns: int,
+                full: bool = False) -> None:
+        """Record one stall against this scope."""
+        self._trackers[resource].account(now_ns, delta_ns, full)
+
+    def render(self, resource: str, now_ns: int) -> str:
+        """Render one resource's pressure file body."""
+        return self._trackers[resource].render(now_ns)
+
+
+class PsiRegistry:
+    """The kernel-wide fan-out point every stall site reports through.
+
+    Holds the system-level :class:`PsiGroup` (``/proc/pressure``) and
+    optionally resolves the *current* cgroup chain via ``current_groups`` —
+    a picklable zero-argument callable installed by the kernel (never a
+    lambda: the registry lives inside the kernel snapshot graph).  Stall
+    sites that know their victim better than "whoever is current" (the
+    scheduler, memcg) pass an explicit ``groups`` chain instead.
+    """
+
+    def __init__(self, clock: "VirtualClock") -> None:
+        self.clock = clock
+        self.system = PsiGroup()
+        self.current_groups = None
+
+    def account(self, resource: str, delta_ns: int, full: bool = False,
+                groups: "Iterable[PsiGroup] | None" = None) -> None:
+        """Record a stall ending now against the system and a cgroup chain.
+
+        ``groups=None`` resolves the current process's cgroup chain through
+        ``current_groups``; pass an explicit (possibly empty) iterable to
+        override attribution.
+        """
+        if delta_ns <= 0:
+            return
+        now_ns = self.clock.now_ns
+        self.system.account(resource, now_ns, delta_ns, full)
+        if groups is None:
+            resolve = self.current_groups
+            groups = resolve() if resolve is not None else ()
+        for group in groups:
+            group.account(resource, now_ns, delta_ns, full)

@@ -40,7 +40,9 @@ from typing import TYPE_CHECKING, Callable, Iterator
 from repro.sim.clock import VirtualClock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.psi import PsiRegistry
     from repro.sim.rng import DeterministicRandom
+    from repro.sim.trace import Tracer
 
 #: Default timeslice, 1ms of virtual time (CFS-like granularity).
 DEFAULT_TIMESLICE_NS = 1_000_000
@@ -92,6 +94,16 @@ class CpuGroup:
         #: Weighted virtual runtime; lower runs first.  Integer-scaled by
         #: ``NICE0_WEIGHT / weight`` so determinism never rests on floats.
         self.vruntime_ns = 0
+        #: Observability hooks, installed by the kernel glue
+        #: (:mod:`repro.kernel.cpu`): the PSI registry, the cgroup chain's
+        #: :class:`~repro.sim.psi.PsiGroup` tuple this group's stalls are
+        #: attributed to, and the tracepoint registry.  All default to off.
+        self.psi: "PsiRegistry | None" = None
+        self.psi_groups = ()
+        self.tracer: "Tracer | None" = None
+        #: When the group last left a throttle window (clamps runnable-wait
+        #: accounting so throttled time is never double-counted as wait).
+        self.last_unthrottle_ns = 0
         # --- bandwidth-enforcement state (lazy period rolling) ---
         self._period_start_ns = 0
         self._period_usage_ns = 0
@@ -117,9 +129,15 @@ class CpuGroup:
             return
         if self._throttled_until_ns is not None \
                 and now_ns >= self._throttled_until_ns:
-            self.stats.throttled_ns += \
-                self._throttled_until_ns - self._throttle_start_ns
+            delta = self._throttled_until_ns - self._throttle_start_ns
+            self.stats.throttled_ns += delta
+            self.last_unthrottle_ns = self._throttled_until_ns
             self._throttled_until_ns = None
+            if self.psi is not None and delta > 0:
+                # CPU pressure: the whole window the group sat parked.  The
+                # delta equals the ``throttled_ns`` increment above, so the
+                # PSI total decomposes exactly against cpu.stat.
+                self.psi.account("cpu", delta, groups=self.psi_groups)
         if now_ns >= self._period_start_ns + self.period_ns:
             elapsed = (now_ns - self._period_start_ns) // self.period_ns
             self._period_start_ns += elapsed * self.period_ns
@@ -139,6 +157,10 @@ class CpuGroup:
             self.stats.nr_throttled += 1
             self._throttle_start_ns = now_ns
             self._throttled_until_ns = self._period_start_ns + self.period_ns
+            tracer = self.tracer
+            if tracer is not None and tracer.active:
+                tracer.emit(now_ns, "sched.throttle", group=self.name,
+                            until_ns=self._throttled_until_ns)
 
     def throttled_until(self, now_ns: int) -> int | None:
         """Earliest unthrottle deadline along the ancestor chain, if any."""
@@ -159,7 +181,7 @@ class SchedTask:
     """One runnable entity: an iterator advanced one operation per step."""
 
     __slots__ = ("name", "body", "group", "seq", "state", "wake_at_ns",
-                 "vruntime_ns", "cpu_ns", "charge_hook")
+                 "vruntime_ns", "cpu_ns", "wait_start_ns", "charge_hook")
 
     def __init__(self, name: str, body: Iterator, group: CpuGroup,
                  seq: int) -> None:
@@ -171,6 +193,9 @@ class SchedTask:
         self.wake_at_ns = 0
         self.vruntime_ns = 0
         self.cpu_ns = 0
+        #: When the task last became runnable-but-not-running; the dispatch
+        #: path turns ``now - wait_start_ns`` into runnable-wait CPU pressure.
+        self.wait_start_ns = 0
         #: Optional per-charge callback (the kernel glue accumulates process
         #: CPU time through it); receives the slice's consumed nanoseconds.
         self.charge_hook: Callable[[int], None] | None = None
@@ -186,6 +211,7 @@ class SchedulerStats:
     sleeps: int = 0              # explicit blocking yields
     completions: int = 0         # tasks that ran to StopIteration
     idle_ns: int = 0             # virtual time with nothing runnable
+    wait_ns: int = 0             # task-time spent runnable but not running
     switch_cost_ns: int = 0      # virtual time charged as switch overhead
     pick_trace: list = field(default_factory=list)  # task names, in pick order
 
@@ -201,12 +227,19 @@ class Scheduler:
     def __init__(self, clock: VirtualClock,
                  rng: "DeterministicRandom | None" = None,
                  timeslice_ns: int = DEFAULT_TIMESLICE_NS,
-                 context_switch_ns: int = 0) -> None:
+                 context_switch_ns: int = 0,
+                 psi: "PsiRegistry | None" = None,
+                 tracer: "Tracer | None" = None) -> None:
         if timeslice_ns <= 0:
             raise ValueError(f"timeslice must be positive: {timeslice_ns}")
         self.clock = clock
         self.timeslice_ns = timeslice_ns
         self.context_switch_ns = context_switch_ns
+        #: Observability (both optional and off by default): runnable-wait
+        #: stalls feed ``psi`` as CPU pressure; context switches and group
+        #: throttling fire ``sched.*`` tracepoints on ``tracer``.
+        self.psi = psi
+        self.tracer = tracer
         self.root_group = CpuGroup("/")
         self._groups: list[CpuGroup] = [self.root_group]
         self._tasks: list[SchedTask] = []
@@ -245,6 +278,7 @@ class Scheduler:
             body = body()
         task = SchedTask(name, iter(body), group or self.root_group,
                          self._task_seq)
+        task.wait_start_ns = self.clock.now_ns
         self._task_seq += 1
         self._tasks.append(task)
         return task
@@ -260,6 +294,9 @@ class Scheduler:
         for task in self._tasks:
             if task.state == BLOCKED and task.wake_at_ns <= now_ns:
                 task.state = RUNNABLE
+                # Runnable-wait starts at the wake deadline, not at whatever
+                # later instant the loop observed it.
+                task.wait_start_ns = task.wake_at_ns
                 # A waking task resumes at the floor of current vruntimes so
                 # sleepers cannot hoard credit and starve everyone on wake.
                 floor = min((t.vruntime_ns for t in self._tasks
@@ -335,16 +372,20 @@ class Scheduler:
     def _dispatch(self, task: SchedTask) -> None:
         self.stats.picks += 1
         self.stats.pick_trace.append(task.name)
-        if self._last_task is not None and self._last_task is not task \
-                and self.context_switch_ns:
-            # Switch overhead is charged to the clock (it is real elapsed
-            # time) but not to the incoming group's usage — matching how
-            # cpu.stat excludes scheduler overhead.
-            self.clock.advance(self.context_switch_ns)
+        self._account_wait(task)
+        prev = self._last_task
+        if prev is not None and prev is not task:
+            if self.context_switch_ns:
+                # Switch overhead is charged to the clock (it is real elapsed
+                # time) but not to the incoming group's usage — matching how
+                # cpu.stat excludes scheduler overhead.
+                self.clock.advance(self.context_switch_ns)
+                self.stats.switch_cost_ns += self.context_switch_ns
             self.stats.context_switches += 1
-            self.stats.switch_cost_ns += self.context_switch_ns
-        elif self._last_task is not None and self._last_task is not task:
-            self.stats.context_switches += 1
+            tracer = self.tracer
+            if tracer is not None and tracer.active:
+                tracer.emit(self.clock.now_ns, "sched.switch",
+                            prev=prev.name, next=task.name)
         self._last_task = task
         slice_ns = self._slice_ns()
         t0 = self.clock.now_ns
@@ -371,3 +412,24 @@ class Scheduler:
             now = self.clock.now_ns
             for group in task.group._chain():
                 group._charge(now, delta)
+        # If the task stays runnable it starts waiting again the instant its
+        # slice ends; blocked tasks get this re-stamped on wake.
+        task.wait_start_ns = self.clock.now_ns
+
+    def _account_wait(self, task: SchedTask) -> None:
+        """Turn the interval since the task became runnable into CPU pressure.
+
+        Throttled windows along the group chain are clamped out (they are
+        accounted separately when the group unthrottles), which keeps the
+        decomposition exact: system cpu ``total`` ==
+        ``stats.wait_ns`` + Σ per-group ``throttled_ns``.
+        """
+        start = task.wait_start_ns
+        for group in task.group._chain():
+            if group.last_unthrottle_ns > start:
+                start = group.last_unthrottle_ns
+        wait = self.clock.now_ns - start
+        if wait > 0:
+            self.stats.wait_ns += wait
+            if self.psi is not None:
+                self.psi.account("cpu", wait, groups=task.group.psi_groups)

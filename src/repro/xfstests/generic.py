@@ -1,11 +1,11 @@
-"""The generic test group: 203 filesystem regression tests.
+"""The generic test group: 209 filesystem regression tests.
 
 Each test is registered with an xfstests-style number.  Four of them
 (generic/228, generic/375, generic/391, generic/426) reproduce the cases the
 paper reports as failing on CntrFS because of deliberate design decisions
 (RLIMIT_FSIZE not enforced, ACL-aware setgid clearing delegated to the backing
 store, O_DIRECT unsupported in favour of mmap, inodes not exportable by
-handle); the remaining 199 pass on both the native filesystem and CntrFS.
+handle); the remaining 205 pass on both the native filesystem and CntrFS.
 Generic 91-114 harden the writeback/caching surface grown by the
 memory-pressure model: fsync/fdatasync/O_SYNC durability, the procfs
 ``drop_caches`` file, truncate-vs-dirty-pages interactions, rename over open
@@ -32,7 +32,15 @@ CntrFS's synchronous server keeps state — the paper's delayed-sync
 trade-off), timer lifecycle across crashes and double power failures.
 Generic 186-203 (group ``stress``) run seeded fsstress-style op soups
 checked byte-for-byte against a pure in-memory shadow model, the last six
-with a mid-soup power failure audited by a durability ledger.
+with a mid-soup power failure audited by a durability ledger.  Generic
+204-209 (group ``psi``) pin the observability layer: the /proc/pressure and
+per-cgroup pressure files in the Linux PSI format, nanosecond-exact
+decomposition of each resource's stall total into its stall-site counters
+(cpu: runnable wait + ``cpu.max`` throttling; memory: ``memory.high``
+throttling + direct reclaim; io: BDI bandwidth shaping + ``vm.dirty_bytes``
+throttling + FUSE queue congestion), /proc/vmstat and per-cgroup ``io.stat``
+writeback accounting, and the tracefs control files (``set_event`` filters,
+``tracing_on``, the bounded ring's drop counters).
 """
 
 from __future__ import annotations
@@ -3066,6 +3074,376 @@ for _i, _number in enumerate(range(186, 198)):
 for _i, _number in enumerate(range(198, 204)):
     _stress_case(_number, seed=f"soupcrash/{_number}", ops=50 + 15 * _i,
                  pool=3 + _i % 3, crash=True)
+
+
+# ---------------------------------------------------------------------------
+# Observability: PSI, tracepoints, vmstat and io.stat (generic/204-209)
+# ---------------------------------------------------------------------------
+TRACEFS = "/sys/kernel/debug/tracing"
+
+#: The tracepoints the observability layer declares at kernel construction.
+CORE_TRACEPOINT_NAMES = ("fuse.dispatch", "journal.commit", "memcg.reclaim",
+                         "sched.switch", "sched.throttle", "writeback.flush")
+
+
+def _psi_read(env, path: str) -> dict[str, dict[str, int]]:
+    """Parse a pressure file into ``{kind: {avg10/avg60/avg300, total}}``
+    with the averages as integer percent*100 and the total in microseconds."""
+    out: dict[str, dict[str, int]] = {}
+    for line in _cg_file_read(env, path).decode().splitlines():
+        fields = line.split()
+        row: dict[str, int] = {}
+        for field in fields[1:]:
+            key, _, value = field.partition("=")
+            if key.startswith("avg"):
+                whole, _, frac = value.partition(".")
+                row[key] = int(whole) * 100 + int(frac)
+            else:
+                row[key] = int(value)
+        out[fields[0]] = row
+    return out
+
+
+def _sum_cgroup(env, fn) -> int:
+    """Sum ``fn(cgroup)`` over the whole cgroup hierarchy."""
+    total = 0
+    stack = [env.machine.kernel.cgroups.root]
+    while stack:
+        node = stack.pop()
+        total += fn(node)
+        stack.extend(node.children.values())
+    return total
+
+
+def _io_stall_sources_ns(env) -> int:
+    """Every stall site that reports I/O pressure, from its own counters:
+    BDI write/read shaping, synchronous ``vm.dirty_bytes`` throttling and
+    (CntrFS only) FUSE background-queue congestion."""
+    vm = env.machine.kernel.vm
+    total = sum(bdi.stats.busy_ns + bdi.stats.read_busy_ns
+                for bdi in vm.bdis().values())
+    total += sum(engine.stats.dirty_throttle_ns for engine in vm.engines())
+    connection = getattr(env.fs_under_test, "connection", None)
+    if connection is not None:
+        total += connection.queue_stats.congestion_wait_ns
+    return total
+
+
+@generic(204, "auto", "quick", "psi")
+def test_psi_files_exist_and_parse(env):
+    """The PSI surface renders the Linux format everywhere: system files
+    under /proc/pressure, per-cgroup pressure files, full never exceeding
+    some, and the tracefs control files listing the core tracepoints."""
+    for resource in ("cpu", "memory", "io"):
+        psi = _psi_read(env, f"/proc/pressure/{resource}")
+        env.check_equal(sorted(psi), ["full", "some"], f"{resource} kinds")
+        for kind in ("some", "full"):
+            row = psi[kind]
+            env.check_equal(sorted(row), ["avg10", "avg300", "avg60", "total"],
+                            f"{resource} {kind} columns")
+            for key in ("avg10", "avg60", "avg300"):
+                env.check(0 <= row[key] <= 100_00,
+                          f"{resource} {kind} {key} is a percentage")
+        env.check(psi["full"]["total"] <= psi["some"]["total"],
+                  f"{resource}: full time is a subset of some time")
+    with _memcg(env) as (_cgroup, cg_dir):
+        for name in ("cpu.pressure", "memory.pressure", "io.pressure"):
+            psi = _psi_read(env, f"{cg_dir}/{name}")
+            env.check_equal(sorted(psi), ["full", "some"], f"{name} kinds")
+            env.check_equal(psi["some"]["total"], 0,
+                            f"a fresh cgroup has no {name} stalls")
+        env.check_equal(_cg_file_read(env, f"{cg_dir}/io.stat"), b"",
+                        "a fresh cgroup has no io.stat rows")
+        env.check_errno(errno.EACCES, _cg_file_write, env,
+                        f"{cg_dir}/memory.pressure", b"0\n")
+    events = _cg_file_read(env, f"{TRACEFS}/available_events").decode().split()
+    for name in CORE_TRACEPOINT_NAMES:
+        env.check(name in events, f"{name} is declared in available_events")
+    env.check_equal(_cg_file_read(env, f"{TRACEFS}/tracing_on"), b"0\n",
+                    "tracing starts disabled")
+
+
+@generic(205, "auto", "quick", "psi")
+def test_psi_cpu_decomposes_into_wait_and_throttle(env):
+    """CPU pressure is exactly runnable wait plus ``cpu.max`` throttling:
+    the system some total grows by ``stats.wait_ns`` + the hierarchy's
+    ``throttled_ns`` delta, to the nanosecond, and the pressure files render
+    the same total in microseconds."""
+    kernel = env.machine.kernel
+    clock = kernel.clock
+    tracker = kernel.psi.system.tracker("cpu")
+    base_some = tracker.total_some_ns
+    base_full = tracker.total_full_ns
+    base_throttled = _sum_cgroup(env, lambda n: n.cpu_stats.throttled_ns)
+
+    name = env.unique_name("psi-capped")
+    cg_dir = f"{CGROUPFS}/{name}"
+    env.sc.mkdir(cg_dir)
+    _cg_file_write(env, f"{cg_dir}/cpu.max", b"1000 10000")
+    capped = env.machine.spawn_host_process(["/usr/bin/capped-tenant"])
+    free = env.machine.spawn_host_process(["/usr/bin/free-tenant"])
+    _cg_file_write(env, f"{cg_dir}/cgroup.procs",
+                   f"{capped.process.pid}\n".encode())
+    try:
+        def spinner(ops, op_ns=100_000):
+            def body():
+                for _ in range(ops):
+                    clock.advance(op_ns)
+                    yield None
+            return body
+
+        controller = kernel.cpu_controller()
+        controller.spawn(capped.process, spinner(100))
+        controller.spawn(free.process, spinner(100))
+        stats = controller.run()
+
+        throttled = _sum_cgroup(
+            env, lambda n: n.cpu_stats.throttled_ns) - base_throttled
+        some = tracker.total_some_ns - base_some
+        env.check(stats.wait_ns > 0, "a contended run accrues runnable wait")
+        env.check(throttled > 0, "the 10% quota throttled the capped group")
+        env.check_equal(some, stats.wait_ns + throttled,
+                        "cpu some == wait + throttle, to the nanosecond")
+        env.check_equal(tracker.total_full_ns - base_full, 0,
+                        "cpu pressure never reports full time")
+        rendered = _psi_read(env, "/proc/pressure/cpu")
+        env.check_equal(rendered["some"]["total"],
+                        tracker.total_some_ns // 1_000,
+                        "/proc/pressure/cpu total renders microseconds")
+        capped_psi = _psi_read(env, f"{cg_dir}/cpu.pressure")
+        env.check(capped_psi["some"]["total"] > 0,
+                  "the capped cgroup saw its own cpu pressure")
+    finally:
+        root_procs = f"{CGROUPFS}/cgroup.procs"
+        _cg_file_write(env, root_procs, f"{capped.process.pid}\n".encode())
+        env.sc.rmdir(cg_dir)
+
+
+@generic(206, "auto", "quick", "psi")
+def test_psi_memory_decomposes_into_throttle_and_reclaim(env):
+    """Memory pressure is exactly ``memory.high`` write throttling (some)
+    plus per-cgroup direct reclaim (some and full), checked against the
+    memcg's own stall counters to the nanosecond."""
+    kernel = env.machine.kernel
+    tracker = kernel.psi.system.tracker("memory")
+    base_some = tracker.total_some_ns
+    base_full = tracker.total_full_ns
+    base_throttle = _sum_cgroup(
+        env, lambda n: n.memcg_stats.throttle_stall_ns)
+    base_reclaim = _sum_cgroup(
+        env, lambda n: n.memcg_stats.reclaim_cost_ns)
+    with _vm_knobs(env, dirty_background_bytes=0, dirty_bytes=0), \
+            _memcg(env, high_bytes=64 << 10) as (_cgroup, cg_dir):
+        # Keep the descriptor open and the flush thresholds disabled so the
+        # pages stay dirty until reclaim hits them (closing is itself a
+        # flush point on the FUSE client).
+        fd, _ino = _dirty_file(env, "psi-memstall", 256 << 10)
+        try:
+            throttle = _sum_cgroup(
+                env,
+                lambda n: n.memcg_stats.throttle_stall_ns) - base_throttle
+            env.check(throttle > 0,
+                      "writing past memory.high stalled the writer")
+            # Lowering memory.max below usage reclaims synchronously; the
+            # pages are still dirty, so the reclaim pays flush time.
+            _cg_file_write(env, f"{cg_dir}/memory.max", b"65536\n")
+            reclaim = _sum_cgroup(
+                env,
+                lambda n: n.memcg_stats.reclaim_cost_ns) - base_reclaim
+            env.check(reclaim > 0, "direct reclaim charged virtual time")
+            throttle = _sum_cgroup(
+                env,
+                lambda n: n.memcg_stats.throttle_stall_ns) - base_throttle
+            some = tracker.total_some_ns - base_some
+            full = tracker.total_full_ns - base_full
+            env.check_equal(some, throttle + reclaim,
+                            "memory some == high-throttle + reclaim, exactly")
+            env.check_equal(full, reclaim,
+                            "only reclaim counts as full memory pressure")
+            rendered = _psi_read(env, "/proc/pressure/memory")
+            env.check_equal(rendered["some"]["total"],
+                            tracker.total_some_ns // 1_000,
+                            "/proc/pressure/memory total renders microseconds")
+            cg_psi = _psi_read(env, f"{cg_dir}/memory.pressure")
+            env.check(cg_psi["some"]["total"] > 0,
+                      "the limited cgroup saw its own memory pressure")
+            env.check(cg_psi["full"]["total"] <= cg_psi["some"]["total"],
+                      "per-cgroup full stays within some")
+        finally:
+            env.sc.close(fd)
+
+
+@generic(207, "auto", "quick", "psi")
+def test_psi_io_decomposes_into_shaping_and_throttle(env):
+    """I/O pressure is exactly the sum of its stall sites — BDI write/read
+    bandwidth shaping, synchronous ``vm.dirty_bytes`` throttling and FUSE
+    queue congestion — checked against those counters to the nanosecond."""
+    kernel = env.machine.kernel
+    tracker = kernel.psi.system.tracker("io")
+    base_some = tracker.total_some_ns
+    base_full = tracker.total_full_ns
+    base_sources = _io_stall_sources_ns(env)
+    bdi = env.fs_under_test.writeback.bdi
+    env.check(bdi is not None, "the fs under test flushes through a BDI")
+    saved = (bdi.write_bandwidth_bytes_s, bdi.read_bandwidth_bytes_s)
+    payload = b"I" * (512 << 10)
+    path = env.path("psi-shaped")
+    try:
+        bdi.write_bandwidth_bytes_s = 8 << 20
+        bdi.read_bandwidth_bytes_s = 8 << 20
+        busy_before = bdi.stats.busy_ns
+        read_before = bdi.stats.read_busy_ns
+        env.create_file(path, payload)
+        env.make_durable()
+        env.check(bdi.stats.busy_ns > busy_before,
+                  "the shaped flush charged write busy time")
+        _echo_drop_caches(env, 1)
+        env.check_equal(env.read_file(path), payload,
+                        "shaped round trip preserves the data")
+        env.check(bdi.stats.read_busy_ns > read_before,
+                  "the cold read charged read busy time")
+        # A tiny dirty budget makes the next write flush synchronously in
+        # the writer's context: the dirty_limit stall site.
+        with _vm_knobs(env, dirty_bytes=64 << 10):
+            env.create_file(env.path("psi-throttled"), b"T" * (256 << 10))
+            env.check(
+                sum(e.stats.dirty_throttle_ns
+                    for e in kernel.vm.engines()) > 0,
+                "the dirty limit stalled a writer synchronously")
+    finally:
+        bdi.write_bandwidth_bytes_s, bdi.read_bandwidth_bytes_s = saved
+    some = tracker.total_some_ns - base_some
+    env.check(some > 0, "the workload accrued io pressure")
+    env.check_equal(some, _io_stall_sources_ns(env) - base_sources,
+                    "io some == shaping + dirty throttle + congestion, exactly")
+    env.check_equal(tracker.total_full_ns - base_full, 0,
+                    "none of these stalls report full io pressure")
+    rendered = _psi_read(env, "/proc/pressure/io")
+    env.check_equal(rendered["some"]["total"], tracker.total_some_ns // 1_000,
+                    "/proc/pressure/io total renders microseconds")
+
+
+@generic(208, "auto", "quick", "psi")
+def test_vmstat_and_io_stat_track_writeback(env):
+    """/proc/vmstat counters move with writeback and per-cgroup ``io.stat``
+    charges the dirtying cgroup's device row, aggregated up to the root."""
+    kernel = env.machine.kernel
+
+    def vmstat() -> dict[str, int]:
+        text = _cg_file_read(env, "/proc/vmstat").decode()
+        return {line.split()[0]: int(line.split()[1])
+                for line in text.splitlines() if line}
+
+    before = vmstat()
+    env.check(before["pgfault"] >= before["pgmajfault"],
+              "major faults are a subset of faults")
+    env.check(before["nr_dirtied"] >= before["nr_written"],
+              "nothing is written that was never dirtied")
+    payload = b"V" * (128 << 10)
+    device = env.fs_under_test.writeback.bdi.name
+    with _memcg(env) as (cgroup, cg_dir):
+        env.create_file(env.path("psi-counted"), payload)
+        env.make_durable()
+        after = vmstat()
+        env.check(after["nr_written"] >=
+                  before["nr_written"] + len(payload) // 4096,
+                  "sync advanced nr_written by at least the file's pages")
+        env.check(after["nr_dirtied"] >= after["nr_written"],
+                  "the dirtied/written invariant survives the sync")
+        rows: dict[str, dict[str, int]] = {}
+        for line in _cg_file_read(env, f"{cg_dir}/io.stat").decode().splitlines():
+            dev, _, rest = line.partition(" ")
+            rows[dev] = {key: int(value) for key, value in
+                         (field.split("=") for field in rest.split())}
+        env.check(device in rows, "the flush created the device's io.stat row")
+        env.check(rows[device]["wbytes"] >= len(payload),
+                  "wbytes charges the dirtying cgroup for the flushed bytes")
+        env.check(rows[device]["wios"] >= 1, "the flush counted as a write io")
+        root_stats = kernel.cgroups.root.io_stats[device]
+        env.check(root_stats.wbytes >= rows[device]["wbytes"],
+                  "the root cgroup aggregates the child's write charges")
+        _echo_drop_caches(env, 1)
+        env.check_equal(env.read_file(env.path("psi-counted")), payload,
+                        "the cold read round-trips")
+        refreshed = {}
+        for line in _cg_file_read(env, f"{cg_dir}/io.stat").decode().splitlines():
+            dev, _, rest = line.partition(" ")
+            refreshed[dev] = {key: int(value) for key, value in
+                              (field.split("=") for field in rest.split())}
+        env.check(refreshed[device]["rbytes"] >= len(payload),
+                  "the cache-miss read charged rbytes to the reader")
+        env.check(refreshed[device]["rios"] >= 1,
+                  "the cold read counted as a read io")
+
+
+@generic(209, "auto", "quick", "psi")
+def test_tracefs_controls_collection(env):
+    """The tracefs files drive the tracer: per-tracepoint ``set_event``
+    filters, ``tracing_on`` gating, ``echo > trace`` clearing, EINVAL on bad
+    input and a bounded ring with explicit drop accounting."""
+    tracer = env.machine.kernel.tracer
+
+    def trace_lines() -> list[str]:
+        return _cg_file_read(env, f"{TRACEFS}/trace").decode().splitlines()
+
+    env.check_errno(errno.EINVAL, _cg_file_write, env,
+                    f"{TRACEFS}/tracing_on", b"2\n")
+    env.check_errno(errno.EACCES, _cg_file_write, env,
+                    f"{TRACEFS}/available_events", b"x\n")
+    env.check_errno(errno.EINVAL, _cg_file_write, env,
+                    f"{TRACEFS}/set_event", b"not-category-dot-name\n")
+
+    saved_capacity = tracer.capacity
+    try:
+        # Per-tracepoint gating: only writeback.flush is collected.
+        _cg_file_write(env, f"{TRACEFS}/set_event", b"writeback.flush\n")
+        env.check_equal(_cg_file_read(env, f"{TRACEFS}/set_event"),
+                        b"writeback.flush\n", "set_event echoes the filter")
+        env.create_file(env.path("psi-traced"), b"T" * 8192)
+        env.make_durable()
+        env.check(tracer.count("writeback.flush") >= 1,
+                  "the filtered tracepoint collected its events")
+        lines = trace_lines()
+        env.check(any("writeback.flush" in line for line in lines
+                      if not line.startswith("#")),
+                  "the trace ring rendered the flush events")
+        env.check(all("writeback.flush" in line for line in lines
+                      if not line.startswith("#")),
+                  "nothing outside the filter was collected")
+        # Disable the tracepoint, clear the ring through the file.
+        _cg_file_write(env, f"{TRACEFS}/set_event", b"!writeback.flush\n")
+        _cg_file_write(env, f"{TRACEFS}/trace", b"\n")
+        env.check_equal(tracer.count("writeback.flush"), 0,
+                        "echo > trace cleared the ring and counters")
+        env.check_equal(_cg_file_read(env, f"{TRACEFS}/set_event"), b"",
+                        "!name removed the tracepoint from the filter")
+        # Global switch + bounded ring: fsync storms overflow capacity 4.
+        tracer.capacity = 4
+        _cg_file_write(env, f"{TRACEFS}/tracing_on", b"1\n")
+        fd = env.sc.open(env.path("psi-dropper"), CREAT_WR, 0o644)
+        try:
+            for _ in range(8):
+                env.sc.write(fd, b"D" * 4096)
+                env.sc.fsync(fd)
+        finally:
+            env.sc.close(fd)
+        _cg_file_write(env, f"{TRACEFS}/tracing_on", b"0\n")
+        env.check_equal(_cg_file_read(env, f"{TRACEFS}/tracing_on"), b"0\n",
+                        "tracing_on reads back the switch")
+        env.check(tracer.dropped > 0,
+                  "events past the ring capacity counted as drops")
+        header = trace_lines()[1]
+        env.check(header.startswith("# entries: ")
+                  and f"dropped: {tracer.dropped}" in header,
+                  "the trace header reports the drop total")
+        env.check(any(line.startswith("# dropped ")
+                      for line in trace_lines()),
+                  "per-tracepoint drop counters are rendered")
+    finally:
+        tracer.capacity = saved_capacity
+        tracer.clear()
+        tracer.clear_events()
+        tracer.enabled = False
 
 
 def tests_by_id() -> dict[str, TestCase]:

@@ -283,13 +283,13 @@ class TestXfstestsSuite:
     def test_native_passes_everything(self):
         from repro.xfstests import XfstestsRunner
         summary = XfstestsRunner(native_environment).run()
-        assert summary.total == 203
-        assert summary.passed == 203, summary.format_table()
+        assert summary.total == 209
+        assert summary.passed == 209, summary.format_table()
 
     def test_cntrfs_matches_paper_pass_rate(self):
         from repro.xfstests import XfstestsRunner, PAPER_FAILING_TESTS
         summary = XfstestsRunner(cntrfs_environment).run()
-        assert summary.total == 203
-        assert summary.passed == 199, summary.format_table()
+        assert summary.total == 209
+        assert summary.passed == 205, summary.format_table()
         assert sorted(summary.failing_ids()) == sorted(PAPER_FAILING_TESTS)
-        assert summary.pass_rate == pytest.approx(199 / 203, abs=1e-3)
+        assert summary.pass_rate == pytest.approx(205 / 209, abs=1e-3)
